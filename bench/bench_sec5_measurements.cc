@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Section V-B: the 835-measurement campaign across the six
+ * chips - per-role drawn dimensions, effective (layout) sizes, and
+ * region geometry, with repeated-measurement statistics.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "re/measure.hh"
+
+int
+main()
+{
+    using namespace hifi;
+    using common::Table;
+    using models::Role;
+
+    const auto campaign = re::measurementCampaign();
+    std::cout << "Section V-B: measurement campaign - "
+              << campaign.totalMeasurements
+              << " measurements (paper: 835)\n\n";
+
+    std::cout << "Drawn and effective transistor dimensions (nm):\n";
+    Table t({"chip", "role", "W", "L", "W_eff", "L_eff", "W/L"});
+    for (const auto &chip : models::allChips()) {
+        for (size_t ri = 0;
+             ri < static_cast<size_t>(Role::NumRoles); ++ri) {
+            const auto role = static_cast<Role>(ri);
+            const auto &d = chip.role(role);
+            if (!d)
+                continue;
+            t.addRow({chip.id, models::roleName(role),
+                      Table::num(d->w, 0), Table::num(d->l, 0),
+                      Table::num(chip.effective(role, false), 0),
+                      Table::num(chip.effective(role, true), 0),
+                      Table::num(d->wOverL(), 2)});
+        }
+        t.addSeparator();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nRepeated-measurement quality: mean relative error "
+              << Table::percent(campaign.meanRelativeError(), 1)
+              << " across " << campaign.records.size()
+              << " measured quantities\n";
+
+    std::cout << "\nRegion geometry (nm):\n";
+    Table r({"chip", "MAT W", "MAT H", "SA strip", "row drv",
+             "transition", "BL pitch", "M2 W"});
+    for (const auto &chip : models::allChips()) {
+        r.addRow({chip.id, Table::num(chip.matWidthNm, 0),
+                  Table::num(chip.matHeightNm, 0),
+                  Table::num(chip.saHeightNm, 0),
+                  Table::num(chip.rowDriverWidthNm, 0),
+                  Table::num(chip.transitionNm, 0),
+                  Table::num(chip.blPitchNm, 0),
+                  Table::num(chip.m2WidthNm, 0)});
+    }
+    r.print(std::cout);
+    std::cout << "\nSmallest wire height: "
+              << models::chip("B5").wireHeightNm
+              << " nm on B5 (Section IV-C).\n";
+    return campaign.totalMeasurements == re::kPaperMeasurements ? 0 : 1;
+}

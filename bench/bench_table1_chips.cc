@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table I (the studied chips) plus the Section IV-B
+ * acquisition facts: per-chip ROI scans, slice counts, and the
+ * acquisition-time model (>24 h for the 100 um^2 scans of A4/A5).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "models/chip_data.hh"
+#include "scope/fib.hh"
+
+int
+main()
+{
+    using namespace hifi;
+    using common::Table;
+
+    std::cout << "Table I: studied chips (six chips, three vendors)\n";
+    Table t({"ID", "Vendor", "Storage", "Yr.", "Size", "Det.", "MATs",
+             "Pixl.Res."});
+    for (const auto &chip : models::allChips()) {
+        t.addRow({chip.id,
+                  std::string(1, chip.vendor) + " (DDR" +
+                      std::to_string(chip.ddr) + ")",
+                  std::to_string(chip.storageGbit) + "Gb",
+                  "'" + std::to_string(chip.year % 100),
+                  Table::num(chip.dieAreaMm2, 0) + "mm2",
+                  chip.detector == models::Detector::Se ? "SE" : "BSE",
+                  chip.matsVisible ? "V." : "N.V.",
+                  Table::num(chip.pixelResNm, 1) + " nm"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSection IV-B: acquisition campaigns "
+              << "(mill + image time model)\n";
+    Table c({"ID", "ROI", "Slice", "Dwell", "Slices", "Px/img",
+             "s/slice", "Total"});
+    for (const auto &chip : models::allChips()) {
+        const auto cost = scope::campaignCost(chip);
+        c.addRow({chip.id, Table::num(chip.roiAreaUm2, 0) + " um2",
+                  Table::num(chip.sliceNm, 0) + " nm",
+                  Table::num(chip.dwellUs, 0) + " us",
+                  std::to_string(cost.slices),
+                  Table::num(cost.pixelsPerImage / 1e3, 0) + "k",
+                  Table::num(cost.secondsPerSlice, 1),
+                  Table::num(cost.totalHours, 1) + " h"});
+    }
+    c.print(std::cout);
+    std::cout << "\nPaper: the 100 um2 acquisitions (A4, A5) each took "
+                 "more than 24 hours of SEM/FIB.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Audit a user-proposed SA-region modification against all six chips,
+ * the way Section VI-C audits prior work.  The proposal is described
+ * on the command line as counts of added elements; the tool computes
+ * the realistic per-chip area overhead using the measured effective
+ * sizes and region geometry, and flags the I1/I2 wall when extra
+ * bitlines are requested.
+ *
+ * Usage:
+ *   overhead_audit [--iso N] [--sa N] [--col N] [--bitlines N]
+ *                  [--claimed P%]
+ *
+ * Example: a proposal adding 2 isolation transistors and 1 extra SA
+ * per region, claiming 0.5% chip overhead:
+ *   overhead_audit --iso 2 --sa 1 --claimed 0.5
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "models/chip_data.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hifi;
+    using common::Table;
+    using models::Role;
+
+    int iso = 2, sa = 0, col = 0, bitlines = 0;
+    double claimed = 0.005;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const double v = std::atof(argv[i + 1]);
+        if (flag == "--iso")
+            iso = static_cast<int>(v);
+        else if (flag == "--sa")
+            sa = static_cast<int>(v);
+        else if (flag == "--col")
+            col = static_cast<int>(v);
+        else if (flag == "--bitlines")
+            bitlines = static_cast<int>(v);
+        else if (flag == "--claimed")
+            claimed = v / 100.0;
+    }
+
+    std::cout << "Auditing a proposal adding " << iso
+              << " isolation transistor(s), " << sa
+              << " extra SA(s), " << col << " column transistor(s)";
+    if (bitlines)
+        std::cout << ", and " << bitlines << " extra bitline(s)";
+    std::cout << " per SA region\nClaimed overhead: "
+              << Table::percent(claimed, 2) << "\n\n";
+
+    Table t({"chip", "ext (nm)", "overhead", "error vs claim",
+             "note"});
+    for (const auto &chip : models::allChips()) {
+        std::string note = "-";
+        double p_chip;
+        if (bitlines > 0) {
+            // I1/I2: no free track; the region effectively doubles
+            // per extra bitline per existing pitch - dominant cost.
+            p_chip = chip.arrayFraction();
+            note = "I1/I2: no free bitline track; region doubles";
+            t.addRow({chip.id, "-", Table::percent(p_chip, 1),
+                      Table::times(p_chip / claimed - 1.0, 1), note});
+            continue;
+        }
+        // Height extension along X from the added elements.  Both
+        // stacked SAs must receive shared elements (Section V-C), so
+        // per-bitline additions double.
+        const double ext = iso * chip.isoEffectiveLength() +
+            sa * 8.0 *
+                (chip.effective(Role::Nsa, false) +
+                 chip.effective(Role::Psa, false)) +
+            col * chip.effective(Role::Column, false);
+        const double extra = static_cast<double>(chip.mats) *
+            chip.matWidthNm * ext;
+        p_chip = extra / chip.dieAreaNm2();
+        if (chip.topology == models::Topology::Ocsa && iso > 0)
+            note = "chip already has (different) ISO devices";
+        t.addRow({chip.id, Table::num(ext, 0),
+                  Table::percent(p_chip, 2),
+                  Table::times(p_chip / claimed - 1.0, 1), note});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nRecommendations applied (Section VI-E): R1 "
+                 "(include wiring), R2 (interconnected SAs), R3 "
+                 "(physical layout), R4 (consider OCSA).\n";
+    return 0;
+}

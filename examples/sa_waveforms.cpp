@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dumps full activation waveforms for the classic SA and the OCSA to
+ * CSV files for external plotting (reproduces the data behind the
+ * Fig. 2c and Fig. 9b event diagrams).
+ *
+ * Usage: sa_waveforms [output-dir]   (default /tmp)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "circuit/sense_amp.hh"
+#include "circuit/spice.hh"
+#include "circuit/vcd.hh"
+#include "common/csv.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hifi;
+    const std::string dir = argc > 1 ? argv[1] : "/tmp";
+
+    for (const auto topology : {circuit::SaTopology::Classic,
+                                circuit::SaTopology::OffsetCancellation}) {
+        circuit::SaParams params;
+        params.topology = topology;
+        params.storeOne = true;
+        const circuit::SaRun run = circuit::simulateActivation(params);
+
+        const bool ocsa =
+            topology == circuit::SaTopology::OffsetCancellation;
+        const std::string path = dir + "/hifi_waveform_" +
+            (ocsa ? "ocsa" : "classic") + ".csv";
+
+        std::vector<std::string> cols = {"t_ns", "BL", "BLB", "CN",
+                                         "SAN", "SAP", "WL", "PEQ"};
+        if (ocsa) {
+            cols.push_back("SBL");
+            cols.push_back("SBLB");
+            cols.push_back("ISO");
+            cols.push_back("OC");
+        }
+        common::CsvWriter csv(path, cols);
+
+        const auto &bl = run.tran.trace("BL");
+        for (size_t i = 0; i < bl.times.size(); ++i) {
+            const double t = bl.times[i];
+            std::vector<double> row = {
+                t * 1e9,
+                run.tran.trace("BL").values[i],
+                run.tran.trace("BLB").values[i],
+                run.tran.trace("CN").values[i],
+                run.tran.trace("SAN").values[i],
+                run.tran.trace("SAP").values[i],
+                run.tran.trace("WL").values[i],
+                run.tran.trace("PEQ").values[i],
+            };
+            if (ocsa) {
+                row.push_back(run.tran.trace("SBL").values[i]);
+                row.push_back(run.tran.trace("SBLB").values[i]);
+                row.push_back(run.tran.trace("ISO").values[i]);
+                row.push_back(run.tran.trace("OC").values[i]);
+            }
+            csv.addRow(row);
+        }
+        const std::string base = dir + "/hifi_waveform_" +
+            (ocsa ? "ocsa" : "classic");
+        circuit::writeVcdFile(base + ".vcd", run.tran);
+        circuit::writeSaSpiceFile(base + ".sp", params);
+        std::cout << "wrote " << path << " (+ .vcd, .sp; "
+                  << csv.rows() << " samples; events: ";
+        const auto &s = run.schedule;
+        if (ocsa) {
+            std::cout << "OC " << s.tOcStart * 1e9 << "-"
+                      << s.tOcEnd * 1e9 << " ns, share "
+                      << s.tChargeShare * 1e9 << " ns, pre-sense "
+                      << s.tPreSense * 1e9 << " ns, restore "
+                      << s.tLatch * 1e9 << " ns";
+        } else {
+            std::cout << "share " << s.tChargeShare * 1e9
+                      << " ns, latch " << s.tLatch * 1e9 << " ns";
+        }
+        std::cout << ", precharge " << s.tPrechargeCmd * 1e9
+                  << " ns)\n";
+    }
+    return 0;
+}

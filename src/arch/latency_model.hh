@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Architecture-level consequence analysis: what the corrected
+ * overheads mean for the audited proposals' cost-benefit.
+ *
+ * The audited papers buy average-latency improvements with SA-region
+ * area; HiFi-DRAM corrects the area side (Table II).  This module
+ * computes the benefit side with an open-page controller latency
+ * model over synthetic address streams, applies each proposal's
+ * timing mechanism, and reports gain-per-area under the papers' own
+ * estimates vs the corrected ones - the ranking shifts are the
+ * actionable output.
+ */
+
+#ifndef HIFI_ARCH_LATENCY_MODEL_HH
+#define HIFI_ARCH_LATENCY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/timings.hh"
+
+namespace hifi
+{
+namespace arch
+{
+
+/** Synthetic access-stream parameters. */
+struct StreamParams
+{
+    size_t accesses = 20000;
+
+    /// Probability of hitting the currently open row.
+    double rowHitRate = 0.6;
+
+    /// Rows cycled through on misses.
+    size_t rows = 512;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * Average read latency (ns) of an open-page controller on one bank:
+ * row hits pay the column access (tCCD); row conflicts pay
+ * tRP + tRCD + column.
+ */
+double averageReadLatencyNs(const dram::Timings &timings,
+                            const StreamParams &stream);
+
+/**
+ * A proposal's timing mechanism, as a transform on the baseline
+ * timings (the benefit side of its trade).
+ */
+struct Mechanism
+{
+    std::string paper;
+
+    /// Multipliers on the baseline timing components.
+    double tRcdScale = 1.0;
+    double tRpScale = 1.0;
+
+    /// Fraction of accesses the mechanism applies to.
+    double coverage = 1.0;
+};
+
+/// The latency-oriented proposals among the audited papers, with
+/// their mechanisms mapped onto the timing model.
+const std::vector<Mechanism> &latencyMechanisms();
+
+/** Cost-benefit entry for one proposal. */
+struct CostBenefit
+{
+    std::string paper;
+
+    double baselineLatencyNs = 0.0;
+    double improvedLatencyNs = 0.0;
+
+    /// Latency gain fraction (0.08 = 8% faster).
+    double latencyGain = 0.0;
+
+    /// Area overhead: the paper's estimate and the audit's.
+    double claimedOverhead = 0.0;
+    double correctedOverhead = 0.0;
+
+    /// Gain per percent of chip area, before and after correction.
+    double gainPerAreaClaimed = 0.0;
+    double gainPerAreaCorrected = 0.0;
+};
+
+/**
+ * Run the cost-benefit audit over the latency mechanisms using the
+ * topology-derived baseline timings.
+ */
+std::vector<CostBenefit> costBenefitAudit(
+    const dram::Timings &baseline, const StreamParams &stream = {});
+
+} // namespace arch
+} // namespace hifi
+
+#endif // HIFI_ARCH_LATENCY_MODEL_HH

@@ -1,0 +1,144 @@
+#include "circuit/dual_sa.hh"
+
+#include <cmath>
+
+namespace hifi
+{
+namespace circuit
+{
+
+namespace
+{
+
+constexpr double kRamp = 2e-10;
+
+MosModel
+nmos()
+{
+    return {MosType::Nmos, 0.45, 120e-6, 0.05};
+}
+
+MosModel
+pmos()
+{
+    return {MosType::Pmos, 0.40, 50e-6, 0.05};
+}
+
+Mosfet
+fet(const std::string &name, const MosModel &model, NodeId d, NodeId g,
+    NodeId s, double w, double l)
+{
+    Mosfet m;
+    m.name = name;
+    m.model = model;
+    m.drain = d;
+    m.gate = g;
+    m.source = s;
+    m.widthNm = w;
+    m.lengthNm = l;
+    return m;
+}
+
+} // namespace
+
+DualSaRun
+simulateSharedControl(const DualSaParams &params,
+                      const TranParams &tran)
+{
+    const SaParams &p = params.base;
+    const auto &sz = p.sizing;
+
+    Netlist net;
+
+    // Shared control nodes: one PEQ gate strip, one SAN/SAP rail pair,
+    // one wordline driver (SA B's row is simply not selected).
+    const NodeId wl = net.addNode("WL");
+    const NodeId peq = net.addNode("PEQ");
+    const NodeId san = net.addNode("SAN");
+    const NodeId sap = net.addNode("SAP");
+    const NodeId vpre = net.addNode("VPRE");
+
+    SaSchedule s;
+    s.tActivate = p.tSettle;
+    s.tChargeShare = s.tActivate + 3e-10;
+    s.tLatch = s.tChargeShare + p.tShare;
+    s.tRestoreEnd = s.tLatch + p.tRestore;
+    s.tPrechargeCmd = s.tRestoreEnd;
+    s.tEnd = s.tPrechargeCmd + p.tPrecharge;
+
+    net.addVSource("Vpre", vpre, kGround, Pwl(p.vpre));
+    Pwl wl_wave(0.0);
+    wl_wave.step(s.tChargeShare, p.vpp, kRamp);
+    wl_wave.step(s.tPrechargeCmd, 0.0, kRamp);
+    net.addVSource("Vwl", wl, kGround, std::move(wl_wave));
+    Pwl peq_wave(p.vpp);
+    peq_wave.step(s.tActivate, 0.0, kRamp);
+    peq_wave.step(s.tPrechargeCmd + 3e-10, p.vpp, kRamp);
+    net.addVSource("Vpeq", peq, kGround, std::move(peq_wave));
+    Pwl san_wave(p.vpre), sap_wave(p.vpre);
+    san_wave.step(s.tLatch, 0.0, kRamp);
+    sap_wave.step(s.tLatch, p.vdd, kRamp);
+    san_wave.step(s.tPrechargeCmd + 3e-10, p.vpre, kRamp);
+    sap_wave.step(s.tPrechargeCmd + 3e-10, p.vpre, kRamp);
+    net.addVSource("Vsan", san, kGround, std::move(san_wave));
+    net.addVSource("Vsap", sap, kGround, std::move(sap_wave));
+
+    // Two classic SAs on the shared rails.
+    auto add_sa = [&](const std::string &tag, bool bit,
+                      bool has_selected_row) {
+        const NodeId bl = net.addNode(tag + "_BL");
+        const NodeId blb = net.addNode(tag + "_BLB");
+        net.addCapacitor(tag + "Cbl", bl, kGround, p.blCapF, p.vpre);
+        net.addCapacitor(tag + "Cblb", blb, kGround, p.blCapF,
+                         p.vpre);
+        if (has_selected_row) {
+            const NodeId cn = net.addNode(tag + "_CN");
+            net.addCapacitor(tag + "Ccell", cn, kGround, p.cellCapF,
+                             bit ? p.vdd : 0.0);
+            net.addMosfet(fet(tag + "Macc", nmos(), bl, wl, cn, 90,
+                              45));
+        }
+        // A tiny structural asymmetry so the rowless SA's latch does
+        // not sit on an unstable equilibrium forever.
+        Mosfet mn1 = fet(tag + "Mn1", nmos(), bl, blb, san, sz.nsaW,
+                         sz.nsaL);
+        mn1.vthDelta = 2e-3;
+        net.addMosfet(mn1);
+        net.addMosfet(fet(tag + "Mn2", nmos(), blb, bl, san, sz.nsaW,
+                          sz.nsaL));
+        net.addMosfet(fet(tag + "Mp1", pmos(), bl, blb, sap, sz.psaW,
+                          sz.psaL));
+        net.addMosfet(fet(tag + "Mp2", pmos(), blb, bl, sap, sz.psaW,
+                          sz.psaL));
+        net.addMosfet(fet(tag + "Mpre1", nmos(), bl, peq, vpre,
+                          sz.preW, sz.preL));
+        net.addMosfet(fet(tag + "Mpre2", nmos(), blb, peq, vpre,
+                          sz.preW, sz.preL));
+        net.addMosfet(fet(tag + "Meq", nmos(), bl, peq, blb, sz.eqW,
+                          sz.eqL));
+    };
+    add_sa("A", params.bitA, true);
+    add_sa("B", params.bitB, !params.activateOnlyA);
+
+    TranParams tp = tran;
+    tp.tstop = s.tEnd;
+    Simulator sim(net);
+
+    DualSaRun run;
+    run.schedule = s;
+    run.tran = sim.run(tp);
+
+    const double t_probe = s.tRestoreEnd - tp.dt;
+    const double a_diff = run.tran.trace("A_BL").at(t_probe) -
+        run.tran.trace("A_BLB").at(t_probe);
+    run.aLatchedCorrectly =
+        a_diff * (params.bitA ? 1.0 : -1.0) > 0.5 * p.vdd;
+
+    run.bSeparation = std::abs(run.tran.trace("B_BL").at(t_probe) -
+                               run.tran.trace("B_BLB").at(t_probe));
+    run.bDisturbed = run.bSeparation > 0.5 * p.vdd;
+    return run;
+}
+
+} // namespace circuit
+} // namespace hifi

@@ -1,0 +1,57 @@
+#include "circuit/mismatch.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace circuit
+{
+
+double
+vthSigma(double w_nm, double l_nm, double avt_vnm)
+{
+    if (w_nm <= 0.0 || l_nm <= 0.0)
+        throw std::invalid_argument("vthSigma: non-positive W or L");
+    return avt_vnm / std::sqrt(w_nm * l_nm);
+}
+
+YieldResult
+sensingYield(const SaParams &base, const MismatchParams &params,
+             const TranParams &tran)
+{
+    common::Rng rng(params.seed);
+    YieldResult result;
+    result.trials = params.trials;
+
+    double signal_sum = 0.0;
+    for (size_t trial = 0; trial < params.trials; ++trial) {
+        SaSchedule schedule;
+        Netlist net = buildSaTestbench(base, schedule);
+
+        for (auto &fet : net.mosfets()) {
+            if (fet.name == "Mn1" || fet.name == "Mn2" ||
+                fet.name == "Mp1" || fet.name == "Mp2") {
+                const double sigma = vthSigma(
+                    fet.widthNm, fet.lengthNm, params.avtVnm);
+                fet.vthDelta = rng.gaussian(0.0, sigma);
+            }
+        }
+
+        TranParams tp = tran;
+        tp.tstop = schedule.tEnd;
+        Simulator sim(net);
+        const SaRun run =
+            analyzeActivation(base, schedule, sim.run(tp), tp.dt);
+
+        if (!run.latchedCorrectly)
+            ++result.failures;
+        signal_sum += std::abs(run.signalBeforeLatch);
+    }
+    result.meanSignal = params.trials
+        ? signal_sum / static_cast<double>(params.trials) : 0.0;
+    return result;
+}
+
+} // namespace circuit
+} // namespace hifi

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Monte-Carlo threshold-mismatch analysis of sensing yield.
+ *
+ * The latching reliability of a SA is set by manufacturing asymmetries
+ * between the cross-coupled transistors (Section II-A).  Following the
+ * Pelgrom model, the per-device threshold spread is
+ * sigma_Vth = A_VT / sqrt(W * L); larger W/L ratios therefore sense
+ * more reliably, which is why the paper calls models with inflated
+ * transistor dimensions "optimistic" (Section VI-A).  Offset
+ * cancellation compensates the latch asymmetry, which this module
+ * demonstrates quantitatively.
+ */
+
+#ifndef HIFI_CIRCUIT_MISMATCH_HH
+#define HIFI_CIRCUIT_MISMATCH_HH
+
+#include <cstdint>
+
+#include "circuit/sense_amp.hh"
+#include "common/rng.hh"
+
+namespace hifi
+{
+namespace circuit
+{
+
+/** Monte-Carlo parameters. */
+struct MismatchParams
+{
+    /// Pelgrom coefficient in V*nm (3 mV*um = 3 V*nm).
+    double avtVnm = 3.0;
+
+    size_t trials = 100;
+    uint64_t seed = 12345;
+};
+
+/// Threshold sigma (V) for a device of the given W x L (nm).
+double vthSigma(double w_nm, double l_nm, double avt_vnm);
+
+/** Yield over the Monte-Carlo trials. */
+struct YieldResult
+{
+    size_t trials = 0;
+    size_t failures = 0;
+
+    double failureRate() const
+    {
+        return trials ? static_cast<double>(failures) /
+            static_cast<double>(trials) : 0.0;
+    }
+
+    /// Mean |signal before latch| across trials (V).
+    double meanSignal = 0.0;
+};
+
+/**
+ * Run `params.trials` activations with random threshold offsets on the
+ * four latch devices and count incorrect latches.
+ */
+YieldResult sensingYield(const SaParams &base,
+                         const MismatchParams &params,
+                         const TranParams &tran = defaultSaTran());
+
+} // namespace circuit
+} // namespace hifi
+
+#endif // HIFI_CIRCUIT_MISMATCH_HH

@@ -1,0 +1,88 @@
+#include "circuit/netlist.hh"
+
+#include <stdexcept>
+
+namespace hifi
+{
+namespace circuit
+{
+
+Netlist::Netlist()
+{
+    nodeNames_.push_back("gnd");
+}
+
+NodeId
+Netlist::addNode(const std::string &name)
+{
+    nodeNames_.push_back(name);
+    return static_cast<NodeId>(nodeNames_.size() - 1);
+}
+
+const std::string &
+Netlist::nodeName(NodeId id) const
+{
+    return nodeNames_.at(static_cast<size_t>(id));
+}
+
+NodeId
+Netlist::node(const std::string &name) const
+{
+    for (size_t i = 0; i < nodeNames_.size(); ++i)
+        if (nodeNames_[i] == name)
+            return static_cast<NodeId>(i);
+    throw std::out_of_range("Netlist::node: unknown node " + name);
+}
+
+void
+Netlist::checkNode(NodeId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodeNames_.size())
+        throw std::out_of_range("Netlist: bad node id");
+}
+
+void
+Netlist::addResistor(const std::string &name, NodeId a, NodeId b,
+                     double ohms)
+{
+    checkNode(a);
+    checkNode(b);
+    if (ohms <= 0.0)
+        throw std::invalid_argument("Netlist: resistor <= 0 ohm");
+    resistors_.push_back({name, a, b, ohms});
+}
+
+void
+Netlist::addCapacitor(const std::string &name, NodeId a, NodeId b,
+                      double farads, double initial_volts)
+{
+    checkNode(a);
+    checkNode(b);
+    if (farads <= 0.0)
+        throw std::invalid_argument("Netlist: capacitor <= 0 F");
+    capacitors_.push_back({name, a, b, farads, initial_volts});
+}
+
+void
+Netlist::addVSource(const std::string &name, NodeId pos, NodeId neg,
+                    Pwl waveform)
+{
+    checkNode(pos);
+    checkNode(neg);
+    vsources_.push_back({name, pos, neg, std::move(waveform)});
+}
+
+size_t
+Netlist::addMosfet(Mosfet mosfet)
+{
+    checkNode(mosfet.drain);
+    checkNode(mosfet.gate);
+    checkNode(mosfet.source);
+    if (mosfet.widthNm <= 0.0 || mosfet.lengthNm <= 0.0)
+        throw std::invalid_argument("Netlist: MOSFET W/L <= 0");
+    mosfets_.push_back(std::move(mosfet));
+    return mosfets_.size() - 1;
+}
+
+} // namespace circuit
+} // namespace hifi

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Analog netlist representation for sense-amplifier simulation.
+ *
+ * Devices: resistor, capacitor, piecewise-linear voltage source, and a
+ * level-1 (square law) MOSFET.  That is the standard fidelity used by
+ * public DRAM SA models (CROW, REM run SPICE level-appropriate decks);
+ * what the paper shows to matter are the W/L ratios fed into the model,
+ * which we take from the measured datasets.
+ */
+
+#ifndef HIFI_CIRCUIT_NETLIST_HH
+#define HIFI_CIRCUIT_NETLIST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/waveform.hh"
+
+namespace hifi
+{
+namespace circuit
+{
+
+/// Node identifier; node 0 is ground.
+using NodeId = int;
+constexpr NodeId kGround = 0;
+
+/// MOSFET polarity.
+enum class MosType { Nmos, Pmos };
+
+/** Level-1 MOSFET model card. */
+struct MosModel
+{
+    MosType type = MosType::Nmos;
+
+    /// Zero-bias threshold voltage (V); positive for NMOS.
+    double vth = 0.45;
+
+    /// Process transconductance k' = mu * Cox (A/V^2).
+    double kp = 120e-6;
+
+    /// Channel-length modulation (1/V).
+    double lambda = 0.05;
+};
+
+/** MOSFET instance: model plus geometry and a mismatch offset. */
+struct Mosfet
+{
+    std::string name;
+    MosModel model;
+    NodeId drain = kGround;
+    NodeId gate = kGround;
+    NodeId source = kGround;
+
+    /// Width and length in nm (converted to the W/L ratio internally).
+    double widthNm = 100.0;
+    double lengthNm = 40.0;
+
+    /// Per-instance threshold shift (V), e.g. from Monte-Carlo mismatch.
+    double vthDelta = 0.0;
+
+    double wOverL() const { return widthNm / lengthNm; }
+};
+
+struct Resistor
+{
+    std::string name;
+    NodeId a = kGround;
+    NodeId b = kGround;
+    double ohms = 1.0;
+};
+
+struct Capacitor
+{
+    std::string name;
+    NodeId a = kGround;
+    NodeId b = kGround;
+    double farads = 1e-15;
+
+    /// Initial voltage across (a - b) at t = 0.
+    double initialVolts = 0.0;
+};
+
+/** Ideal voltage source following a piecewise-linear waveform. */
+struct VSource
+{
+    std::string name;
+    NodeId pos = kGround;
+    NodeId neg = kGround;
+    Pwl waveform;
+};
+
+/** A flat analog netlist. */
+class Netlist
+{
+  public:
+    Netlist();
+
+    /// Create a named node; returns its id.
+    NodeId addNode(const std::string &name);
+
+    /// Node count including ground.
+    size_t numNodes() const { return nodeNames_.size(); }
+
+    const std::string &nodeName(NodeId id) const;
+
+    /// Find a node id by name; throws std::out_of_range if missing.
+    NodeId node(const std::string &name) const;
+
+    void addResistor(const std::string &name, NodeId a, NodeId b,
+                     double ohms);
+    void addCapacitor(const std::string &name, NodeId a, NodeId b,
+                      double farads, double initial_volts = 0.0);
+    void addVSource(const std::string &name, NodeId pos, NodeId neg,
+                    Pwl waveform);
+    /// Adds a MOSFET and returns its index (for later mismatch edits).
+    size_t addMosfet(Mosfet mosfet);
+
+    const std::vector<Resistor> &resistors() const { return resistors_; }
+    const std::vector<Capacitor> &capacitors() const
+    {
+        return capacitors_;
+    }
+    const std::vector<VSource> &vsources() const { return vsources_; }
+    const std::vector<Mosfet> &mosfets() const { return mosfets_; }
+    std::vector<Mosfet> &mosfets() { return mosfets_; }
+
+  private:
+    void checkNode(NodeId id) const;
+
+    std::vector<std::string> nodeNames_;
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<VSource> vsources_;
+    std::vector<Mosfet> mosfets_;
+};
+
+} // namespace circuit
+} // namespace hifi
+
+#endif // HIFI_CIRCUIT_NETLIST_HH

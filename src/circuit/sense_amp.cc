@@ -1,0 +1,346 @@
+#include "circuit/sense_amp.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace circuit
+{
+
+namespace
+{
+
+constexpr double kRamp = 2e-10; ///< control edge rise/fall time (s)
+
+MosModel
+nmosModel()
+{
+    MosModel m;
+    m.type = MosType::Nmos;
+    m.vth = 0.45;
+    m.kp = 120e-6;
+    m.lambda = 0.05;
+    return m;
+}
+
+MosModel
+pmosModel()
+{
+    MosModel m;
+    m.type = MosType::Pmos;
+    m.vth = 0.40;
+    m.kp = 50e-6;
+    m.lambda = 0.05;
+    return m;
+}
+
+Mosfet
+makeFet(const std::string &name, const MosModel &model, NodeId d,
+        NodeId g, NodeId s, double w, double l, double vth_delta = 0.0)
+{
+    Mosfet fet;
+    fet.name = name;
+    fet.model = model;
+    fet.drain = d;
+    fet.gate = g;
+    fet.source = s;
+    fet.widthNm = w;
+    fet.lengthNm = l;
+    fet.vthDelta = vth_delta;
+    return fet;
+}
+
+} // namespace
+
+const std::string &
+saTopologyName(SaTopology topology)
+{
+    static const std::string classic = "classic";
+    static const std::string ocsa = "offset-cancellation";
+    return topology == SaTopology::Classic ? classic : ocsa;
+}
+
+TranParams
+defaultSaTran()
+{
+    TranParams tp;
+    tp.dt = 20e-12;
+    tp.tstop = 30e-9; // overridden by the builder's schedule
+    return tp;
+}
+
+Netlist
+buildSaTestbench(const SaParams &p, SaSchedule &schedule)
+{
+    Netlist net;
+    const auto &sz = p.sizing;
+
+    // --- Nodes ------------------------------------------------------
+    const NodeId bl = net.addNode("BL");
+    const NodeId blb = net.addNode("BLB");
+    const NodeId blf = net.addNode("BLF"); // far (MAT) end of BL
+    const NodeId cn = net.addNode("CN");   // cell storage node
+    const NodeId san = net.addNode("SAN");
+    const NodeId sap = net.addNode("SAP");
+    const NodeId vpre = net.addNode("VPRE");
+    const NodeId wl = net.addNode("WL");
+    const NodeId peq = net.addNode("PEQ"); // classic PEQ / OCSA PRE
+    const NodeId yi = net.addNode("YI");
+    const NodeId lio = net.addNode("LIO");
+    const NodeId liob = net.addNode("LIOB");
+
+    NodeId sbl = kGround, sblb = kGround, iso = kGround, oc = kGround;
+    const bool ocsa = p.topology == SaTopology::OffsetCancellation;
+    if (ocsa) {
+        sbl = net.addNode("SBL");
+        sblb = net.addNode("SBLB");
+        iso = net.addNode("ISO");
+        oc = net.addNode("OC");
+    }
+
+    // --- Schedule ----------------------------------------------------
+    SaSchedule s;
+    s.tActivate = p.tSettle;
+    if (ocsa) {
+        s.tOcStart = s.tActivate + 3e-10;
+        s.tOcEnd = s.tOcStart + p.tOc;
+        s.tChargeShare = s.tOcEnd + 3e-10; // delayed vs. classic (VI-D)
+        s.tPreSense = s.tChargeShare + p.tShare;
+        s.tLatch = s.tPreSense + p.tPreSense; // restore: ISO closes
+    } else {
+        s.tChargeShare = s.tActivate + 3e-10;
+        s.tLatch = s.tChargeShare + p.tShare;
+    }
+    if (p.columnOp != ColumnOp::None) {
+        // Column access happens once the latch has developed, midway
+        // through the restore window.
+        s.tColStart = s.tLatch + 0.4 * p.tRestore;
+        s.tColEnd = s.tColStart + p.tCol;
+    }
+    s.tRestoreEnd = s.tLatch + p.tRestore +
+        (p.columnOp != ColumnOp::None ? p.tCol : 0.0);
+    s.tPrechargeCmd = s.tRestoreEnd;
+    s.tEnd = s.tPrechargeCmd + p.tPrecharge;
+    schedule = s;
+
+    // --- Passives ----------------------------------------------------
+    const double v_init_bit = p.storeOne ? p.vdd : 0.0;
+    net.addCapacitor("Ccell", cn, kGround, p.cellCapF, v_init_bit);
+    net.addCapacitor("Cbl", bl, kGround, p.blCapF, p.vpre);
+    net.addCapacitor("Cblb", blb, kGround, p.blCapF, p.vpre);
+    net.addCapacitor("Cblf", blf, kGround, 2e-15, p.vpre);
+    net.addCapacitor("Clio", lio, kGround, 5e-15, p.vpre);
+    net.addCapacitor("Cliob", liob, kGround, 5e-15, p.vpre);
+    net.addResistor("Rbl", blf, bl, p.blResOhm);
+    if (ocsa) {
+        net.addCapacitor("Csbl", sbl, kGround, p.senseNodeCapF, p.vpre);
+        net.addCapacitor("Csblb", sblb, kGround, p.senseNodeCapF,
+                         p.vpre);
+    }
+
+    // --- Control sources ----------------------------------------------
+    net.addVSource("Vpre", vpre, kGround, Pwl(p.vpre));
+    Pwl yi_wave(0.0);
+    if (p.columnOp != ColumnOp::None) {
+        yi_wave.step(s.tColStart, p.vpp, kRamp);
+        yi_wave.step(s.tColEnd, 0.0, kRamp);
+    }
+    net.addVSource("Vyi", yi, kGround, std::move(yi_wave));
+
+    if (p.columnOp == ColumnOp::Write) {
+        // Write drivers: low-impedance rails on LIO/LIOB carrying the
+        // new data; they overpower the latch through the column mux.
+        const NodeId wdrv = net.addNode("WDRV");
+        const NodeId wdrvb = net.addNode("WDRVB");
+        Pwl w_wave(p.vpre), wb_wave(p.vpre);
+        const double v1 = p.writeBit ? p.vdd : 0.0;
+        const double v0 = p.writeBit ? 0.0 : p.vdd;
+        w_wave.step(s.tColStart - 5e-10, v1, kRamp);
+        wb_wave.step(s.tColStart - 5e-10, v0, kRamp);
+        net.addVSource("Vwdrv", wdrv, kGround, std::move(w_wave));
+        net.addVSource("Vwdrvb", wdrvb, kGround, std::move(wb_wave));
+        net.addResistor("Rwdrv", wdrv, lio, p.writeDriverOhm);
+        net.addResistor("Rwdrvb", wdrvb, liob, p.writeDriverOhm);
+    }
+
+    // Wordline: boosted level, up at charge share, down at precharge.
+    Pwl wl_wave(0.0);
+    wl_wave.step(s.tChargeShare, p.vpp, kRamp);
+    wl_wave.step(s.tPrechargeCmd, 0.0, kRamp);
+    net.addVSource("Vwl", wl, kGround, std::move(wl_wave));
+
+    // PEQ / PRE: high at idle, low on ACT, high again on PRE command.
+    Pwl peq_wave(p.vpp);
+    peq_wave.step(s.tActivate, 0.0, kRamp);
+    peq_wave.step(s.tPrechargeCmd + 3e-10, p.vpp, kRamp);
+    net.addVSource("Vpeq", peq, kGround, std::move(peq_wave));
+
+    // Latch rails.
+    Pwl san_wave(p.vpre);
+    Pwl sap_wave(p.vpre);
+    if (ocsa) {
+        // nSA participates in the offset-cancel phase.
+        san_wave.step(s.tOcStart, 0.0, kRamp);
+        san_wave.step(s.tOcEnd, p.vpre, kRamp);
+        san_wave.step(s.tPreSense, 0.0, kRamp);
+        sap_wave.step(s.tPreSense, p.vdd, kRamp);
+    } else {
+        san_wave.step(s.tLatch, 0.0, kRamp);
+        sap_wave.step(s.tLatch, p.vdd, kRamp);
+    }
+    san_wave.step(s.tPrechargeCmd + 3e-10, p.vpre, kRamp);
+    sap_wave.step(s.tPrechargeCmd + 3e-10, p.vpre, kRamp);
+    net.addVSource("Vsan", san, kGround, std::move(san_wave));
+    net.addVSource("Vsap", sap, kGround, std::move(sap_wave));
+
+    if (ocsa) {
+        // ISO: on at idle (equalize path), off during OC/sense, on for
+        // restore, on again during precharge.
+        Pwl iso_wave(p.vpp);
+        iso_wave.step(s.tActivate, 0.0, kRamp);
+        iso_wave.step(s.tLatch, p.vpp, kRamp); // restore
+        net.addVSource("Viso", iso, kGround, std::move(iso_wave));
+
+        // OC: on at idle, on during the OC phase, off for sensing,
+        // on again for equalization at precharge.
+        Pwl oc_wave(p.vpp);
+        oc_wave.step(s.tOcEnd, 0.0, kRamp);
+        oc_wave.step(s.tPrechargeCmd + 3e-10, p.vpp, kRamp);
+        net.addVSource("Voc", oc, kGround, std::move(oc_wave));
+    }
+
+    // --- Devices -------------------------------------------------------
+    const MosModel nm = nmosModel();
+    const MosModel pm = pmosModel();
+    const double dv = p.vthMismatch * 0.5;
+
+    // Cell access transistor (BCAT in the MATs).
+    net.addMosfet(makeFet("Macc", nm, blf, wl, cn, 90.0, 45.0));
+
+    // Extra simultaneously-activated cells (multi-row charge sharing,
+    // Section VI-D).
+    for (size_t i = 0; i < p.extraCells.size(); ++i) {
+        const NodeId cni =
+            net.addNode("CN" + std::to_string(i + 2));
+        net.addCapacitor("Ccell" + std::to_string(i + 2), cni,
+                         kGround, p.cellCapF,
+                         p.extraCells[i] ? p.vdd : 0.0);
+        net.addMosfet(makeFet("Macc" + std::to_string(i + 2), nm,
+                              blf, wl, cni, 90.0, 45.0));
+    }
+
+    // Latch.  For OCSA the drains connect to the internal sense nodes;
+    // the gates always connect to the bitlines.
+    const NodeId dl = ocsa ? sbl : bl;
+    const NodeId dr = ocsa ? sblb : blb;
+    net.addMosfet(makeFet("Mn1", nm, dl, blb, san, sz.nsaW, sz.nsaL,
+                          +dv));
+    net.addMosfet(makeFet("Mn2", nm, dr, bl, san, sz.nsaW, sz.nsaL,
+                          -dv));
+    net.addMosfet(makeFet("Mp1", pm, dl, blb, sap, sz.psaW, sz.psaL,
+                          +dv));
+    net.addMosfet(makeFet("Mp2", pm, dr, bl, sap, sz.psaW, sz.psaL,
+                          -dv));
+
+    // Precharge devices (common gate spanning the region, Section V-C).
+    net.addMosfet(makeFet("Mpre1", nm, bl, peq, vpre, sz.preW, sz.preL));
+    net.addMosfet(makeFet("Mpre2", nm, blb, peq, vpre, sz.preW,
+                          sz.preL));
+
+    if (ocsa) {
+        // Isolation: bitline to latch drain.
+        net.addMosfet(makeFet("Miso1", nm, bl, iso, sbl, sz.isoW,
+                              sz.isoL));
+        net.addMosfet(makeFet("Miso2", nm, blb, iso, sblb, sz.isoW,
+                              sz.isoL));
+        // Offset cancellation: cross-couple latch drain to the
+        // opposite bitline (the latch gate side), diode-connecting
+        // each half while OC is high.
+        net.addMosfet(makeFet("Moc1", nm, sbl, oc, blb, sz.ocW,
+                              sz.ocL));
+        net.addMosfet(makeFet("Moc2", nm, sblb, oc, bl, sz.ocW,
+                              sz.ocL));
+    } else {
+        // Standalone equalizer (classic only; OCSAs equalize via
+        // ISO+OC, Section V-A).
+        net.addMosfet(makeFet("Meq", nm, bl, peq, blb, sz.eqW, sz.eqL));
+    }
+
+    // Column mux (first elements after the MAT, Section V-C).
+    net.addMosfet(makeFet("Mcol1", nm, bl, yi, lio, sz.colW, sz.colL));
+    net.addMosfet(makeFet("Mcol2", nm, blb, yi, liob, sz.colW,
+                          sz.colL));
+
+    return net;
+}
+
+SaRun
+simulateActivation(const SaParams &params, const TranParams &tran)
+{
+    SaSchedule schedule;
+    Netlist net = buildSaTestbench(params, schedule);
+
+    TranParams tp = tran;
+    tp.tstop = schedule.tEnd;
+
+    Simulator sim(net);
+    return analyzeActivation(params, schedule, sim.run(tp), tp.dt);
+}
+
+SaRun
+analyzeActivation(const SaParams &params, const SaSchedule &schedule,
+                  TranResult tran, double dt)
+{
+    SaRun run;
+    run.schedule = schedule;
+    run.tran = std::move(tran);
+
+    const Trace &bl = run.tran.trace("BL");
+    const Trace &blb = run.tran.trace("BLB");
+    const Trace &cn = run.tran.trace("CN");
+
+    const double t_probe = (params.topology == SaTopology::Classic)
+        ? run.schedule.tLatch - dt
+        : run.schedule.tPreSense - dt;
+    run.signalBeforeLatch = bl.at(t_probe) - blb.at(t_probe);
+
+    const double t_restore = run.schedule.tRestoreEnd - dt;
+    run.blAtRestore = bl.at(t_restore);
+    run.blbAtRestore = blb.at(t_restore);
+    run.cellAtRestore = cn.at(t_restore);
+
+    const double diff = run.blAtRestore - run.blbAtRestore;
+    const double want = params.storeOne ? 1.0 : -1.0;
+    run.latchedCorrectly = diff * want > 0.5 * params.vdd;
+
+    // Column-operation results.
+    if (schedule.tColEnd > 0.0) {
+        const double t_col = schedule.tColEnd - dt;
+        const double dlio = run.tran.trace("LIO").at(t_col) -
+            run.tran.trace("LIOB").at(t_col);
+        run.readBit = dlio > 0.0 ? 1 : 0;
+        const bool want_one = params.columnOp == ColumnOp::Write
+            ? params.writeBit
+            : params.storeOne;
+        run.writeSucceeded = params.columnOp == ColumnOp::Write &&
+            ((run.cellAtRestore > 0.7 * params.vdd) == want_one ||
+             (run.cellAtRestore < 0.3 * params.vdd) == !want_one);
+    }
+
+    // Sense latency: first time |BL-BLB| exceeds 90% of VDD after ACT.
+    run.tSense = -1.0;
+    for (size_t i = 0; i < bl.times.size(); ++i) {
+        if (bl.times[i] < run.schedule.tActivate)
+            continue;
+        if (std::abs(bl.values[i] - blb.values[i]) >=
+            0.9 * params.vdd) {
+            run.tSense = bl.times[i] - run.schedule.tActivate;
+            break;
+        }
+    }
+    return run;
+}
+
+} // namespace circuit
+} // namespace hifi

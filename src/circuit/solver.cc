@@ -1,0 +1,372 @@
+#include "circuit/solver.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace circuit
+{
+
+const Trace &
+TranResult::trace(const std::string &node) const
+{
+    auto it = traces.find(node);
+    if (it == traces.end())
+        throw std::out_of_range("TranResult::trace: no node " + node);
+    return it->second;
+}
+
+double
+TranResult::sourceEnergy(const std::string &source_name) const
+{
+    const Trace &i = trace("I(" + source_name + ")");
+    // The source's positive node carries its voltage relative to the
+    // negative node; for the testbenches all sources are referenced
+    // to ground, so the positive-node trace is the source voltage.
+    // Find it by matching times with the current trace is not needed:
+    // traces share the time base.
+    auto upper = [](std::string text) {
+        for (auto &ch : text)
+            ch = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(ch)));
+        return text;
+    };
+    const Trace *v = nullptr;
+    // Case-insensitive match of the source name itself ("Vpre" drives
+    // node "VPRE"), then of the name without its leading 'V' ("Vsan"
+    // drives node "SAN").
+    for (const auto &candidate :
+         {upper(source_name), source_name.size() > 1
+              ? upper(source_name.substr(1))
+              : std::string()}) {
+        if (v || candidate.empty())
+            break;
+        for (const auto &[name, tr] : traces) {
+            if (upper(name) == candidate) {
+                v = &tr;
+                break;
+            }
+        }
+    }
+    if (!v)
+        throw std::out_of_range(
+            "sourceEnergy: cannot locate the voltage trace for " +
+            source_name);
+
+    double energy = 0.0;
+    for (size_t k = 1; k < i.times.size(); ++k) {
+        const double dt = i.times[k] - i.times[k - 1];
+        const double p0 = v->values[k - 1] * i.values[k - 1];
+        const double p1 = v->values[k] * i.values[k];
+        energy += 0.5 * (p0 + p1) * dt;
+    }
+    return energy;
+}
+
+std::vector<double>
+solveDense(std::vector<std::vector<double>> &a, std::vector<double> &b)
+{
+    const size_t n = a.size();
+    if (n == 0 || b.size() != n)
+        throw std::invalid_argument("solveDense: bad dimensions");
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        double best = std::abs(a[col][col]);
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row][col]) > best) {
+                best = std::abs(a[row][col]);
+                pivot = row;
+            }
+        }
+        if (best < 1e-18)
+            throw std::runtime_error("solveDense: singular matrix");
+        if (pivot != col) {
+            std::swap(a[pivot], a[col]);
+            std::swap(b[pivot], b[col]);
+        }
+        // Eliminate below.
+        for (size_t row = col + 1; row < n; ++row) {
+            const double f = a[row][col] / a[col][col];
+            if (f == 0.0)
+                continue;
+            for (size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (size_t k = i + 1; k < n; ++k)
+            sum -= a[i][k] * x[k];
+        x[i] = sum / a[i][i];
+    }
+    return x;
+}
+
+MosEval
+evalMosfet(const Mosfet &m, double vd, double vg, double vs)
+{
+    const double sign = (m.model.type == MosType::Nmos) ? 1.0 : -1.0;
+
+    // Map to an NMOS-equivalent frame (negate voltages for PMOS).
+    double eq_d = sign * vd;
+    double eq_g = sign * vg;
+    double eq_s = sign * vs;
+
+    // The device is symmetric: operate on (high, low) terminals.
+    const bool swapped = eq_d < eq_s;
+    if (swapped)
+        std::swap(eq_d, eq_s);
+
+    const double vgs = eq_g - eq_s;
+    const double vds = eq_d - eq_s;
+    const double vth = m.model.vth + m.vthDelta;
+    const double beta = m.model.kp * m.wOverL();
+    const double vov = vgs - vth;
+
+    double id = 0.0, gm = 0.0, gds = 0.0;
+    if (vov <= 0.0) {
+        // Cutoff: tiny output conductance keeps the Jacobian regular.
+        gds = 1e-12;
+        id = gds * vds;
+    } else if (vds < vov) {
+        // Linear (triode) region.
+        id = beta * (vov * vds - 0.5 * vds * vds);
+        gm = beta * vds;
+        gds = beta * (vov - vds);
+    } else {
+        // Saturation with channel-length modulation.
+        const double lam = m.model.lambda;
+        id = 0.5 * beta * vov * vov * (1.0 + lam * vds);
+        gm = beta * vov * (1.0 + lam * vds);
+        gds = 0.5 * beta * vov * vov * lam;
+    }
+
+    // Map back: current into the *actual* drain terminal.
+    const double s = swapped ? -1.0 : 1.0;
+    MosEval ev;
+    ev.id = sign * s * id;
+    // d(eq voltage)/d(actual voltage) = sign, and I_D = sign*s*id, so
+    // the sign factors cancel into s alone.
+    // Under a swap the actual drain is the low terminal of the channel,
+    // whose partial is -(gm + gds); the sign factors from the PMOS
+    // voltage negation cancel, leaving only the swap factor s.
+    ev.dIdVd = s * (swapped ? -(gm + gds) : gds);
+    ev.dIdVg = s * gm;
+    ev.dIdVs = s * (swapped ? gds : -(gm + gds));
+    return ev;
+}
+
+Simulator::Simulator(const Netlist &netlist) : netlist_(netlist) {}
+
+TranResult
+Simulator::run(const TranParams &params) const
+{
+    const size_t num_nodes = netlist_.numNodes(); // includes ground
+    const size_t nv = num_nodes - 1;              // unknown voltages
+    const size_t ns = netlist_.vsources().size(); // branch currents
+    const size_t dim = nv + ns;
+    if (dim == 0)
+        throw std::invalid_argument("Simulator: empty netlist");
+
+    auto row_of = [&](NodeId n) -> long {
+        return n == kGround ? -1 : static_cast<long>(n - 1);
+    };
+
+    // State.
+    std::vector<double> v(num_nodes, 0.0); // node voltages (gnd = 0)
+    std::vector<double> cap_prev;          // capacitor voltages at t-h
+    std::vector<double> cap_iprev;         // capacitor currents at t-h
+    cap_prev.reserve(netlist_.capacitors().size());
+    cap_iprev.assign(netlist_.capacitors().size(), 0.0);
+    for (const auto &c : netlist_.capacitors())
+        cap_prev.push_back(c.initialVolts);
+    const bool trap =
+        params.integrator == Integrator::Trapezoidal;
+
+    TranResult result;
+    for (size_t n = 1; n < num_nodes; ++n) {
+        Trace t;
+        t.name = netlist_.nodeName(static_cast<NodeId>(n));
+        result.traces.emplace(t.name, std::move(t));
+    }
+    for (const auto &src : netlist_.vsources()) {
+        Trace t;
+        t.name = "I(" + src.name + ")";
+        result.traces.emplace(t.name, std::move(t));
+    }
+    std::vector<double> branch_currents(ns, 0.0);
+
+    const size_t steps =
+        static_cast<size_t>(std::ceil(params.tstop / params.dt));
+
+    std::vector<std::vector<double>> a(dim, std::vector<double>(dim));
+    std::vector<double> rhs(dim);
+
+    for (size_t step = 0; step <= steps; ++step) {
+        const double t = static_cast<double>(step) * params.dt;
+        const double geq_scale = (step == 0) ? 1e3 : 1.0;
+
+        bool converged = false;
+        for (int it = 0; it < params.maxNewton; ++it) {
+            ++result.totalNewtonIterations;
+            for (auto &rowvec : a)
+                std::fill(rowvec.begin(), rowvec.end(), 0.0);
+            std::fill(rhs.begin(), rhs.end(), 0.0);
+
+            // gmin to ground on every node.
+            for (size_t n = 0; n < nv; ++n)
+                a[n][n] += params.gmin;
+
+            // Resistors.
+            for (const auto &r : netlist_.resistors()) {
+                const double g = 1.0 / r.ohms;
+                const long ra = row_of(r.a), rb = row_of(r.b);
+                if (ra >= 0)
+                    a[ra][ra] += g;
+                if (rb >= 0)
+                    a[rb][rb] += g;
+                if (ra >= 0 && rb >= 0) {
+                    a[ra][rb] -= g;
+                    a[rb][ra] -= g;
+                }
+            }
+
+            // Capacitors: backward-Euler or trapezoidal companion.
+            // At step 0 the companion conductance is scaled up to pin
+            // the initial condition (equivalent to a tiny pre-step).
+            for (size_t ci = 0; ci < netlist_.capacitors().size();
+                 ++ci) {
+                const auto &c = netlist_.capacitors()[ci];
+                const double k = trap ? 2.0 : 1.0;
+                const double geq =
+                    geq_scale * k * c.farads / params.dt;
+                const double ieq = geq * cap_prev[ci] +
+                    (trap && step > 0 ? cap_iprev[ci] : 0.0);
+                const long ra = row_of(c.a), rb = row_of(c.b);
+                if (ra >= 0) {
+                    a[ra][ra] += geq;
+                    rhs[ra] += ieq;
+                }
+                if (rb >= 0) {
+                    a[rb][rb] += geq;
+                    rhs[rb] -= ieq;
+                }
+                if (ra >= 0 && rb >= 0) {
+                    a[ra][rb] -= geq;
+                    a[rb][ra] -= geq;
+                }
+            }
+
+            // MOSFETs: linearize around the current iterate.
+            for (const auto &m : netlist_.mosfets()) {
+                const double vd = v[static_cast<size_t>(m.drain)];
+                const double vg = v[static_cast<size_t>(m.gate)];
+                const double vs = v[static_cast<size_t>(m.source)];
+                const MosEval ev = evalMosfet(m, vd, vg, vs);
+                const long rd = row_of(m.drain);
+                const long rg = row_of(m.gate);
+                const long rs = row_of(m.source);
+
+                // Residual current with the Jacobian offset folded in:
+                // I(v) ~ I0 + J (v - v0)  =>  rhs -= I0 - J v0.
+                const double i0 = ev.id - ev.dIdVd * vd -
+                    ev.dIdVg * vg - ev.dIdVs * vs;
+                auto stamp_row = [&](long row, double dir) {
+                    if (row < 0)
+                        return;
+                    if (rd >= 0)
+                        a[row][rd] += dir * ev.dIdVd;
+                    if (rg >= 0)
+                        a[row][rg] += dir * ev.dIdVg;
+                    if (rs >= 0)
+                        a[row][rs] += dir * ev.dIdVs;
+                    rhs[row] -= dir * i0;
+                };
+                stamp_row(rd, +1.0); // current leaves node into drain
+                stamp_row(rs, -1.0); // and returns out of the source
+            }
+
+            // Voltage sources: branch-current rows.
+            for (size_t si = 0; si < netlist_.vsources().size(); ++si) {
+                const auto &src = netlist_.vsources()[si];
+                const size_t brow = nv + si;
+                const long rp = row_of(src.pos), rn = row_of(src.neg);
+                if (rp >= 0) {
+                    a[rp][brow] += 1.0;
+                    a[brow][rp] += 1.0;
+                }
+                if (rn >= 0) {
+                    a[rn][brow] -= 1.0;
+                    a[brow][rn] -= 1.0;
+                }
+                rhs[brow] += src.waveform.value(t);
+            }
+
+            auto a_copy = a;
+            auto rhs_copy = rhs;
+            const std::vector<double> x = solveDense(a_copy, rhs_copy);
+
+            // Branch currents of the voltage sources.  The MNA branch
+            // variable is the current flowing from + through the
+            // source to -, i.e. INTO the positive node; the delivered
+            // current is its negation.
+            for (size_t si = 0; si < ns; ++si)
+                branch_currents[si] = -x[nv + si];
+
+            // Damped update and convergence check.
+            double max_delta = 0.0;
+            for (size_t n = 0; n < nv; ++n) {
+                double delta = x[n] - v[n + 1];
+                max_delta = std::max(max_delta, std::abs(delta));
+                delta = std::clamp(delta, -params.maxStepVolts,
+                                   params.maxStepVolts);
+                v[n + 1] += delta;
+            }
+            if (max_delta < params.tolVolts) {
+                converged = true;
+                break;
+            }
+        }
+        if (!converged)
+            ++result.nonConvergedSteps;
+
+        // Accept the step: update capacitor memory and record traces.
+        for (size_t ci = 0; ci < netlist_.capacitors().size(); ++ci) {
+            const auto &c = netlist_.capacitors()[ci];
+            const double v_now = v[static_cast<size_t>(c.a)] -
+                v[static_cast<size_t>(c.b)];
+            if (trap) {
+                // i = geq (v_now - v_prev) - i_prev (trapezoidal).
+                const double geq =
+                    geq_scale * 2.0 * c.farads / params.dt;
+                const double i_prev = step > 0 ? cap_iprev[ci] : 0.0;
+                cap_iprev[ci] = geq * (v_now - cap_prev[ci]) - i_prev;
+            }
+            cap_prev[ci] = v_now;
+        }
+        for (size_t n = 1; n < num_nodes; ++n) {
+            auto &tr = result.traces.at(
+                netlist_.nodeName(static_cast<NodeId>(n)));
+            tr.times.push_back(t);
+            tr.values.push_back(v[n]);
+        }
+        for (size_t si = 0; si < ns; ++si) {
+            auto &tr = result.traces.at(
+                "I(" + netlist_.vsources()[si].name + ")");
+            tr.times.push_back(t);
+            tr.values.push_back(branch_currents[si]);
+        }
+    }
+    return result;
+}
+
+} // namespace circuit
+} // namespace hifi

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Transient analog solver: Modified Nodal Analysis with backward-Euler
+ * integration and Newton-Raphson iteration per timestep.
+ *
+ * Sized for sense-amplifier testbenches (tens of nodes), it uses a dense
+ * Gaussian-elimination solve.  MOSFETs are linearized analytically each
+ * Newton iteration; capacitors use backward-Euler companion models.
+ */
+
+#ifndef HIFI_CIRCUIT_SOLVER_HH
+#define HIFI_CIRCUIT_SOLVER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "circuit/waveform.hh"
+
+namespace hifi
+{
+namespace circuit
+{
+
+/// Integration method for the transient solver.
+enum class Integrator
+{
+    BackwardEuler, ///< robust, first order (default)
+    Trapezoidal,   ///< second order, less numerical damping
+};
+
+/** Transient analysis parameters. */
+struct TranParams
+{
+    /// Simulation end time (s).
+    double tstop = 20e-9;
+
+    /// Fixed timestep (s).
+    double dt = 10e-12;
+
+    Integrator integrator = Integrator::BackwardEuler;
+
+    /// Conductance from every node to ground, for convergence.
+    double gmin = 1e-9;
+
+    /// Newton iteration limit per step.
+    int maxNewton = 200;
+
+    /// Newton convergence tolerance on node voltages (V).
+    double tolVolts = 1e-6;
+
+    /// Per-iteration voltage-update clamp (V), damps oscillation.
+    double maxStepVolts = 0.3;
+};
+
+/**
+ * Result of a transient run: one trace per non-ground node, plus one
+ * per voltage source carrying its branch current (named "I(<name>)",
+ * positive flowing out of the positive terminal into the circuit).
+ */
+struct TranResult
+{
+    std::map<std::string, Trace> traces;
+
+    const Trace &trace(const std::string &node) const;
+
+    /**
+     * Energy delivered by a source over the run (J): the integral of
+     * v(t) * i(t) dt using the recorded branch current.
+     */
+    double sourceEnergy(const std::string &source_name) const;
+
+    /// Number of Newton iterations summed over all timesteps.
+    size_t totalNewtonIterations = 0;
+
+    /// Steps on which Newton failed to converge within the limit.
+    size_t nonConvergedSteps = 0;
+};
+
+/**
+ * Dense linear solve A x = b with partial pivoting.  A is modified.
+ * Throws std::runtime_error on a singular matrix.
+ */
+std::vector<double> solveDense(std::vector<std::vector<double>> &a,
+                               std::vector<double> &b);
+
+/** Transient simulator over a fixed netlist. */
+class Simulator
+{
+  public:
+    explicit Simulator(const Netlist &netlist);
+
+    /// Run a transient analysis and record every node voltage.
+    TranResult run(const TranParams &params) const;
+
+  private:
+    const Netlist &netlist_;
+};
+
+/**
+ * Evaluate a level-1 MOSFET: drain current and its partial derivatives
+ * with respect to the terminal voltages (vd, vg, vs).
+ *
+ * Sign convention: `id` is the current flowing from the drain terminal
+ * into the device (negative for a conducting PMOS).
+ */
+struct MosEval
+{
+    double id;
+    double dIdVd;
+    double dIdVg;
+    double dIdVs;
+};
+
+MosEval evalMosfet(const Mosfet &m, double vd, double vg, double vs);
+
+} // namespace circuit
+} // namespace hifi
+
+#endif // HIFI_CIRCUIT_SOLVER_HH

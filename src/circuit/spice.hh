@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SPICE netlist export.
+ *
+ * The paper open-sources its reverse-engineered circuits; this writer
+ * turns any hifi::circuit::Netlist - in particular the SA testbenches
+ * rebuilt from reverse-engineered measurements - into a standard
+ * SPICE deck (.MODEL level-1 cards, M/R/C/V elements, PWL sources)
+ * that ngspice-compatible simulators accept.
+ */
+
+#ifndef HIFI_CIRCUIT_SPICE_HH
+#define HIFI_CIRCUIT_SPICE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hh"
+#include "circuit/sense_amp.hh"
+
+namespace hifi
+{
+namespace circuit
+{
+
+/**
+ * Write the netlist as a SPICE deck.  Waveform sources become PWL
+ * sources sampled at their breakpoints (approximated with `samples`
+ * points over [0, tstop]).
+ */
+void writeSpice(std::ostream &os, const Netlist &netlist,
+                const std::string &title, double tstop_s,
+                size_t samples = 200);
+
+/// Convenience: build the SA testbench for `params` and export it.
+void writeSaSpiceFile(const std::string &path, const SaParams &params);
+
+} // namespace circuit
+} // namespace hifi
+
+#endif // HIFI_CIRCUIT_SPICE_HH

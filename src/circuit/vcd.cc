@@ -1,0 +1,82 @@
+#include "circuit/vcd.hh"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace hifi
+{
+namespace circuit
+{
+
+void
+writeVcd(std::ostream &os, const TranResult &result,
+         const std::string &module_name)
+{
+    if (result.traces.empty())
+        throw std::invalid_argument("writeVcd: no traces");
+
+    // Header.
+    os << "$timescale 1ps $end\n";
+    os << "$scope module " << module_name << " $end\n";
+
+    // Identifier codes: printable ASCII starting at '!'.
+    std::vector<const Trace *> traces;
+    std::vector<std::string> ids;
+    {
+        int code = 33; // '!'
+        for (const auto &[name, trace] : result.traces) {
+            traces.push_back(&trace);
+            std::string id;
+            int c = code++;
+            while (true) {
+                id.push_back(static_cast<char>('!' + (c - 33) % 94));
+                c = (c - 33) / 94 + 33;
+                if (c == 33)
+                    break;
+            }
+            ids.push_back(id);
+            os << "$var real 64 " << id << " " << name << " $end\n";
+        }
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Value changes.
+    const auto &t0 = *traces.front();
+    std::vector<double> last(traces.size(),
+                             std::numeric_limits<double>::quiet_NaN());
+    for (size_t i = 0; i < t0.times.size(); ++i) {
+        bool stamped = false;
+        for (size_t k = 0; k < traces.size(); ++k) {
+            const double v = traces[k]->values[i];
+            if (!std::isnan(last[k]) &&
+                std::abs(v - last[k]) < 1e-6) {
+                continue;
+            }
+            if (!stamped) {
+                os << "#"
+                   << static_cast<long long>(
+                          std::llround(t0.times[i] * 1e12))
+                   << "\n";
+                stamped = true;
+            }
+            os << "r" << v << " " << ids[k] << "\n";
+            last[k] = v;
+        }
+    }
+}
+
+void
+writeVcdFile(const std::string &path, const TranResult &result,
+             const std::string &module_name)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("writeVcdFile: cannot open " + path);
+    writeVcd(os, result, module_name);
+}
+
+} // namespace circuit
+} // namespace hifi

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * VCD (value change dump) export of transient results, so the SA
+ * waveforms can be inspected in GTKWave or any other digital/analog
+ * waveform viewer.  Node voltages are emitted as IEEE-1364 `real`
+ * variables.
+ */
+
+#ifndef HIFI_CIRCUIT_VCD_HH
+#define HIFI_CIRCUIT_VCD_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/solver.hh"
+
+namespace hifi
+{
+namespace circuit
+{
+
+/**
+ * Write the traces of a transient run as a VCD file with a 1 ps
+ * timescale.  Only changed values are emitted per timestep.
+ */
+void writeVcd(std::ostream &os, const TranResult &result,
+              const std::string &module_name = "hifi_sa");
+
+/// Convenience: write to a path; throws std::runtime_error.
+void writeVcdFile(const std::string &path, const TranResult &result,
+                  const std::string &module_name = "hifi_sa");
+
+} // namespace circuit
+} // namespace hifi
+
+#endif // HIFI_CIRCUIT_VCD_HH

@@ -1,0 +1,108 @@
+#include "circuit/waveform.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace circuit
+{
+
+Pwl::Pwl(double value)
+{
+    points_.emplace_back(0.0, value);
+}
+
+Pwl &
+Pwl::point(double time, double value)
+{
+    if (!points_.empty() && time < points_.back().first)
+        throw std::invalid_argument("Pwl: non-monotonic time");
+    points_.emplace_back(time, value);
+    return *this;
+}
+
+Pwl &
+Pwl::step(double time, double value, double ramp)
+{
+    const double prev = points_.empty() ? 0.0 : points_.back().second;
+    point(time, prev);
+    point(time + ramp, value);
+    return *this;
+}
+
+double
+Pwl::value(double time) const
+{
+    if (points_.empty())
+        return 0.0;
+    if (time <= points_.front().first)
+        return points_.front().second;
+    if (time >= points_.back().first)
+        return points_.back().second;
+    // Find the first breakpoint after `time`.
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), time,
+        [](double t, const std::pair<double, double> &p) {
+            return t < p.first;
+        });
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    if (hi.first == lo.first)
+        return hi.second;
+    const double f = (time - lo.first) / (hi.first - lo.first);
+    return lo.second + f * (hi.second - lo.second);
+}
+
+double
+Trace::at(double time) const
+{
+    if (times.empty())
+        return 0.0;
+    auto it = std::upper_bound(times.begin(), times.end(), time);
+    if (it == times.begin())
+        return values.front();
+    const size_t idx = static_cast<size_t>(it - times.begin()) - 1;
+    return values[idx];
+}
+
+double
+Trace::final() const
+{
+    return values.empty() ? 0.0 : values.back();
+}
+
+double
+Trace::firstCrossUp(double level) const
+{
+    for (size_t i = 1; i < values.size(); ++i)
+        if (values[i - 1] < level && values[i] >= level)
+            return times[i];
+    return -1.0;
+}
+
+double
+Trace::firstCrossDown(double level) const
+{
+    for (size_t i = 1; i < values.size(); ++i)
+        if (values[i - 1] > level && values[i] <= level)
+            return times[i];
+    return -1.0;
+}
+
+double
+Trace::minValue() const
+{
+    return values.empty() ? 0.0 :
+        *std::min_element(values.begin(), values.end());
+}
+
+double
+Trace::maxValue() const
+{
+    return values.empty() ? 0.0 :
+        *std::max_element(values.begin(), values.end());
+}
+
+} // namespace circuit
+} // namespace hifi

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Control waveforms and simulation traces for the analog SA simulator.
+ */
+
+#ifndef HIFI_CIRCUIT_WAVEFORM_HH
+#define HIFI_CIRCUIT_WAVEFORM_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hifi
+{
+namespace circuit
+{
+
+/**
+ * Piecewise-linear waveform: (time, value) breakpoints, linear between
+ * them, held flat before the first and after the last point.
+ *
+ * Used to drive control lines (WL, PEQ, ISO, OC, SAN/SAP...) following
+ * the event sequences of Fig. 2c and Fig. 9b.
+ */
+class Pwl
+{
+  public:
+    Pwl() = default;
+
+    /// Constant waveform.
+    explicit Pwl(double value);
+
+    /// Append a breakpoint; times must be non-decreasing.
+    Pwl &point(double time, double value);
+
+    /// Append a "hold then ramp": keeps the previous value until
+    /// `time`, then ramps to `value` over `ramp` seconds.
+    Pwl &step(double time, double value, double ramp = 1e-10);
+
+    double value(double time) const;
+
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/** Recorded voltage trace of one circuit node. */
+struct Trace
+{
+    std::string name;
+    std::vector<double> times;
+    std::vector<double> values;
+
+    /// Value at (closest sample before) `time`.
+    double at(double time) const;
+
+    /// Last recorded value.
+    double final() const;
+
+    /// First time the trace crosses `level` going up (or -1 if never).
+    double firstCrossUp(double level) const;
+
+    /// First time the trace crosses `level` going down (or -1 if never).
+    double firstCrossDown(double level) const;
+
+    /// Minimum / maximum over the whole trace.
+    double minValue() const;
+    double maxValue() const;
+};
+
+} // namespace circuit
+} // namespace hifi
+
+#endif // HIFI_CIRCUIT_WAVEFORM_HH

@@ -1,0 +1,41 @@
+#include "common/csv.hh"
+
+#include <stdexcept>
+
+namespace hifi
+{
+namespace common
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &columns)
+    : out_(path), columns_(columns.size())
+{
+    if (!out_)
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    if (columns.empty())
+        throw std::invalid_argument("CsvWriter: no columns");
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out_ << ",";
+        out_ << columns[i];
+    }
+    out_ << "\n";
+}
+
+void
+CsvWriter::addRow(const std::vector<double> &values)
+{
+    if (values.size() != columns_)
+        throw std::invalid_argument("CsvWriter: row width mismatch");
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out_ << ",";
+        out_ << values[i];
+    }
+    out_ << "\n";
+    ++rows_;
+}
+
+} // namespace common
+} // namespace hifi

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tiny CSV writer, used by the examples to dump waveforms and sweep
+ * results for external plotting.
+ */
+
+#ifndef HIFI_COMMON_CSV_HH
+#define HIFI_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace common
+{
+
+/** Streams rows of doubles (plus a header) to a CSV file. */
+class CsvWriter
+{
+  public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &columns);
+
+    void addRow(const std::vector<double> &values);
+
+    size_t rows() const { return rows_; }
+
+  private:
+    std::ofstream out_;
+    size_t columns_;
+    size_t rows_ = 0;
+};
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_CSV_HH

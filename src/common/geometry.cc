@@ -1,0 +1,24 @@
+#include "common/geometry.hh"
+
+namespace hifi
+{
+namespace common
+{
+
+std::ostream &
+operator<<(std::ostream &os, const Rect &r)
+{
+    os << "Rect(" << r.x0 << ", " << r.y0 << ", " << r.x1 << ", "
+       << r.y1 << ")";
+    return os;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Vec2 &v)
+{
+    os << "(" << v.x << ", " << v.y << ")";
+    return os;
+}
+
+} // namespace common
+} // namespace hifi

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Minimal 2-D/3-D geometry primitives used by the layout, fab, imaging
+ * and reverse-engineering modules.
+ *
+ * Coordinate convention (matches Fig. 10 of the paper): X runs along the
+ * bitline direction (the "height" of the SA region), Y runs along the MAT
+ * edge (the direction common-gate strips span), Z is the out-of-plane IC
+ * stacking direction (layers).
+ */
+
+#ifndef HIFI_COMMON_GEOMETRY_HH
+#define HIFI_COMMON_GEOMETRY_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace hifi
+{
+namespace common
+{
+
+/** 2-D vector with double components (nanometers). */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2() = default;
+    Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double k) const { return {x * k, y * k}; }
+    bool operator==(const Vec2 &o) const { return x == o.x && y == o.y; }
+
+    double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+/** 3-D integer index (voxel coordinates). */
+struct Vec3i
+{
+    int x = 0;
+    int y = 0;
+    int z = 0;
+
+    Vec3i() = default;
+    Vec3i(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+    bool operator==(const Vec3i &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+};
+
+/**
+ * Axis-aligned rectangle in the XY plane, in nanometers.
+ *
+ * Stored as [x0, x1) x [y0, y1).  An empty rectangle has x1 <= x0 or
+ * y1 <= y0.
+ */
+struct Rect
+{
+    double x0 = 0.0;
+    double y0 = 0.0;
+    double x1 = 0.0;
+    double y1 = 0.0;
+
+    Rect() = default;
+    Rect(double x0_, double y0_, double x1_, double y1_)
+        : x0(x0_), y0(y0_), x1(x1_), y1(y1_)
+    {}
+
+    /// Construct from an origin and a size.
+    static Rect
+    fromSize(double x, double y, double w, double h)
+    {
+        return Rect(x, y, x + w, y + h);
+    }
+
+    double width() const { return x1 - x0; }
+    double height() const { return y1 - y0; }
+    double area() const { return empty() ? 0.0 : width() * height(); }
+    bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+    Vec2 center() const { return {(x0 + x1) * 0.5, (y0 + y1) * 0.5}; }
+
+    bool
+    contains(const Vec2 &p) const
+    {
+        return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+    }
+
+    bool
+    overlaps(const Rect &o) const
+    {
+        return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+    }
+
+    /// Intersection; empty Rect if disjoint.
+    Rect
+    intersect(const Rect &o) const
+    {
+        Rect r(std::max(x0, o.x0), std::max(y0, o.y0),
+               std::min(x1, o.x1), std::min(y1, o.y1));
+        if (r.empty())
+            return Rect();
+        return r;
+    }
+
+    /// Smallest rectangle covering both.
+    Rect
+    unite(const Rect &o) const
+    {
+        if (empty())
+            return o;
+        if (o.empty())
+            return *this;
+        return Rect(std::min(x0, o.x0), std::min(y0, o.y0),
+                    std::max(x1, o.x1), std::max(y1, o.y1));
+    }
+
+    /// Rectangle grown by `margin` on every side (may be negative).
+    Rect
+    inflate(double margin) const
+    {
+        return Rect(x0 - margin, y0 - margin, x1 + margin, y1 + margin);
+    }
+
+    /// Rectangle translated by (dx, dy).
+    Rect
+    translate(double dx, double dy) const
+    {
+        return Rect(x0 + dx, y0 + dy, x1 + dx, y1 + dy);
+    }
+
+    /**
+     * Minimum gap between this rectangle and another along the axes.
+     * Returns 0 when the rectangles overlap or touch.
+     */
+    double
+    gapTo(const Rect &o) const
+    {
+        double dx = std::max({o.x0 - x1, x0 - o.x1, 0.0});
+        double dy = std::max({o.y0 - y1, y0 - o.y1, 0.0});
+        return std::hypot(dx, dy);
+    }
+
+    bool
+    operator==(const Rect &o) const
+    {
+        return x0 == o.x0 && y0 == o.y0 && x1 == o.x1 && y1 == o.y1;
+    }
+};
+
+std::ostream &operator<<(std::ostream &os, const Rect &r);
+std::ostream &operator<<(std::ostream &os, const Vec2 &v);
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_GEOMETRY_HH

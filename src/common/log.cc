@@ -1,0 +1,53 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace hifi
+{
+namespace common
+{
+
+namespace
+{
+
+std::atomic<LogLevel> g_level{LogLevel::Silent};
+std::atomic<size_t> g_warns{0};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level);
+}
+
+void
+inform(const std::string &message)
+{
+    if (logLevel() >= LogLevel::Inform)
+        std::cerr << "info: " << message << "\n";
+}
+
+void
+warn(const std::string &message)
+{
+    ++g_warns;
+    if (logLevel() >= LogLevel::Warn)
+        std::cerr << "warn: " << message << "\n";
+}
+
+size_t
+warnCount()
+{
+    return g_warns.load();
+}
+
+} // namespace common
+} // namespace hifi

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal logging with gem5-style levels: inform() for normal status,
+ * warn() for suspicious-but-survivable conditions.  Off by default so
+ * library output stays clean; benches and examples can raise the
+ * verbosity.
+ */
+
+#ifndef HIFI_COMMON_LOG_HH
+#define HIFI_COMMON_LOG_HH
+
+#include <string>
+
+namespace hifi
+{
+namespace common
+{
+
+/// Logging verbosity, in increasing chattiness.
+enum class LogLevel
+{
+    Silent = 0,
+    Warn,
+    Inform,
+};
+
+/// Global verbosity (default Silent).
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Status message, printed at Inform and above.
+void inform(const std::string &message);
+
+/// Suspicious condition, printed at Warn and above.
+void warn(const std::string &message);
+
+/// Count of warnings emitted since start (even when silenced).
+size_t warnCount();
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_LOG_HH

@@ -1,0 +1,129 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace hifi
+{
+namespace common
+{
+
+namespace
+{
+
+/// SplitMix64 step, used to expand the seed into the xoshiro state.
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    if (n == 0)
+        return 0;
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double k = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * k;
+    hasSpare_ = true;
+    return u * k;
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean > 50.0) {
+        // Gaussian approximation; accurate to well below SEM shot noise.
+        double v = gaussian(mean, std::sqrt(mean));
+        return v < 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+    }
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= uniform();
+    } while (p > limit);
+    return k - 1;
+}
+
+} // namespace common
+} // namespace hifi

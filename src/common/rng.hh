@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * HiFi-DRAM needs reproducible noise for the microscope simulator and for
+ * Monte-Carlo mismatch analysis.  We use the xoshiro256++ generator with a
+ * SplitMix64 seeder: fast, tiny state, well-tested statistical quality.
+ */
+
+#ifndef HIFI_COMMON_RNG_HH
+#define HIFI_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hifi
+{
+namespace common
+{
+
+/** xoshiro256++ PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /// Seed deterministically; the same seed yields the same stream.
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Next raw 64-bit value.
+    uint64_t next();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n).
+    uint64_t below(uint64_t n);
+
+    /// Standard normal via Box-Muller (cached second value).
+    double gaussian();
+
+    /// Normal with given mean and standard deviation.
+    double gaussian(double mean, double sigma);
+
+    /**
+     * Poisson-distributed count with given mean.
+     *
+     * Uses Knuth's product method for small means and a gaussian
+     * approximation for large means (> 50), which is the regime SEM
+     * electron counts live in.
+     */
+    uint64_t poisson(double mean);
+
+  private:
+    uint64_t state_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_RNG_HH

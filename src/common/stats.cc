@@ -1,0 +1,125 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace common
+{
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator &o)
+{
+    if (o.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = o;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += o.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ += o.n_;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        throw std::invalid_argument("Histogram: bad range or bin count");
+}
+
+void
+Histogram::add(double x)
+{
+    if (x < lo_ || x >= hi_)
+        return;
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<size_t>(frac * static_cast<double>(bins()));
+    if (bin >= bins())
+        bin = bins() - 1;
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binLow(size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+        static_cast<double>(bins());
+}
+
+double
+Histogram::binHigh(size_t bin) const
+{
+    return binLow(bin + 1);
+}
+
+size_t
+Histogram::modeBin() const
+{
+    return static_cast<size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    const size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    double hi = values[mid];
+    if (values.size() % 2 == 1)
+        return hi;
+    double lo = *std::max_element(values.begin(), values.begin() + mid);
+    return 0.5 * (lo + hi);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace common
+} // namespace hifi

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Streaming statistics accumulators and simple histograms.
+ *
+ * Used by the measurement module (835 size measurements in the paper) and
+ * by the evaluation module to aggregate inaccuracies across chips.
+ */
+
+#ifndef HIFI_COMMON_STATS_HH
+#define HIFI_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace hifi
+{
+namespace common
+{
+
+/** Welford-style streaming accumulator: mean/variance/min/max. */
+class Accumulator
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /// Population variance (n in the denominator).
+    double variance() const;
+    double stddev() const;
+
+    /// Merge another accumulator into this one.
+    void merge(const Accumulator &o);
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-range histogram with uniform bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    size_t bins() const { return counts_.size(); }
+    size_t count(size_t bin) const { return counts_.at(bin); }
+    size_t total() const { return total_; }
+    double binLow(size_t bin) const;
+    double binHigh(size_t bin) const;
+
+    /// Index of the most populated bin.
+    size_t modeBin() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t total_ = 0;
+};
+
+/// Median of a copy of the values (empty -> 0).
+double median(std::vector<double> values);
+
+/// Arithmetic mean (empty -> 0).
+double mean(const std::vector<double> &values);
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_STATS_HH

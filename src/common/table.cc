@@ -1,0 +1,95 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace common
+{
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    if (header_.empty())
+        throw std::invalid_argument("Table: empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("Table: row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_sep = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end() && r != 0) {
+            print_sep();
+        }
+        print_row(rows_[r]);
+    }
+    print_sep();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+Table::times(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v << "x";
+    return ss.str();
+}
+
+std::string
+Table::percent(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+    return ss.str();
+}
+
+} // namespace common
+} // namespace hifi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to regenerate
+ * the paper's tables and figure series in a readable, diffable format.
+ */
+
+#ifndef HIFI_COMMON_TABLE_HH
+#define HIFI_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace common
+{
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"ID", "Vendor", "Size"});
+ *   t.addRow({"A4", "A (DDR4)", "34 mm2"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /// Insert a horizontal separator after the last added row.
+    void addSeparator();
+
+    size_t rows() const { return rows_.size(); }
+
+    void print(std::ostream &os) const;
+
+    /// Format a double with fixed precision.
+    static std::string num(double v, int precision = 2);
+
+    /// Format a multiplier like "175x" or "-0.25x".
+    static std::string times(double v, int precision = 2);
+
+    /// Format a percentage like "236%".
+    static std::string percent(double v, int precision = 0);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_;
+};
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_TABLE_HH

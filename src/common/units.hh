@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Physical units used throughout HiFi-DRAM.
+ *
+ * All geometric quantities are stored in nanometers (double), areas in
+ * square nanometers, time in seconds, voltages in volts, capacitance in
+ * farads, and currents in amperes.  The constants below make intent
+ * explicit at construction sites, e.g. `3.4 * units::um`.
+ */
+
+#ifndef HIFI_COMMON_UNITS_HH
+#define HIFI_COMMON_UNITS_HH
+
+namespace hifi
+{
+namespace units
+{
+
+/// Length. Base unit: nanometer.
+constexpr double nm = 1.0;
+constexpr double um = 1e3 * nm;
+constexpr double mm = 1e6 * nm;
+
+/// Area. Base unit: square nanometer.
+constexpr double nm2 = nm * nm;
+constexpr double um2 = um * um;
+constexpr double mm2 = mm * mm;
+
+/// Time. Base unit: second.
+constexpr double s = 1.0;
+constexpr double ms = 1e-3 * s;
+constexpr double us = 1e-6 * s;
+constexpr double ns = 1e-9 * s;
+constexpr double ps = 1e-12 * s;
+
+/// Electrical.
+constexpr double V = 1.0;
+constexpr double mV = 1e-3 * V;
+constexpr double A = 1.0;
+constexpr double uA = 1e-6 * A;
+constexpr double F = 1.0;
+constexpr double fF = 1e-15 * F;
+constexpr double pF = 1e-12 * F;
+constexpr double Ohm = 1.0;
+constexpr double kOhm = 1e3 * Ohm;
+
+/// Storage.
+constexpr double Gbit = 1.0;
+
+/// Convert an area in nm^2 to mm^2 (for die-level reporting).
+constexpr double
+toMm2(double area_nm2)
+{
+    return area_nm2 / mm2;
+}
+
+/// Convert an area in nm^2 to um^2.
+constexpr double
+toUm2(double area_nm2)
+{
+    return area_nm2 / um2;
+}
+
+/// Convert a length in nm to um.
+constexpr double
+toUm(double length_nm)
+{
+    return length_nm / um;
+}
+
+} // namespace units
+} // namespace hifi
+
+#endif // HIFI_COMMON_UNITS_HH

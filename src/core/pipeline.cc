@@ -1,0 +1,183 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "fab/voxelizer.hh"
+#include "re/topology_match.hh"
+#include "scope/fib.hh"
+
+namespace hifi
+{
+namespace core
+{
+
+using models::Role;
+
+PipelineReport
+runPipeline(const PipelineConfig &config)
+{
+    const models::ChipSpec &chip = models::chip(config.chipId);
+
+    PipelineReport report;
+    report.chipId = chip.id;
+    report.trueTopology = chip.topology;
+
+    // ---- 1. Virtual fab -------------------------------------------
+    // Pick a voxel small enough to resolve the bitline gaps.
+    double voxel = config.voxelNm;
+    if (voxel <= 0.0) {
+        const double bl_gap = chip.blPitchNm - chip.blWidthNm;
+        voxel = std::min({chip.pixelResNm, bl_gap / 2.5, 5.0});
+    }
+
+    fab::SaRegionSpec spec =
+        fab::SaRegionSpec::fromChip(chip, config.pairs);
+    spec.stackedSas = config.stackedSas;
+    spec.minGapNm = std::max(spec.minGapNm, 4.0 * voxel);
+
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+    report.trueCommonGateStrips = truth.commonGateComponents;
+    report.trueDevices = truth.devices.size();
+    report.bitlinesTrue = truth.bitlines.size();
+
+    fab::VoxelizeParams vox;
+    vox.voxelNm = voxel;
+    const image::Volume3D materials =
+        fab::voxelize(*cell, truth.region, vox);
+
+    // ---- 2. FIB/SEM acquisition ------------------------------------
+    scope::FibSemParams fib;
+    fib.sem.detector = chip.detector;
+    if (config.detectorOverride == 0)
+        fib.sem.detector = models::Detector::Se;
+    else if (config.detectorOverride == 1)
+        fib.sem.detector = models::Detector::Bse;
+    fib.sem.dwellUs = chip.dwellUs;
+    fib.sem.seQuality = chip.seQuality;
+    fib.sliceVoxels = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(chip.sliceNm / voxel)));
+    fib.driftProbability = config.driftProbability;
+
+    common::inform("pipeline " + chip.id + ": acquiring " +
+                   std::to_string(materials.nx() / fib.sliceVoxels) +
+                   " slices");
+    common::Rng rng(config.seed);
+    image::SliceStack stack = scope::acquire(materials, fib, rng);
+    stack.sliceThicknessNm =
+        static_cast<double>(fib.sliceVoxels) * voxel;
+    stack.pixelResolutionNm = voxel;
+    report.slices = stack.slices.size();
+
+    // ---- 3. Post-processing ----------------------------------------
+    scope::PostprocessParams post;
+    post.algo = config.denoise;
+    post.mi.bins = 16;
+    post.mi.maxShift = 6;
+    const scope::PostprocessResult processed =
+        scope::postprocess(stack, post);
+    report.alignmentResidualPx = processed.alignmentResidualPx;
+    report.alignmentBudgetMet = processed.meetsAlignmentBudget(
+        stack.slices.front().height());
+    if (!report.alignmentBudgetMet)
+        common::warn("pipeline " + chip.id +
+                     ": alignment residual exceeds the 0.77% budget");
+
+    // ---- 4. Reverse engineering -------------------------------------
+    re::PlanarScales scales;
+    scales.xNm = stack.sliceThicknessNm;
+    scales.yNm = voxel;
+    scales.zNm = voxel;
+    report.analysis =
+        re::analyzeRegion(processed.volume, scales, fib.sem.detector);
+
+    // ---- 5. Validation against the fab truth -------------------------
+    report.extractedTopology = report.analysis.topology;
+    report.topologyCorrect =
+        report.extractedTopology == report.trueTopology;
+    if (!report.topologyCorrect)
+        common::warn("pipeline " + chip.id +
+                     ": extracted topology disagrees with the truth");
+    report.extractedCommonGateStrips =
+        report.analysis.commonGateStrips;
+    report.extractedDevices = report.analysis.devices.size();
+    report.bitlinesFound = report.analysis.bitlines.size();
+    report.crossCouplingConsistent =
+        report.analysis.crossCouplingConsistent();
+
+    const auto matches = re::matchTopology(report.analysis);
+    if (!matches.empty()) {
+        report.matchedTemplate = matches.front().candidate->name;
+        report.matchScore = matches.front().score;
+    }
+
+    // Per-role dimension recovery vs. the generated (clipped) truth.
+    std::map<Role, std::pair<double, double>> truth_sum;
+    std::map<Role, size_t> truth_n;
+    for (const auto &d : truth.devices) {
+        const bool latch_like =
+            d.role == Role::Nsa || d.role == Role::Psa ||
+            d.role == Role::Lsa;
+        // Drawn gate rects encode W x L per orientation.
+        const double w =
+            latch_like ? d.gate.width() : d.gate.height();
+        const double l =
+            latch_like ? d.gate.height() : d.gate.width();
+        truth_sum[d.role].first += w;
+        truth_sum[d.role].second += l;
+        ++truth_n[d.role];
+    }
+
+    for (const auto &[role, sums] : truth_sum) {
+        RoleRecovery rec;
+        const auto n = static_cast<double>(truth_n[role]);
+        rec.trueW = sums.first / n;
+        rec.trueL = sums.second / n;
+        if (const auto dims = report.analysis.meanDims(role)) {
+            rec.measuredW = dims->w;
+            rec.measuredL = dims->l;
+            report.maxDimErrorNm = std::max(
+                {report.maxDimErrorNm, rec.errW(), rec.errL()});
+        }
+        report.roles[role] = rec;
+    }
+    return report;
+}
+
+} // namespace core
+} // namespace hifi
+
+namespace hifi
+{
+namespace core
+{
+
+Repeatability
+repeatPipeline(const PipelineConfig &base, size_t runs)
+{
+    Repeatability rep;
+    rep.runs = runs;
+    for (size_t i = 0; i < runs; ++i) {
+        PipelineConfig config = base;
+        config.seed = base.seed + i;
+        const auto report = runPipeline(config);
+        if (report.topologyCorrect)
+            ++rep.topologyCorrect;
+        if (report.crossCouplingConsistent)
+            ++rep.crossCouplingTraced;
+        for (const auto &[role, rr] : report.roles) {
+            if (rr.measuredW <= 0.0)
+                continue;
+            auto &[w_acc, l_acc] = rep.dims[role];
+            w_acc.add(rr.measuredW);
+            l_acc.add(rr.measuredL);
+        }
+    }
+    return rep;
+}
+
+} // namespace core
+} // namespace hifi

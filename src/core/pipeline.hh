@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The HiFi-DRAM end-to-end pipeline: virtual fab -> FIB/SEM
+ * acquisition -> post-processing -> reverse engineering -> validation
+ * against the fab's ground truth.  This is the library's headline API:
+ * one call reproduces the paper's methodology on a synthetic chip and
+ * quantifies how faithfully the circuit is recovered.
+ */
+
+#ifndef HIFI_CORE_PIPELINE_HH
+#define HIFI_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+#include "fab/sa_region.hh"
+#include "models/chip_data.hh"
+#include "re/analyze.hh"
+#include "scope/postprocess.hh"
+
+namespace hifi
+{
+namespace core
+{
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    /// Chip dataset providing geometry, topology, detector, slicing.
+    std::string chipId = "B5";
+
+    /// SA pairs in the generated region slice.
+    size_t pairs = 4;
+
+    /// Stacked SA sets (Section V-C: real chips place 2).
+    size_t stackedSas = 1;
+
+    uint64_t seed = 1;
+
+    /// Run the TV denoiser (disable to study its contribution).
+    scope::DenoiseAlgo denoise = scope::DenoiseAlgo::Chambolle;
+
+    /// Stage-drift step probability per slice.
+    double driftProbability = 0.15;
+
+    /**
+     * Override for the in-plane voxel size; <= 0 picks automatically
+     * from the chip's pixel resolution and bitline gap.
+     */
+    double voxelNm = -1.0;
+
+    /**
+     * Detector override: -1 uses the chip's Table I detector,
+     * 0 forces SE, 1 forces BSE.  Forcing SE on vendor B/C chips
+     * reproduces the poor-contrast failure that made the paper
+     * switch those chips to BSE.
+     */
+    int detectorOverride = -1;
+};
+
+/** Per-role dimension recovery. */
+struct RoleRecovery
+{
+    double trueW = 0.0, trueL = 0.0;
+    double measuredW = 0.0, measuredL = 0.0;
+
+    double errW() const { return std::abs(measuredW - trueW); }
+    double errL() const { return std::abs(measuredL - trueL); }
+};
+
+/** Pipeline outcome. */
+struct PipelineReport
+{
+    std::string chipId;
+
+    models::Topology trueTopology = models::Topology::Classic;
+    models::Topology extractedTopology = models::Topology::Classic;
+    bool topologyCorrect = false;
+
+    size_t trueCommonGateStrips = 0;
+    size_t extractedCommonGateStrips = 0;
+
+    size_t trueDevices = 0;
+    size_t extractedDevices = 0;
+    size_t bitlinesFound = 0;
+    size_t bitlinesTrue = 0;
+
+    bool crossCouplingConsistent = false;
+
+    /// Best-matching published topology template (Section V-A) and
+    /// its structural agreement score in [0, 1].
+    std::string matchedTemplate;
+    double matchScore = 0.0;
+
+    size_t slices = 0;
+    double alignmentResidualPx = 0.0;
+    bool alignmentBudgetMet = false;
+
+    std::map<models::Role, RoleRecovery> roles;
+
+    /// Worst absolute dimension error across recovered roles (nm).
+    double maxDimErrorNm = 0.0;
+
+    /// Full analysis, for further inspection.
+    re::RegionAnalysis analysis;
+};
+
+/// Run the full pipeline on one chip configuration.
+PipelineReport runPipeline(const PipelineConfig &config);
+
+/** Repeatability over independent acquisitions (different seeds). */
+struct Repeatability
+{
+    size_t runs = 0;
+    size_t topologyCorrect = 0;
+    size_t crossCouplingTraced = 0;
+
+    /// Per-role spread of the measured W and L across runs.
+    std::map<models::Role, std::pair<common::Accumulator,
+                                     common::Accumulator>>
+        dims;
+};
+
+/**
+ * Re-run the pipeline `runs` times with seeds base.seed, base.seed+1,
+ * ... - the in-silico analogue of the paper's repeated measurements.
+ */
+Repeatability repeatPipeline(const PipelineConfig &base, size_t runs);
+
+} // namespace core
+} // namespace hifi
+
+#endif // HIFI_CORE_PIPELINE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The full HiFi-DRAM study in one call: for each configured chip, run
+ * the blind ROI search, the acquisition-cost model, and the
+ * end-to-end reverse-engineering pipeline; then the measurement
+ * campaign, the public-model accuracy analysis, the 13-paper audit,
+ * and the recommendations — rendered as one markdown report (the
+ * closest artifact to regenerating the paper itself).
+ */
+
+#ifndef HIFI_CORE_STUDY_HH
+#define HIFI_CORE_STUDY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace core
+{
+
+/** Study configuration. */
+struct StudyConfig
+{
+    uint64_t seed = 2024;
+
+    /// SA pairs per generated region.
+    size_t pairs = 3;
+
+    /// Chip ids to study; empty = all six.
+    std::vector<std::string> chips;
+};
+
+/** Study outcome. */
+struct StudyResult
+{
+    std::string markdown;
+
+    bool allTopologiesCorrect = true;
+    bool allCrossCouplingsTraced = true;
+    size_t chipsStudied = 0;
+};
+
+/// Run the study and render the report.
+StudyResult runFullStudy(const StudyConfig &config = {});
+
+} // namespace core
+} // namespace hifi
+
+#endif // HIFI_CORE_STUDY_HH

@@ -1,0 +1,219 @@
+#include "dram/bank.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace dram
+{
+
+BankConfig
+BankConfig::fromChip(const models::ChipSpec &chip)
+{
+    BankConfig config;
+    config.topology = chip.topology;
+    // Rows per MAT from the geometry: wordline pitch ~ 1.5x the
+    // bitline pitch in a 6F^2 array.
+    config.rows = static_cast<size_t>(
+        chip.matHeightNm / (1.5 * chip.blPitchNm));
+    config.columns = 128;
+
+    // Timings per topology, derived once from the circuit simulation.
+    static const Timings classic =
+        Timings::forTopology(circuit::SaTopology::Classic);
+    static const Timings ocsa =
+        Timings::forTopology(circuit::SaTopology::OffsetCancellation);
+    config.timings =
+        chip.topology == models::Topology::Ocsa ? ocsa : classic;
+    return config;
+}
+
+Bank::Bank(BankConfig config) : config_(std::move(config))
+{
+    if (config_.rows == 0 || config_.columns == 0)
+        throw std::invalid_argument("Bank: empty geometry");
+    storage_.assign(config_.rows,
+                    std::vector<uint8_t>(config_.columns, 0));
+    lastRestore_.assign(config_.rows, 0.0);
+    exposure_.assign(config_.rows, 0);
+}
+
+void
+Bank::disturb(size_t victim)
+{
+    if (config_.disturbanceThreshold == 0 || victim >= config_.rows)
+        return;
+    if (++exposure_[victim] > config_.disturbanceThreshold) {
+        // The weakest cell of every byte leaks toward discharged.
+        for (auto &byte : storage_[victim])
+            byte &= 0xFE;
+    }
+}
+
+size_t
+Bank::exposure(size_t row) const
+{
+    return exposure_.at(row);
+}
+
+void
+Bank::decayIfStale(double t_ns, size_t row)
+{
+    if (t_ns - lastRestore_[row] > config_.retentionNs) {
+        // Cells leak toward the discharged state.
+        std::fill(storage_[row].begin(), storage_[row].end(), 0);
+    }
+}
+
+CmdResult
+Bank::refresh(double t_ns)
+{
+    if (openRow_)
+        return reject("REF: bank must be precharged");
+    if (t_ns - tPre_ < config_.timings.tRp)
+        return reject("REF: tRP violated");
+    for (size_t i = 0; i < config_.rowsPerRefresh; ++i) {
+        const size_t row = refreshCursor_;
+        refreshCursor_ = (refreshCursor_ + 1) % config_.rows;
+        decayIfStale(t_ns, row);
+        lastRestore_[row] = t_ns; // internal ACT+PRE restores charge
+        exposure_[row] = 0;
+    }
+    return CmdResult::ok();
+}
+
+size_t
+Bank::decayedRows(double t_ns) const
+{
+    size_t n = 0;
+    for (size_t r = 0; r < config_.rows; ++r)
+        if (t_ns - lastRestore_[r] > config_.retentionNs)
+            ++n;
+    return n;
+}
+
+CmdResult
+Bank::reject(const std::string &why)
+{
+    ++violations_;
+    return CmdResult::fail(why);
+}
+
+CmdResult
+Bank::activate(double t_ns, size_t row)
+{
+    if (!rowValid(row))
+        return reject("ACT: row out of range");
+    if (openRow_)
+        return reject("ACT: bank already has an open row");
+    if (t_ns - tPre_ < config_.timings.tRp) {
+        std::ostringstream ss;
+        ss << "ACT: tRP violated (" << t_ns - tPre_ << " < "
+           << config_.timings.tRp << " ns)";
+        return reject(ss.str());
+    }
+    decayIfStale(t_ns, row);
+    lastRestore_[row] = t_ns; // activation restores the charge
+    exposure_[row] = 0;       // and clears its disturbance exposure
+    if (row > 0)
+        disturb(row - 1);
+    disturb(row + 1);
+    openRow_ = row;
+    tAct_ = t_ns;
+    return CmdResult::ok();
+}
+
+CmdResult
+Bank::read(double t_ns, size_t column)
+{
+    if (!openRow_)
+        return reject("RD: no open row");
+    if (column >= config_.columns)
+        return reject("RD: column out of range");
+    if (t_ns - tAct_ < config_.timings.tRcd)
+        return reject("RD: tRCD violated");
+    if (t_ns - tLastCol_ < config_.timings.tCcd)
+        return reject("RD: tCCD violated");
+    tLastCol_ = t_ns;
+    return CmdResult::okData(storage_[*openRow_][column]);
+}
+
+CmdResult
+Bank::write(double t_ns, size_t column, uint8_t value)
+{
+    if (!openRow_)
+        return reject("WR: no open row");
+    if (column >= config_.columns)
+        return reject("WR: column out of range");
+    if (t_ns - tAct_ < config_.timings.tRcd)
+        return reject("WR: tRCD violated");
+    if (t_ns - tLastCol_ < config_.timings.tCcd)
+        return reject("WR: tCCD violated");
+    storage_[*openRow_][column] = value;
+    tLastCol_ = t_ns;
+    tLastWrite_ = t_ns;
+    return CmdResult::ok();
+}
+
+CmdResult
+Bank::precharge(double t_ns)
+{
+    if (!openRow_)
+        return reject("PRE: no open row");
+    if (t_ns - tAct_ < config_.timings.tRas)
+        return reject("PRE: tRAS violated");
+    if (t_ns - tLastWrite_ < config_.timings.tWr)
+        return reject("PRE: tWR violated");
+    openRow_.reset();
+    tPre_ = t_ns;
+    return CmdResult::ok();
+}
+
+CmdResult
+Bank::activateTwoRows(double t_ns, size_t row_a, size_t row_b)
+{
+    if (!rowValid(row_a) || !rowValid(row_b) || row_a == row_b)
+        return reject("ACT2: bad row pair");
+    if (openRow_)
+        return reject("ACT2: bank already has an open row");
+    if (t_ns - tPre_ < config_.timings.tRp)
+        return reject("ACT2: tRP violated");
+
+    // Per-bit charge sharing (Section VI-D): agreeing bits latch
+    // their value; conflicting bits depend on the topology.
+    for (size_t c = 0; c < config_.columns; ++c) {
+        const uint8_t a = storage_[row_a][c];
+        const uint8_t b = storage_[row_b][c];
+        const uint8_t agree = static_cast<uint8_t>(~(a ^ b));
+        uint8_t conflict_resolution;
+        if (config_.topology == models::Topology::Ocsa) {
+            // Charge sharing starts from the diode-connected level
+            // below Vpre: conflicts bias toward '1'.
+            conflict_resolution = 0xFF;
+        } else {
+            // Classic: the residual signal is ~0; the outcome falls
+            // to per-SA mismatch.  We model the deterministic part
+            // of that lottery as keeping row A's bit.
+            conflict_resolution = a;
+        }
+        const uint8_t result = static_cast<uint8_t>(
+            (agree & a) | (~agree & conflict_resolution));
+        storage_[row_a][c] = result;
+        storage_[row_b][c] = result;
+    }
+    lastRestore_[row_a] = t_ns;
+    lastRestore_[row_b] = t_ns;
+    openRow_ = row_a;
+    tAct_ = t_ns;
+    return CmdResult::ok();
+}
+
+uint8_t &
+Bank::cell(size_t row, size_t column)
+{
+    return storage_.at(row).at(column);
+}
+
+} // namespace dram
+} // namespace hifi

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Command-level DRAM bank model, parameterized by the reverse-
+ * engineered data: MAT geometry from the chip datasets, timings from
+ * the circuit simulation of the deployed SA topology.
+ *
+ * The bank enforces the JEDEC-style state machine (ACT -> RD/WR ->
+ * PRE with tRCD/tRAS/tRP/tCCD/tWR), stores real data, and also
+ * exposes the out-of-spec two-row activation of Section VI-D whose
+ * per-bit outcome depends on the SA topology (majority-style on
+ * classic chips, biased on OCSA chips).
+ */
+
+#ifndef HIFI_DRAM_BANK_HH
+#define HIFI_DRAM_BANK_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/timings.hh"
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace dram
+{
+
+/** Bank configuration. */
+struct BankConfig
+{
+    size_t rows = 512;
+    size_t columns = 128; ///< bytes per row
+
+    Timings timings;
+    models::Topology topology = models::Topology::Classic;
+
+    /**
+     * Cell retention time (ns).  A row not refreshed or activated
+     * within this window decays: its data reads back as zeros (the
+     * discharged state).  The JEDEC default (64 ms) is far above any
+     * test trace; shrink it to exercise retention.
+     */
+    double retentionNs = 64e6;
+
+    /// Refresh-command row batch (rows refreshed per REF).
+    size_t rowsPerRefresh = 8;
+
+    /**
+     * Activation-disturbance (Rowhammer) threshold: after this many
+     * aggressor activations of a physically adjacent row without an
+     * intervening restore of the victim, the victim's weakest cells
+     * leak (bit 0 of every byte discharges).  0 disables the model.
+     * Out-of-spec experiments on such effects are exactly the
+     * studies Section VI-D warns about.
+     */
+    size_t disturbanceThreshold = 0;
+
+    /**
+     * Build from a studied chip: topology from the reverse
+     * engineering, timings from the circuit simulation of that
+     * topology (cached per topology).
+     */
+    static BankConfig fromChip(const models::ChipSpec &chip);
+};
+
+/** Outcome of issuing a command. */
+struct CmdResult
+{
+    bool accepted = false;
+    std::string error;                ///< empty when accepted
+    std::optional<uint8_t> data;      ///< read data
+
+    static CmdResult ok() { return {true, {}, std::nullopt}; }
+
+    static CmdResult
+    okData(uint8_t value)
+    {
+        return {true, {}, value};
+    }
+
+    static CmdResult
+    fail(std::string why)
+    {
+        return {false, std::move(why), std::nullopt};
+    }
+};
+
+/** One DRAM bank with timing enforcement and data storage. */
+class Bank
+{
+  public:
+    explicit Bank(BankConfig config);
+
+    const BankConfig &config() const { return config_; }
+
+    /// Currently open row, if any.
+    std::optional<size_t> openRow() const { return openRow_; }
+
+    /// Count of rejected (timing/state-violating) commands.
+    size_t violations() const { return violations_; }
+
+    /// ACT: opens `row`; needs the bank precharged and tRP elapsed.
+    CmdResult activate(double t_ns, size_t row);
+
+    /// RD: needs an open row and tRCD elapsed.
+    CmdResult read(double t_ns, size_t column);
+
+    /// WR: needs an open row and tRCD elapsed.
+    CmdResult write(double t_ns, size_t column, uint8_t value);
+
+    /// PRE: needs tRAS (and tWR after a write) elapsed.
+    CmdResult precharge(double t_ns);
+
+    /**
+     * REF: refresh the next `rowsPerRefresh` rows (round-robin).
+     * Needs the bank precharged.  Rows already decayed are lost
+     * (refreshed as zeros), exactly like real DRAM.
+     */
+    CmdResult refresh(double t_ns);
+
+    /// Rows whose retention window has lapsed at time t.
+    size_t decayedRows(double t_ns) const;
+
+    /// Accumulated aggressor exposure of a row (disturbance model).
+    size_t exposure(size_t row) const;
+
+    /**
+     * Out-of-spec simultaneous two-row activation (Section VI-D,
+     * [24]-style).  Both rows end up with the same data:
+     * per byte, agreeing bits win; conflicting bits resolve by the
+     * topology - classic SAs fall to the mismatch lottery (modeled as
+     * the previous bit of row_a), OCSA chips bias toward '1' because
+     * charge sharing starts below Vpre.
+     */
+    CmdResult activateTwoRows(double t_ns, size_t row_a, size_t row_b);
+
+    /// Direct backdoor for tests (no timing checks).
+    uint8_t &cell(size_t row, size_t column);
+
+  private:
+    bool rowValid(size_t row) const { return row < config_.rows; }
+
+    CmdResult reject(const std::string &why);
+
+    BankConfig config_;
+    std::vector<std::vector<uint8_t>> storage_;
+
+    /// Apply decay to a row if its retention lapsed before t.
+    void decayIfStale(double t_ns, size_t row);
+
+    std::optional<size_t> openRow_;
+    double tAct_ = -1e18;    ///< time of the last ACT
+    double tPre_ = -1e18;    ///< time of the last PRE
+    double tLastCol_ = -1e18;
+    double tLastWrite_ = -1e18;
+    size_t violations_ = 0;
+
+    /// Bump a victim's exposure and apply the leak when it trips.
+    void disturb(size_t victim);
+
+    /// Last restore time per row (ACT or REF).
+    std::vector<double> lastRestore_;
+    size_t refreshCursor_ = 0;
+
+    /// Aggressor exposure per row since its last restore.
+    std::vector<size_t> exposure_;
+};
+
+} // namespace dram
+} // namespace hifi
+
+#endif // HIFI_DRAM_BANK_HH

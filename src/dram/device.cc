@@ -1,0 +1,100 @@
+#include "dram/device.hh"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace dram
+{
+
+Device::Device(size_t banks, BankConfig config)
+{
+    if (banks == 0)
+        throw std::invalid_argument("Device: zero banks");
+    banks_.reserve(banks);
+    for (size_t i = 0; i < banks; ++i)
+        banks_.emplace_back(config);
+}
+
+TraceStats
+Device::runTrace(std::istream &trace)
+{
+    TraceStats stats;
+    std::string line;
+    double last_t = -1e18;
+    size_t line_no = 0;
+
+    while (std::getline(trace, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        double t;
+        std::string op;
+        if (!(ss >> t >> op))
+            continue; // blank or comment-only line
+
+        auto bad = [&](const std::string &why) {
+            throw std::runtime_error(
+                "trace line " + std::to_string(line_no) + ": " + why);
+        };
+        if (t < last_t)
+            bad("commands out of time order");
+        last_t = t;
+
+        size_t bank_idx = 0;
+        if (!(ss >> bank_idx))
+            bad("missing bank");
+        if (bank_idx >= banks_.size())
+            bad("bank out of range");
+        Bank &bank = banks_[bank_idx];
+
+        CmdResult result;
+        if (op == "ACT") {
+            size_t row;
+            if (!(ss >> row))
+                bad("ACT needs a row");
+            result = bank.activate(t, row);
+        } else if (op == "RD") {
+            size_t col;
+            if (!(ss >> col))
+                bad("RD needs a column");
+            result = bank.read(t, col);
+            if (result.accepted && result.data)
+                stats.readData.push_back(*result.data);
+        } else if (op == "WR") {
+            size_t col;
+            unsigned value;
+            if (!(ss >> col >> value))
+                bad("WR needs a column and a value");
+            result = bank.write(t, col,
+                                static_cast<uint8_t>(value));
+        } else if (op == "PRE") {
+            result = bank.precharge(t);
+        } else if (op == "REF") {
+            result = bank.refresh(t);
+        } else if (op == "ACT2") {
+            size_t ra, rb;
+            if (!(ss >> ra >> rb))
+                bad("ACT2 needs two rows");
+            result = bank.activateTwoRows(t, ra, rb);
+        } else {
+            bad("unknown command " + op);
+        }
+
+        ++stats.commands;
+        if (result.accepted) {
+            ++stats.accepted;
+        } else {
+            ++stats.rejected;
+            stats.errors.push_back(result.error);
+        }
+    }
+    return stats;
+}
+
+} // namespace dram
+} // namespace hifi

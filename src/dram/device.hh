@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-bank DRAM device with a text command-trace runner, so
+ * workloads can be expressed the way memory-controller studies write
+ * them.
+ *
+ * Trace format, one command per line ('#' starts a comment):
+ *
+ *   <t_ns> ACT  <bank> <row>
+ *   <t_ns> RD   <bank> <column>
+ *   <t_ns> WR   <bank> <column> <value>
+ *   <t_ns> PRE  <bank>
+ *   <t_ns> REF  <bank>
+ *   <t_ns> ACT2 <bank> <rowA> <rowB>   (out-of-spec, Section VI-D)
+ */
+
+#ifndef HIFI_DRAM_DEVICE_HH
+#define HIFI_DRAM_DEVICE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "dram/bank.hh"
+
+namespace hifi
+{
+namespace dram
+{
+
+/** Statistics of a trace run. */
+struct TraceStats
+{
+    size_t commands = 0;
+    size_t accepted = 0;
+    size_t rejected = 0;
+    std::vector<uint8_t> readData; ///< data of accepted reads
+    std::vector<std::string> errors;
+};
+
+/** A DRAM device: identical banks sharing a configuration. */
+class Device
+{
+  public:
+    Device(size_t banks, BankConfig config);
+
+    size_t numBanks() const { return banks_.size(); }
+    Bank &bank(size_t index) { return banks_.at(index); }
+    const Bank &bank(size_t index) const { return banks_.at(index); }
+
+    /**
+     * Run a command trace; commands must be time-ordered.  Malformed
+     * lines throw std::runtime_error; rejected commands are counted
+     * and their errors recorded.
+     */
+    TraceStats runTrace(std::istream &trace);
+
+  private:
+    std::vector<Bank> banks_;
+};
+
+} // namespace dram
+} // namespace hifi
+
+#endif // HIFI_DRAM_DEVICE_HH

@@ -1,0 +1,57 @@
+#include "dram/timings.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace dram
+{
+
+Timings
+Timings::fromSimulation(const circuit::SaParams &params,
+                        double guardBand)
+{
+    if (guardBand < 1.0)
+        throw std::invalid_argument("Timings: guard band < 1");
+
+    const circuit::SaRun run = circuit::simulateActivation(params);
+    if (run.tSense <= 0.0 || !run.latchedCorrectly)
+        throw std::runtime_error(
+            "Timings::fromSimulation: activation failed");
+    const auto &s = run.schedule;
+
+    Timings t;
+    t.tRcd = run.tSense * 1e9 * guardBand;
+    t.tRas = (s.tRestoreEnd - s.tActivate) * 1e9 * guardBand;
+
+    // tRP: time from the PRE command until both bitlines settle to
+    // within 20 mV of Vpre.
+    const auto &bl = run.tran.trace("BL");
+    const auto &blb = run.tran.trace("BLB");
+    double settle = s.tEnd;
+    for (size_t i = 0; i < bl.times.size(); ++i) {
+        if (bl.times[i] < s.tPrechargeCmd)
+            continue;
+        if (std::abs(bl.values[i] - params.vpre) < 0.02 &&
+            std::abs(blb.values[i] - params.vpre) < 0.02) {
+            settle = bl.times[i];
+            break;
+        }
+    }
+    t.tRp = (settle - s.tPrechargeCmd) * 1e9 * guardBand;
+    t.tCcd = params.tCol * 1e9;
+    t.tWr = t.tCcd * 2.0;
+    return t;
+}
+
+Timings
+Timings::forTopology(circuit::SaTopology topology)
+{
+    circuit::SaParams params;
+    params.topology = topology;
+    return fromSimulation(params);
+}
+
+} // namespace dram
+} // namespace hifi

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DRAM timing parameters derived from the analog substrate.
+ *
+ * The reverse-engineered topology determines the activation events
+ * (Figs. 2c / 9b) and therefore the command timings: on OCSA chips the
+ * offset-cancellation and pre-sensing phases lengthen tRCD and tRAS.
+ * `fromSimulation` measures the timings by actually running the
+ * transient testbench, closing the loop from imaging to architecture.
+ */
+
+#ifndef HIFI_DRAM_TIMINGS_HH
+#define HIFI_DRAM_TIMINGS_HH
+
+#include "circuit/sense_amp.hh"
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace dram
+{
+
+/** Core timing parameters, in nanoseconds. */
+struct Timings
+{
+    double tRcd = 14.0; ///< ACT to first RD/WR
+    double tRas = 32.0; ///< ACT to PRE (restore complete)
+    double tRp = 14.0;  ///< PRE to next ACT
+    double tCcd = 4.0;  ///< column-to-column
+    double tWr = 12.0;  ///< last WR data to PRE
+
+    /**
+     * Derive the timings from transient simulation of the given SA
+     * parameters: tRCD from the 90%-rail separation point, tRAS from
+     * the end of restore, tRP from the precharge settle, with a
+     * guard-band factor applied (JEDEC margins).
+     */
+    static Timings fromSimulation(const circuit::SaParams &params,
+                                  double guardBand = 1.25);
+
+    /// Convenience: defaults for a topology (runs the simulation).
+    static Timings forTopology(circuit::SaTopology topology);
+};
+
+} // namespace dram
+} // namespace hifi
+
+#endif // HIFI_DRAM_TIMINGS_HH

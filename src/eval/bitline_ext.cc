@@ -1,0 +1,53 @@
+#include "eval/bitline_ext.hh"
+
+#include <stdexcept>
+
+namespace hifi
+{
+namespace eval
+{
+
+double
+bitlineDoublingExtension(double width, double spacing)
+{
+    if (width <= 0.0 || spacing <= 0.0)
+        throw std::invalid_argument(
+            "bitlineDoublingExtension: non-positive dimensions");
+    // Original pitch per bitline: d + B_w.  After halving the width
+    // and doubling the count: 2 * (d + B_w / 2) for the same tracks.
+    return 2.0 * (spacing + width / 2.0) / (spacing + width) - 1.0;
+}
+
+double
+bitlineDoublingExtension()
+{
+    // B_w = 2 d.
+    return bitlineDoublingExtension(2.0, 1.0);
+}
+
+double
+bitlineDoublingChipOverhead(const models::ChipSpec &chip)
+{
+    const double ext = bitlineDoublingExtension(
+        chip.blWidthNm, chip.blPitchNm - chip.blWidthNm);
+    // The extension applies to the SA region and, due to layout
+    // requirements, equivalently to the MATs.
+    return ext * chip.arrayFraction();
+}
+
+double
+m2ShrinkFactorForRega(const models::ChipSpec &chip)
+{
+    if (chip.vendor != 'A')
+        throw std::invalid_argument(
+            "m2ShrinkFactorForRega: only vendor A routes the second "
+            "SA set on M2");
+    // Each new connection consumes a wire plus its spacing, i.e. two
+    // bitline widths, out of each M2 wire's width budget.  With M2
+    // wires ~8x wider than the M1 bitlines this is a 0.25x reduction,
+    // matching the paper's Appendix-A evaluation.
+    return 2.0 * chip.blWidthNm / chip.m2WidthNm;
+}
+
+} // namespace eval
+} // namespace hifi

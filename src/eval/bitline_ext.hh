@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Appendix-A analysis: the cost of adding bitlines even when shrinking
+ * the existing ones is assumed possible.
+ *
+ * Eq. 1 of the paper: with the safe distance d preserved and the
+ * bitline width B_w ~= 2 d, doubling the number of bitlines after
+ * halving their width still extends the region by
+ *
+ *   Ext = 2 (B_w/2 + B_w/2) / (B_w/2 + B_w) - 1 = 4/3 - 1 ~= 33%.
+ *
+ * Because layout requirements force the matching MAT extension, the
+ * chip-level overhead is Ext times the chip's (MAT + SA) fraction
+ * (~21% on B5).
+ */
+
+#ifndef HIFI_EVAL_BITLINE_EXT_HH
+#define HIFI_EVAL_BITLINE_EXT_HH
+
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace eval
+{
+
+/**
+ * Region extension from doubling bitlines of width `width` with safe
+ * distance `spacing`, after shrinking the copies to half width
+ * (generalized Eq. 1; with width = 2 * spacing this is 1/3).
+ */
+double bitlineDoublingExtension(double width, double spacing);
+
+/// Eq. 1's nominal case: B_w = 2 d, evaluating to 1/3.
+double bitlineDoublingExtension();
+
+/// Chip-level overhead of the extension on one chip (~0.21 on B5).
+double bitlineDoublingChipOverhead(const models::ChipSpec &chip);
+
+/**
+ * M2 slack on vendor A chips (Appendix A): the factor by which the M2
+ * wires would need to shrink to accommodate REGA's extra connections
+ * (the paper evaluates 0.25x, i.e. reducing the wires by a quarter).
+ */
+double m2ShrinkFactorForRega(const models::ChipSpec &chip);
+
+} // namespace eval
+} // namespace hifi
+
+#endif // HIFI_EVAL_BITLINE_EXT_HH

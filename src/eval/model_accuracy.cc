@@ -1,0 +1,100 @@
+#include "eval/model_accuracy.hh"
+
+#include <cmath>
+
+namespace hifi
+{
+namespace eval
+{
+
+using models::Role;
+
+ModelAccuracy
+evaluateModel(const models::PublicModel &model, int ddr)
+{
+    ModelAccuracy acc;
+    acc.model = model.name;
+    acc.ddr = ddr;
+
+    double sum_wl = 0.0, sum_w = 0.0, sum_l = 0.0;
+    for (const auto *chip : models::chipsOfGeneration(ddr)) {
+        for (size_t ri = 0; ri < static_cast<size_t>(Role::NumRoles);
+             ++ri) {
+            const Role role = static_cast<Role>(ri);
+            const auto &mdim = model.role(role);
+            const auto &cdim = chip->role(role);
+            if (!mdim || !cdim)
+                continue;
+
+            ElementError e;
+            e.chipId = chip->id;
+            e.role = role;
+            e.errWl = std::abs(mdim->wOverL() / cdim->wOverL() - 1.0);
+            e.errW = std::abs(mdim->w / cdim->w - 1.0);
+            e.errL = std::abs(mdim->l / cdim->l - 1.0);
+
+            const std::string at =
+                chip->id + "." + models::roleName(role);
+            if (e.errWl > acc.maxWl) {
+                acc.maxWl = e.errWl;
+                acc.maxWlAt = at;
+            }
+            if (e.errW > acc.maxW) {
+                acc.maxW = e.errW;
+                acc.maxWAt = at;
+            }
+            if (e.errL > acc.maxL) {
+                acc.maxL = e.errL;
+                acc.maxLAt = at;
+            }
+            sum_wl += e.errWl;
+            sum_w += e.errW;
+            sum_l += e.errL;
+            acc.elements.push_back(std::move(e));
+        }
+    }
+    const auto n = static_cast<double>(acc.elements.size());
+    if (n > 0) {
+        acc.avgWl = sum_wl / n;
+        acc.avgW = sum_w / n;
+        acc.avgL = sum_l / n;
+    }
+    return acc;
+}
+
+std::vector<ModelAccuracy>
+fig12Summary()
+{
+    std::vector<ModelAccuracy> out;
+    for (int ddr : {4, 5})
+        for (const auto *model : models::publicModels())
+            out.push_back(evaluateModel(*model, ddr));
+    return out;
+}
+
+std::vector<LatchDims>
+fig11Series()
+{
+    std::vector<LatchDims> out;
+    for (const auto &chip : models::allChips()) {
+        LatchDims d;
+        d.label = chip.id;
+        d.nsaW = chip.role(Role::Nsa)->w;
+        d.nsaL = chip.role(Role::Nsa)->l;
+        d.psaW = chip.role(Role::Psa)->w;
+        d.psaL = chip.role(Role::Psa)->l;
+        out.push_back(d);
+    }
+    const auto &rem = models::remModel();
+    LatchDims d;
+    d.label = rem.name;
+    d.nsaW = rem.role(Role::Nsa)->w;
+    d.nsaL = rem.role(Role::Nsa)->l;
+    d.psaW = rem.role(Role::Psa)->w;
+    d.psaL = rem.role(Role::Psa)->l;
+    out.push_back(d);
+    return out;
+}
+
+} // namespace eval
+} // namespace hifi

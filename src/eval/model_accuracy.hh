@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Accuracy analysis of public DRAM models against the measured chips
+ * (Section VI-A, Figs. 11 and 12).
+ *
+ * For every SA element present in both a model and a chip we compute
+ * the absolute relative error of the W/L ratio, the width, and the
+ * length; Fig. 12 reports per-model averages and maxima, separately
+ * for the DDR4 chips and (as a portability check) the DDR5 chips.
+ */
+
+#ifndef HIFI_EVAL_MODEL_ACCURACY_HH
+#define HIFI_EVAL_MODEL_ACCURACY_HH
+
+#include <string>
+#include <vector>
+
+#include "models/chip_data.hh"
+#include "models/public_models.hh"
+
+namespace hifi
+{
+namespace eval
+{
+
+/** Error of one model element against one chip's measurement. */
+struct ElementError
+{
+    std::string chipId;
+    models::Role role = models::Role::Nsa;
+
+    double errWl = 0.0; ///< |model W/L / measured W/L - 1|
+    double errW = 0.0;  ///< |model W / measured W - 1|
+    double errL = 0.0;  ///< |model L / measured L - 1|
+};
+
+/** Aggregate accuracy of one model against one DDR generation. */
+struct ModelAccuracy
+{
+    std::string model;
+    int ddr = 4;
+
+    std::vector<ElementError> elements;
+
+    double avgWl = 0.0, maxWl = 0.0;
+    double avgW = 0.0, maxW = 0.0;
+    double avgL = 0.0, maxL = 0.0;
+
+    /// "chip.role" labels of the maxima.
+    std::string maxWlAt, maxWAt, maxLAt;
+};
+
+/// Compare a public model to all chips of one generation.
+ModelAccuracy evaluateModel(const models::PublicModel &model, int ddr);
+
+/// Fig. 12: both models against both generations (CROW4, REM4,
+/// CROW5, REM5).
+std::vector<ModelAccuracy> fig12Summary();
+
+/** One bar group of Fig. 11: latch transistor dimensions. */
+struct LatchDims
+{
+    std::string label; ///< chip id or "REM"
+    double nsaW = 0.0, nsaL = 0.0;
+    double psaW = 0.0, psaL = 0.0;
+};
+
+/// Fig. 11 series: the six chips followed by REM.
+std::vector<LatchDims> fig11Series();
+
+} // namespace eval
+} // namespace hifi
+
+#endif // HIFI_EVAL_MODEL_ACCURACY_HH

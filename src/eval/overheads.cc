@@ -1,0 +1,175 @@
+#include "eval/overheads.hh"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace eval
+{
+
+using models::ChipSpec;
+using models::OverheadFormula;
+using models::ResearchPaper;
+using models::Role;
+
+double
+overheadFraction(const ResearchPaper &paper, const ChipSpec &chip)
+{
+    const double die = chip.dieAreaNm2();
+    const double mats = static_cast<double>(chip.mats);
+    const double sa_w = chip.matWidthNm; // SA region width along Y
+    const double iso_ls = chip.isoEffectiveLength();
+    const double san_ws = chip.effective(Role::Nsa, false);
+    const double sap_ws = chip.effective(Role::Psa, false);
+    const double col_ws = chip.effective(Role::Column, false);
+
+    OverheadFormula formula = paper.formula;
+    // Appendix A: vendor A routes the second SA set's bitlines on M2
+    // with slack, so REGA's extra wiring fits and only the transistor
+    // additions cost area there.
+    if (paper.name == "REGA" && chip.vendor == 'A')
+        formula = OverheadFormula::RegaTransistor;
+
+    switch (formula) {
+      case OverheadFormula::DoubleArray:
+        return chip.arrayFraction();
+      case OverheadFormula::ThirdArray:
+        return chip.arrayFraction() / 3.0;
+      case OverheadFormula::RegaTransistor: {
+        const double ext = 2.0 * iso_ls +
+            8.0 * (san_ws + sap_ws) / 6.0;
+        return mats * sa_w * ext / die;
+      }
+      case OverheadFormula::IsolationOnly:
+        return mats * sa_w * 2.0 * iso_ls / die;
+      case OverheadFormula::IsoColumnSa: {
+        const double ext = 2.0 * iso_ls + 2.0 * col_ws +
+            8.0 * (san_ws + sap_ws);
+        return mats * sa_w * ext / die;
+      }
+      case OverheadFormula::IsoSaImbalancer: {
+        const double ext = 4.0 * iso_ls + 8.0 * (san_ws + sap_ws);
+        return mats * sa_w * ext / die;
+      }
+      case OverheadFormula::AspectRatio:
+        return chip.saFraction() / 4.0 + 0.01;
+      default:
+        throw std::logic_error("overheadFraction: unknown formula");
+    }
+}
+
+std::string
+overheadFormulaDescription(const ResearchPaper &paper, bool vendor_a)
+{
+    OverheadFormula formula = paper.formula;
+    if (paper.name == "REGA" && vendor_a)
+        formula = OverheadFormula::RegaTransistor;
+    switch (formula) {
+      case OverheadFormula::DoubleArray:
+        return "P_extra = MAT_area + SA_area (I1/I2: the region "
+               "doubles)";
+      case OverheadFormula::ThirdArray:
+        return "P_extra = (MAT_area + SA_area) / 3 (one new bitline "
+               "every three)";
+      case OverheadFormula::RegaTransistor:
+        return "P_extra = MATs * SA_w * (2 iso_ls + 8 (san_ws + "
+               "sap_ws) / 6) (vendor-A M2 slack)";
+      case OverheadFormula::IsolationOnly:
+        return "P_extra = MATs * SA_w * 2 iso_ls";
+      case OverheadFormula::IsoColumnSa:
+        return "P_extra = MATs * SA_w * (2 iso_ls + 2 col_ws + "
+               "8 (san_ws + sap_ws))";
+      case OverheadFormula::IsoSaImbalancer:
+        return "P_extra = MATs * SA_w * (4 iso_ls + 8 (san_ws + "
+               "sap_ws))";
+      case OverheadFormula::AspectRatio:
+        return "P_extra = MATs * SA_w * SA_h / 4 + 1% of the chip";
+      default:
+        return "unknown";
+    }
+}
+
+PaperAudit
+auditPaper(const ResearchPaper &paper)
+{
+    PaperAudit audit;
+    audit.paper = &paper;
+
+    double err_sum = 0.0, port_sum = 0.0;
+    size_t err_n = 0, port_n = 0;
+    for (const auto &chip : models::allChips()) {
+        const double p_chip = overheadFraction(paper, chip);
+        const double variation =
+            p_chip / paper.originalEstimate - 1.0;
+        audit.perChip[chip.id] = variation;
+
+        if (paper.ddr == 4) {
+            if (chip.ddr == 4) {
+                err_sum += variation;
+                ++err_n;
+            } else {
+                port_sum += variation;
+                ++port_n;
+            }
+        } else {
+            // DDR3 paper: no error (original tech not imaged); the
+            // porting cost covers all six chips.
+            port_sum += variation;
+            ++port_n;
+        }
+    }
+
+    audit.overheadError = err_n
+        ? err_sum / static_cast<double>(err_n)
+        : std::numeric_limits<double>::quiet_NaN();
+    audit.portingCost =
+        port_n ? port_sum / static_cast<double>(port_n) : 0.0;
+    return audit;
+}
+
+std::vector<PaperAudit>
+auditAllPapers()
+{
+    std::vector<PaperAudit> out;
+    for (const auto &paper : models::allPapers())
+        out.push_back(auditPaper(paper));
+    return out;
+}
+
+std::vector<PaperAudit>
+auditUnderLimit(double limit)
+{
+    std::vector<PaperAudit> out;
+    for (auto &audit : auditAllPapers()) {
+        bool any_under = false;
+        for (const auto &[id, v] : audit.perChip)
+            if (std::abs(v) < limit)
+                any_under = true;
+        if (any_under)
+            out.push_back(std::move(audit));
+    }
+    return out;
+}
+
+double
+i1MatExtensionOverhead()
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto *chip : models::chipsOfGeneration(4)) {
+        sum += chip->matFraction();
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+matSplitOverhead(const ChipSpec &chip)
+{
+    return 2.0 * chip.transitionNm / chip.matHeightNm;
+}
+
+} // namespace eval
+} // namespace hifi

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Overhead audit of the 13 research papers (Sections VI-B/C, Table II,
+ * Fig. 14, Appendix B).
+ *
+ * For each paper we compute the realistic per-chip overhead fraction
+ * P_chip = P_extra / Chip_area using the Appendix-B formulas, then:
+ *
+ *  - overhead error = mean over same-generation chips of
+ *    (P_chip / P_oe - 1), N/A for pre-DDR4 papers;
+ *  - porting cost   = the same mean over the other generation(s):
+ *    DDR5 chips for DDR4 papers, all six chips for DDR3 papers.
+ */
+
+#ifndef HIFI_EVAL_OVERHEADS_HH
+#define HIFI_EVAL_OVERHEADS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "models/chip_data.hh"
+#include "models/papers.hh"
+
+namespace hifi
+{
+namespace eval
+{
+
+/**
+ * Realistic overhead fraction of applying `paper`'s modification to
+ * `chip` (P_chip in Appendix B).
+ *
+ * REGA is special-cased per Appendix A: on vendor A chips the M2
+ * layer has slack for the extra connections, so the transistor-level
+ * formula applies instead of the one-bitline-in-three extension.
+ */
+double overheadFraction(const models::ResearchPaper &paper,
+                        const models::ChipSpec &chip);
+
+/** Audit result for one paper. */
+struct PaperAudit
+{
+    const models::ResearchPaper *paper = nullptr;
+
+    /// (P_chip / P_oe - 1) per chip id, all six chips.
+    std::map<std::string, double> perChip;
+
+    /// Mean over the paper's own generation; NaN when N/A (DDR3).
+    double overheadError = 0.0;
+
+    /// Mean over the porting target generation(s).
+    double portingCost = 0.0;
+};
+
+/// Audit one paper against all six chips.
+PaperAudit auditPaper(const models::ResearchPaper &paper);
+
+/// Table II: audit all 13 papers.
+std::vector<PaperAudit> auditAllPapers();
+
+/**
+ * Fig. 14 filter: papers whose |error/cost| is below `limit` on at
+ * least one chip (the paper omits proposals that are always >10x).
+ */
+std::vector<PaperAudit> auditUnderLimit(double limit = 10.0);
+
+/**
+ * Human-readable Appendix-B formula of a paper's P_extra (including
+ * the REGA vendor-A special case when `vendor_a` is set).
+ */
+std::string overheadFormulaDescription(
+    const models::ResearchPaper &paper, bool vendor_a = false);
+
+/**
+ * Average chip overhead required by papers affected by I1, "solely
+ * for the MAT extension" (Section VI-B reports 57%): the mean MAT
+ * fraction of the DDR4 chips.
+ */
+double i1MatExtensionOverhead();
+
+/**
+ * MAT fraction consumed by splitting a MAT with isolation transistors
+ * ([58]-style): two MAT-to-SA transitions relative to the MAT height.
+ * Averaged per generation this reproduces the Section V-C figures
+ * (1.6% DDR4 / 1.1% DDR5 in the paper).
+ */
+double matSplitOverhead(const models::ChipSpec &chip);
+
+} // namespace eval
+} // namespace hifi
+
+#endif // HIFI_EVAL_OVERHEADS_HH

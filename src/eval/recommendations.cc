@@ -1,0 +1,103 @@
+#include "eval/recommendations.hh"
+
+namespace hifi
+{
+namespace eval
+{
+
+const std::vector<Recommendation> &
+recommendations()
+{
+    static const std::vector<Recommendation> recs = {
+        {"R1",
+         "Estimate overheads including all additions to MATs or SAs, "
+         "such as wire connections",
+         "I1/I2: neither the MAT nor the SA region has free bitline "
+         "tracks; extra wiring forces region extensions"},
+        {"R2",
+         "Consider the impact on all interconnected SAs",
+         "I3: control lines (PEQ, ISO, OC) span the whole region and "
+         "are shared across SAs; per-SA control does not exist"},
+        {"R3",
+         "Consider the physical layout and organization of SA blocks",
+         "I4: column transistors come first after the MAT; two "
+         "stacked SAs share each strip; common-gate element widths "
+         "run perpendicular to latch widths"},
+        {"R4",
+         "Consider offset-cancellation designs in the evaluation",
+         "I5: A4, A5 and B5 deploy OCSAs with extra devices, control "
+         "signals, and different event timing"},
+    };
+    return recs;
+}
+
+std::vector<Finding>
+checkProposal(const Proposal &proposal, const models::ChipSpec &chip)
+{
+    std::vector<Finding> findings;
+
+    if (proposal.extraBitlinesPerExisting > 0) {
+        findings.push_back(
+            {"R1", "I1",
+             proposal.name + " adds bitlines; on " + chip.id +
+                 " the MAT and SA region are packed at minimum pitch "
+                 "(0 free tracks), so the array width doubles"});
+    }
+    if (proposal.extraWires > 0 && chip.vendor != 'A') {
+        findings.push_back(
+            {"R1", "I2",
+             proposal.name + " routes extra wires through the SA "
+                             "region; only vendor A chips have M2 "
+                             "slack for that"});
+    }
+    if (proposal.assumesIndependentPeq) {
+        findings.push_back(
+            {"R2", "I3",
+             "precharge/equalizer gates on " + chip.id +
+                 " span the whole region; they cannot be driven per "
+                 "SA"});
+    }
+    if (proposal.assumesIsolationPresent &&
+        chip.topology == models::Topology::Classic) {
+        findings.push_back(
+            {"R2", "I3",
+             chip.id + " (classic SA) has no isolation transistors "
+                       "to reuse"});
+    }
+    if (proposal.assumesIsolationPresent &&
+        chip.topology == models::Topology::Ocsa) {
+        findings.push_back(
+            {"R4", "I3",
+             chip.id + "'s OCSA isolation devices decouple only the "
+                       "latch drains (gates stay connected); they "
+                       "differ from the assumed isolation"});
+    }
+    if (!proposal.placesElementsAfterColumns) {
+        findings.push_back(
+            {"R3", "I4",
+             "column transistors are the first elements after the "
+             "MAT on " +
+                 chip.id +
+                 "; inserting elements before them requires "
+                 "reorganizing the SA"});
+    }
+    if (!proposal.accountsForBothStackedSas) {
+        findings.push_back(
+            {"R3", "I4",
+             chip.id + " places two stacked SAs between MATs; "
+                       "bitline-shared additions must be counted for "
+                       "both"});
+    }
+    if (!proposal.modelsOcsa &&
+        chip.topology == models::Topology::Ocsa) {
+        findings.push_back(
+            {"R4", "I5",
+             chip.id + " deploys an OCSA; timings (delayed charge "
+                       "sharing, pre-sensing) and overheads differ "
+                       "from the classic design"});
+    }
+    return findings;
+}
+
+} // namespace eval
+} // namespace hifi

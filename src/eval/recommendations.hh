@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The paper's recommendations for high-fidelity DRAM research
+ * (Section VI-E), plus a structured proposal checker that applies
+ * them to a described SA-region modification.
+ */
+
+#ifndef HIFI_EVAL_RECOMMENDATIONS_HH
+#define HIFI_EVAL_RECOMMENDATIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace eval
+{
+
+/** One of the paper's recommendations R1-R4. */
+struct Recommendation
+{
+    std::string id;       ///< "R1".."R4"
+    std::string title;
+    std::string rationale; ///< the inaccuracy it answers
+};
+
+/// The four recommendations of Section VI-E.
+const std::vector<Recommendation> &recommendations();
+
+/** A described SA-region modification to check. */
+struct Proposal
+{
+    std::string name = "proposal";
+
+    int extraBitlinesPerExisting = 0; ///< new bitlines per existing
+    int extraWires = 0;               ///< other new wires in the SA
+    bool assumesIsolationPresent = false;
+    bool assumesIndependentPeq = false; ///< per-SA precharge control
+    bool placesElementsAfterColumns = false;
+    bool modelsOcsa = false;
+    bool accountsForBothStackedSas = false;
+};
+
+/** One finding of the checker. */
+struct Finding
+{
+    std::string recommendation; ///< which R it comes from
+    std::string inaccuracy;     ///< which I it flags ("I1".."I5", "-")
+    std::string message;
+};
+
+/**
+ * Apply the recommendations to a proposal against one chip: returns
+ * the violated recommendations with explanations (empty = clean).
+ */
+std::vector<Finding> checkProposal(const Proposal &proposal,
+                                   const models::ChipSpec &chip);
+
+} // namespace eval
+} // namespace hifi
+
+#endif // HIFI_EVAL_RECOMMENDATIONS_HH

@@ -1,0 +1,59 @@
+#include "eval/sensitivity.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/overheads.hh"
+#include "models/papers.hh"
+
+namespace hifi
+{
+namespace eval
+{
+
+namespace
+{
+
+/// Overhead error of one paper with scaled region geometry.
+double
+errorWithScale(const models::ResearchPaper &paper, double scale)
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto &chip : models::allChips()) {
+        if (paper.ddr == 4 && chip.ddr != 4)
+            continue;
+        models::ChipSpec scaled = chip;
+        scaled.saHeightNm *= scale;
+        scaled.matHeightNm *= scale;
+        sum += overheadFraction(paper, scaled) /
+                paper.originalEstimate -
+            1.0;
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace
+
+std::vector<SensitivityRange>
+overheadSensitivity(double perturbation)
+{
+    std::vector<SensitivityRange> out;
+    for (const char *name :
+         {"CoolDRAM", "CLR-DRAM", "REGA", "PF-DRAM", "AMBIT"}) {
+        const auto &paper = models::paper(name);
+        SensitivityRange range;
+        range.quantity = std::string(name) + " overhead error";
+        range.nominal = errorWithScale(paper, 1.0);
+        const double a = errorWithScale(paper, 1.0 - perturbation);
+        const double b = errorWithScale(paper, 1.0 + perturbation);
+        range.low = std::min(a, b);
+        range.high = std::max(a, b);
+        out.push_back(range);
+    }
+    return out;
+}
+
+} // namespace eval
+} // namespace hifi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sensitivity analysis of the headline conclusions.
+ *
+ * The calibrated datasets carry measurement uncertainty (the paper's
+ * repeated measurements scatter at about half a pixel).  This module
+ * perturbs the region geometry by a given relative amount and reports
+ * the range each headline number moves over, showing that the
+ * conclusions (who is >20x off, who survives) are robust to the
+ * measurement error.
+ */
+
+#ifndef HIFI_EVAL_SENSITIVITY_HH
+#define HIFI_EVAL_SENSITIVITY_HH
+
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace eval
+{
+
+/** Range of one audited quantity under geometry perturbation. */
+struct SensitivityRange
+{
+    std::string quantity; ///< e.g. "CoolDRAM error"
+    double nominal = 0.0;
+    double low = 0.0;  ///< at -perturbation
+    double high = 0.0; ///< at +perturbation
+
+    /// Relative half-width of the range.
+    double relativeSpan() const
+    {
+        return nominal != 0.0 ? (high - low) / (2.0 * nominal) : 0.0;
+    }
+};
+
+/**
+ * Perturb every chip's SA-strip height and MAT height by the given
+ * relative amount (both directions) and recompute the headline
+ * overhead errors.  `perturbation` of 0.05 means +-5%.
+ */
+std::vector<SensitivityRange> overheadSensitivity(
+    double perturbation = 0.05);
+
+} // namespace eval
+} // namespace hifi
+
+#endif // HIFI_EVAL_SENSITIVITY_HH

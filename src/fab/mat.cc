@@ -1,0 +1,85 @@
+#include "fab/mat.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace hifi
+{
+namespace fab
+{
+
+using common::Rect;
+using layout::Layer;
+
+MatSpec
+MatSpec::fromChip(const models::ChipSpec &chip, size_t bitlines,
+                  size_t wordlines)
+{
+    MatSpec spec;
+    spec.bitlines = bitlines;
+    spec.wordlines = wordlines;
+    spec.blPitchNm = chip.blPitchNm;
+    spec.blWidthNm = chip.blWidthNm;
+    spec.wlPitchNm = chip.blPitchNm * 1.5; // 6F^2: 3F vs 2F pitches
+    spec.wlWidthNm = chip.blPitchNm * 0.75;
+    spec.capSizeNm = chip.blPitchNm * 0.8;
+    return spec;
+}
+
+std::shared_ptr<layout::Cell>
+buildMatSlice(const MatSpec &spec)
+{
+    if (spec.bitlines == 0 || spec.wordlines == 0)
+        throw std::invalid_argument("buildMatSlice: empty MAT");
+
+    auto cell = std::make_shared<layout::Cell>("MAT_SLICE");
+    const double margin = spec.blPitchNm;
+    const double width =
+        static_cast<double>(spec.wordlines) * spec.wlPitchNm +
+        2.0 * margin;
+    const double height =
+        static_cast<double>(spec.bitlines) * spec.blPitchNm +
+        2.0 * margin;
+
+    // Bitlines along X on M1.
+    for (size_t b = 0; b < spec.bitlines; ++b) {
+        const double yc = margin +
+            static_cast<double>(b) * spec.blPitchNm +
+            spec.blWidthNm / 2.0;
+        cell->addShape(Rect(0.0, yc - spec.blWidthNm / 2.0, width,
+                            yc + spec.blWidthNm / 2.0),
+                       Layer::Metal1, "BL" + std::to_string(b));
+    }
+
+    // Buried wordline strips along Y on the gate layer (BCAT).
+    for (size_t w = 0; w < spec.wordlines; ++w) {
+        const double xc = margin +
+            static_cast<double>(w) * spec.wlPitchNm +
+            spec.wlWidthNm / 2.0;
+        cell->addShape(Rect(xc - spec.wlWidthNm / 2.0, 0.0,
+                            xc + spec.wlWidthNm / 2.0, height),
+                       Layer::Gate, "WL" + std::to_string(w));
+    }
+
+    // Capacitors: one per cell, honeycomb packing (odd columns offset
+    // by half a bitline pitch).
+    const double cs = spec.capSizeNm;
+    for (size_t w = 0; w < spec.wordlines; ++w) {
+        for (size_t b = 0; b < spec.bitlines; ++b) {
+            const double xc = margin +
+                (static_cast<double>(w) + 0.5) * spec.wlPitchNm;
+            double yc = margin +
+                static_cast<double>(b) * spec.blPitchNm +
+                spec.blWidthNm / 2.0;
+            if (w % 2 == 1)
+                yc += spec.blPitchNm / 2.0;
+            cell->addShape(Rect(xc - cs / 2.0, yc - cs / 2.0,
+                                xc + cs / 2.0, yc + cs / 2.0),
+                           Layer::Capacitor);
+        }
+    }
+    return cell;
+}
+
+} // namespace fab
+} // namespace hifi

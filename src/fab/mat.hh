@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MAT (memory array tile) slice generator: bitlines on M1, buried
+ * wordline gates (BCAT), and storage capacitors arranged in the
+ * honeycomb lattice the paper images on C5 (Fig. 7a, [4], [77]).
+ *
+ * Used for the imaging-capability demonstrations and for the Fig. 13
+ * free-space audit (no spare bitline track fits in the MAT).
+ */
+
+#ifndef HIFI_FAB_MAT_HH
+#define HIFI_FAB_MAT_HH
+
+#include <memory>
+
+#include "layout/cell.hh"
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace fab
+{
+
+/** Geometry of a generated MAT slice. */
+struct MatSpec
+{
+    size_t bitlines = 8;
+    size_t wordlines = 12;
+
+    double blPitchNm = 39.0;
+    double blWidthNm = 26.0;
+    double wlPitchNm = 58.0;
+    double wlWidthNm = 30.0;
+
+    /// Capacitor pillar diameter (drawn as a square of this side).
+    double capSizeNm = 30.0;
+
+    static MatSpec fromChip(const models::ChipSpec &chip,
+                            size_t bitlines = 8, size_t wordlines = 12);
+};
+
+/**
+ * Build the MAT slice: wordline strips on the gate layer (BCAT),
+ * bitlines on M1, and one capacitor per cell on the capacitor layer,
+ * offset every other wordline by half a bitline pitch (honeycomb).
+ */
+std::shared_ptr<layout::Cell> buildMatSlice(const MatSpec &spec);
+
+} // namespace fab
+} // namespace hifi
+
+#endif // HIFI_FAB_MAT_HH

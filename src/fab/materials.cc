@@ -1,0 +1,43 @@
+#include "fab/materials.hh"
+
+#include <array>
+
+namespace hifi
+{
+namespace fab
+{
+
+const std::string &
+materialName(Material m)
+{
+    static const std::array<std::string, kNumMaterials> names = {
+        "oxide", "silicon", "polysilicon", "tungsten", "copper",
+        "capacitor-metal",
+    };
+    return names.at(static_cast<size_t>(m));
+}
+
+Material
+materialForLayer(layout::Layer layer)
+{
+    using layout::Layer;
+    switch (layer) {
+      case Layer::Active:
+        return Material::Silicon;
+      case Layer::Gate:
+        return Material::Polysilicon;
+      case Layer::Contact:
+      case Layer::Via1:
+        return Material::Tungsten;
+      case Layer::Metal1:
+      case Layer::Metal2:
+        return Material::Copper;
+      case Layer::Capacitor:
+        return Material::CapacitorMetal;
+      default:
+        return Material::Oxide;
+    }
+}
+
+} // namespace fab
+} // namespace hifi

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Material identities used by the voxelizer and the microscope
+ * simulator.  Each layout layer maps to a material; SEM contrast is a
+ * property of the material and the detector (SE vs BSE).
+ */
+
+#ifndef HIFI_FAB_MATERIALS_HH
+#define HIFI_FAB_MATERIALS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "layout/layer.hh"
+
+namespace hifi
+{
+namespace fab
+{
+
+/** Materials appearing in the SA region cross sections. */
+enum class Material : uint8_t
+{
+    Oxide = 0,     ///< inter-layer dielectric (background)
+    Silicon,       ///< active regions (doped Si)
+    Polysilicon,   ///< gates
+    Tungsten,      ///< contacts and vias
+    Copper,        ///< M1 / M2 wires
+    CapacitorMetal,///< storage capacitor electrodes
+    NumMaterials
+};
+
+constexpr size_t kNumMaterials =
+    static_cast<size_t>(Material::NumMaterials);
+
+const std::string &materialName(Material m);
+
+/// Material deposited on each layout layer.
+Material materialForLayer(layout::Layer layer);
+
+} // namespace fab
+} // namespace hifi
+
+#endif // HIFI_FAB_MATERIALS_HH

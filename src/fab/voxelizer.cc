@@ -1,0 +1,71 @@
+#include "fab/voxelizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace fab
+{
+
+image::Volume3D
+voxelize(const layout::Cell &cell, const common::Rect &bounds,
+         const VoxelizeParams &params)
+{
+    if (bounds.empty())
+        throw std::invalid_argument("voxelize: empty bounds");
+    if (params.voxelNm <= 0.0)
+        throw std::invalid_argument("voxelize: bad voxel size");
+
+    const double v = params.voxelNm;
+    const auto nx = static_cast<size_t>(
+        std::ceil(bounds.width() / v));
+    const auto ny = static_cast<size_t>(
+        std::ceil(bounds.height() / v));
+    const auto nz = static_cast<size_t>(
+        std::ceil(params.zMaxNm / v));
+
+    image::Volume3D vol(nx, ny, nz,
+                        static_cast<float>(Material::Oxide));
+
+    for (const auto &shape : cell.flatten()) {
+        const common::Rect r = shape.rect.intersect(bounds);
+        if (r.empty())
+            continue;
+        const layout::LayerZ z = layout::layerZ(shape.layer);
+        const auto mat = static_cast<float>(
+            materialForLayer(shape.layer));
+
+        const auto x0 = static_cast<size_t>(
+            std::max(0.0, (r.x0 - bounds.x0) / v));
+        const auto y0 = static_cast<size_t>(
+            std::max(0.0, (r.y0 - bounds.y0) / v));
+        const auto z0 = static_cast<size_t>(
+            std::max(0.0, z.z0 / v));
+        const auto x1 = std::min(
+            nx, static_cast<size_t>(std::ceil((r.x1 - bounds.x0) / v)));
+        const auto y1 = std::min(
+            ny, static_cast<size_t>(std::ceil((r.y1 - bounds.y0) / v)));
+        const auto z1 = std::min(
+            nz, static_cast<size_t>(std::ceil(z.z1 / v)));
+
+        for (size_t zz = z0; zz < z1; ++zz)
+            for (size_t yy = y0; yy < y1; ++yy)
+                for (size_t xx = x0; xx < x1; ++xx)
+                    vol.at(xx, yy, zz) = mat;
+    }
+    return vol;
+}
+
+Material
+voxelMaterial(float value)
+{
+    const long code = std::lround(value);
+    if (code < 0 || code >= static_cast<long>(kNumMaterials))
+        return Material::Oxide;
+    return static_cast<Material>(code);
+}
+
+} // namespace fab
+} // namespace hifi

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Rasterizes a layout cell into a 3-D material volume, the "silicon"
+ * the microscope simulator images.
+ */
+
+#ifndef HIFI_FAB_VOXELIZER_HH
+#define HIFI_FAB_VOXELIZER_HH
+
+#include "fab/materials.hh"
+#include "image/volume3d.hh"
+#include "layout/cell.hh"
+
+namespace hifi
+{
+namespace fab
+{
+
+/** Voxelization settings. */
+struct VoxelizeParams
+{
+    /// Edge length of a voxel (nm); isotropic.
+    double voxelNm = 5.0;
+
+    /// Vertical extent of the volume (nm above substrate).
+    double zMaxNm = 270.0;
+};
+
+/**
+ * Rasterize the flattened cell into a material volume.  Voxel values
+ * are Material enum codes stored as floats; the background is Oxide.
+ * Shapes are painted in layer z-order, later layers over earlier ones
+ * (they occupy different z slabs anyway).
+ *
+ * The volume origin coincides with `bounds.x0/y0`; voxel (x,y,z)
+ * covers [x*v, (x+1)*v) nm etc.
+ */
+image::Volume3D voxelize(const layout::Cell &cell,
+                         const common::Rect &bounds,
+                         const VoxelizeParams &params = {});
+
+/// Material of a voxel value (clamped to the enum range).
+Material voxelMaterial(float value);
+
+} // namespace fab
+} // namespace hifi
+
+#endif // HIFI_FAB_VOXELIZER_HH

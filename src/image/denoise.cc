@@ -1,0 +1,171 @@
+#include "image/denoise.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hifi
+{
+namespace image
+{
+
+namespace
+{
+
+/// Forward difference along x with Neumann boundary (0 at the edge).
+inline float
+dxp(const Image2D &u, size_t x, size_t y)
+{
+    return x + 1 < u.width() ? u.at(x + 1, y) - u.at(x, y) : 0.0f;
+}
+
+/// Forward difference along y with Neumann boundary.
+inline float
+dyp(const Image2D &u, size_t x, size_t y)
+{
+    return y + 1 < u.height() ? u.at(x, y + 1) - u.at(x, y) : 0.0f;
+}
+
+} // namespace
+
+Image2D
+denoiseChambolle(const Image2D &input, const TvParams &params)
+{
+    if (input.empty())
+        throw std::invalid_argument("denoiseChambolle: empty image");
+    const size_t w = input.width();
+    const size_t h = input.height();
+    const double lambda = params.lambda;
+    const double tau = 0.125; // <= 1/8 guarantees convergence
+
+    // Dual field p = (px, py).
+    Image2D px(w, h, 0.0f), py(w, h, 0.0f);
+    Image2D div_p(w, h, 0.0f);
+    Image2D g(w, h, 0.0f);
+
+    for (size_t it = 0; it < params.iterations; ++it) {
+        // div p with backward differences (adjoint of forward gradient).
+        for (size_t y = 0; y < h; ++y) {
+            for (size_t x = 0; x < w; ++x) {
+                float d = 0.0f;
+                d += px.at(x, y) - (x > 0 ? px.at(x - 1, y) : 0.0f);
+                if (x + 1 == w)
+                    d = -(x > 0 ? px.at(x - 1, y) : 0.0f);
+                float dy = py.at(x, y) - (y > 0 ? py.at(x, y - 1) : 0.0f);
+                if (y + 1 == h)
+                    dy = -(y > 0 ? py.at(x, y - 1) : 0.0f);
+                div_p.at(x, y) = d + dy;
+            }
+        }
+        // g = div p - f / lambda
+        for (size_t i = 0; i < g.size(); ++i)
+            g.data()[i] = div_p.data()[i] -
+                input.data()[i] / static_cast<float>(lambda);
+        // p = (p + tau grad g) / (1 + tau |grad g|)
+        for (size_t y = 0; y < h; ++y) {
+            for (size_t x = 0; x < w; ++x) {
+                const float gx = dxp(g, x, y);
+                const float gy = dyp(g, x, y);
+                const float mag = std::sqrt(gx * gx + gy * gy);
+                const float denom =
+                    1.0f + static_cast<float>(tau) * mag;
+                px.at(x, y) = (px.at(x, y) +
+                               static_cast<float>(tau) * gx) / denom;
+                py.at(x, y) = (py.at(x, y) +
+                               static_cast<float>(tau) * gy) / denom;
+            }
+        }
+    }
+
+    // u = f - lambda div p (recompute div with the final p).
+    Image2D out(w, h);
+    for (size_t y = 0; y < h; ++y) {
+        for (size_t x = 0; x < w; ++x) {
+            float d = px.at(x, y) - (x > 0 ? px.at(x - 1, y) : 0.0f);
+            if (x + 1 == w)
+                d = -(x > 0 ? px.at(x - 1, y) : 0.0f);
+            float dy = py.at(x, y) - (y > 0 ? py.at(x, y - 1) : 0.0f);
+            if (y + 1 == h)
+                dy = -(y > 0 ? py.at(x, y - 1) : 0.0f);
+            out.at(x, y) = input.at(x, y) -
+                static_cast<float>(lambda) * (d + dy);
+        }
+    }
+    return out;
+}
+
+Image2D
+denoiseSplitBregman(const Image2D &input, const TvParams &params)
+{
+    if (input.empty())
+        throw std::invalid_argument("denoiseSplitBregman: empty image");
+    const size_t w = input.width();
+    const size_t h = input.height();
+
+    // Goldstein-Osher weights: mu couples to data, lam to the splitting.
+    const float mu = static_cast<float>(1.0 / std::max(1e-6,
+                                                       params.lambda));
+    const float lam = 2.0f * mu;
+
+    Image2D u = input;
+    Image2D dx(w, h, 0.0f), dy(w, h, 0.0f);
+    Image2D bx(w, h, 0.0f), by(w, h, 0.0f);
+
+    auto shrink = [](float v, float t) {
+        if (v > t)
+            return v - t;
+        if (v < -t)
+            return v + t;
+        return 0.0f;
+    };
+
+    // Several Gauss-Seidel sweeps per outer iteration: the u-step must
+    // approximately solve its linear system before the shrinkage step,
+    // otherwise the lagged div(d - b) feedback oscillates.
+    constexpr int kInnerSweeps = 4;
+
+    for (size_t it = 0; it < params.iterations; ++it) {
+        for (int sweep = 0; sweep < kInnerSweeps; ++sweep)
+        for (size_t y = 0; y < h; ++y) {
+            for (size_t x = 0; x < w; ++x) {
+                float sum = 0.0f;
+                int nbrs = 0;
+                if (x > 0) { sum += u.at(x - 1, y); ++nbrs; }
+                if (x + 1 < w) { sum += u.at(x + 1, y); ++nbrs; }
+                if (y > 0) { sum += u.at(x, y - 1); ++nbrs; }
+                if (y + 1 < h) { sum += u.at(x, y + 1); ++nbrs; }
+
+                // div(d - b) with backward differences.
+                float div = 0.0f;
+                div += (dx.at(x, y) - bx.at(x, y)) -
+                    (x > 0 ? (dx.at(x - 1, y) - bx.at(x - 1, y))
+                           : 0.0f);
+                div += (dy.at(x, y) - by.at(x, y)) -
+                    (y > 0 ? (dy.at(x, y - 1) - by.at(x, y - 1))
+                           : 0.0f);
+
+                // Normal equation: (mu - lam Laplacian) u =
+                // mu f - lam div(d - b).
+                const float rhs = mu * input.at(x, y) - lam * div;
+                u.at(x, y) = (rhs + lam * sum) /
+                    (mu + lam * static_cast<float>(nbrs));
+            }
+        }
+        // Shrinkage step on d, then Bregman update on b.
+        for (size_t y = 0; y < h; ++y) {
+            for (size_t x = 0; x < w; ++x) {
+                const float gx = dxp(u, x, y);
+                const float gy = dyp(u, x, y);
+                dx.at(x, y) = shrink(gx + bx.at(x, y), 1.0f / lam);
+                dy.at(x, y) = shrink(gy + by.at(x, y), 1.0f / lam);
+                bx.at(x, y) += gx - dx.at(x, y);
+                by.at(x, y) += gy - dy.at(x, y);
+            }
+        }
+    }
+    return u;
+}
+
+} // namespace image
+} // namespace hifi

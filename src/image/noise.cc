@@ -1,0 +1,51 @@
+#include "image/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace image
+{
+
+void
+addShotNoise(Image2D &img, double electrons, common::Rng &rng)
+{
+    if (electrons <= 0.0)
+        throw std::invalid_argument("addShotNoise: electrons <= 0");
+    for (float &v : img.data()) {
+        const double mean = std::max(0.0, static_cast<double>(v)) *
+            electrons;
+        v = static_cast<float>(
+            static_cast<double>(rng.poisson(mean)) / electrons);
+    }
+}
+
+void
+addGaussianNoise(Image2D &img, double sigma, common::Rng &rng)
+{
+    if (sigma < 0.0)
+        throw std::invalid_argument("addGaussianNoise: sigma < 0");
+    for (float &v : img.data())
+        v += static_cast<float>(rng.gaussian(0.0, sigma));
+}
+
+double
+snr(const Image2D &noisy, const Image2D &clean)
+{
+    const double m = clean.meanValue();
+    double var = 0.0;
+    for (float v : clean.data()) {
+        const double d = v - m;
+        var += d * d;
+    }
+    var /= static_cast<double>(clean.size());
+    const double e = noisy.mse(clean);
+    if (e <= 0.0)
+        return 1e12;
+    return var / e;
+}
+
+} // namespace image
+} // namespace hifi

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Noise models for simulated SEM images.
+ *
+ * SEM noise is dominated by electron shot noise: the number of detected
+ * electrons per pixel is Poisson with mean proportional to dwell time and
+ * beam current.  We also model additive detector (Gaussian) noise.
+ */
+
+#ifndef HIFI_IMAGE_NOISE_HH
+#define HIFI_IMAGE_NOISE_HH
+
+#include "common/rng.hh"
+#include "image/image2d.hh"
+
+namespace hifi
+{
+namespace image
+{
+
+/**
+ * Apply shot noise: each pixel value v in [0,1] is replaced by
+ * Poisson(v * electrons) / electrons.
+ *
+ * @param electrons mean detected electrons for a full-scale pixel;
+ *                  proportional to dwell time (3 us vs 6 us in the paper)
+ */
+void addShotNoise(Image2D &img, double electrons, common::Rng &rng);
+
+/// Additive zero-mean Gaussian detector noise with given sigma.
+void addGaussianNoise(Image2D &img, double sigma, common::Rng &rng);
+
+/**
+ * Estimate the signal-to-noise ratio of a noisy image given its clean
+ * reference: SNR = var(clean) / mse(noisy, clean), as a linear ratio.
+ */
+double snr(const Image2D &noisy, const Image2D &clean);
+
+} // namespace image
+} // namespace hifi
+
+#endif // HIFI_IMAGE_NOISE_HH

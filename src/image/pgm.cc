@@ -1,0 +1,68 @@
+#include "image/pgm.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace image
+{
+
+void
+writePgm(const std::string &path, const Image2D &img, float lo,
+         float hi)
+{
+    if (img.empty())
+        throw std::invalid_argument("writePgm: empty image");
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("writePgm: cannot open " + path);
+
+    if (lo >= hi) {
+        lo = img.minValue();
+        hi = img.maxValue();
+        if (hi <= lo)
+            hi = lo + 1.0f;
+    }
+
+    os << "P5\n"
+       << img.width() << " " << img.height() << "\n255\n";
+    for (size_t y = 0; y < img.height(); ++y) {
+        for (size_t x = 0; x < img.width(); ++x) {
+            const float t = (img.at(x, y) - lo) / (hi - lo);
+            const auto v = static_cast<unsigned char>(
+                std::clamp(t, 0.0f, 1.0f) * 255.0f + 0.5f);
+            os.put(static_cast<char>(v));
+        }
+    }
+}
+
+Image2D
+readPgm(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("readPgm: cannot open " + path);
+    std::string magic;
+    size_t w = 0, h = 0;
+    int maxval = 0;
+    is >> magic >> w >> h >> maxval;
+    if (magic != "P5" || w == 0 || h == 0 || maxval != 255)
+        throw std::runtime_error("readPgm: unsupported format");
+    is.get(); // single whitespace after the header
+
+    Image2D img(w, h);
+    for (size_t y = 0; y < h; ++y) {
+        for (size_t x = 0; x < w; ++x) {
+            const int c = is.get();
+            if (c < 0)
+                throw std::runtime_error("readPgm: truncated file");
+            img.at(x, y) = static_cast<float>(c) / 255.0f;
+        }
+    }
+    return img;
+}
+
+} // namespace image
+} // namespace hifi

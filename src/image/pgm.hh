@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PGM (portable graymap) export for images, so planar views and cross
+ * sections can be inspected with any image viewer - the closest
+ * equivalent to the paper's published IC images.
+ */
+
+#ifndef HIFI_IMAGE_PGM_HH
+#define HIFI_IMAGE_PGM_HH
+
+#include <string>
+
+#include "image/image2d.hh"
+
+namespace hifi
+{
+namespace image
+{
+
+/**
+ * Write an image as binary PGM (P5), mapping [lo, hi] to [0, 255].
+ * With lo == hi the image's own min/max are used.
+ * Throws std::runtime_error when the file cannot be written.
+ */
+void writePgm(const std::string &path, const Image2D &img,
+              float lo = 0.0f, float hi = 0.0f);
+
+/// Read back a binary PGM written by writePgm (values scaled to [0,1]).
+Image2D readPgm(const std::string &path);
+
+} // namespace image
+} // namespace hifi
+
+#endif // HIFI_IMAGE_PGM_HH

@@ -1,0 +1,186 @@
+#include "image/registration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace image
+{
+
+namespace
+{
+
+/// Quantize an intensity into [0, bins).
+inline size_t
+quantize(float v, float lo, float inv_range, size_t bins)
+{
+    double t = (v - lo) * inv_range;
+    t = std::clamp(t, 0.0, 1.0 - 1e-9);
+    return static_cast<size_t>(t * static_cast<double>(bins));
+}
+
+/**
+ * MI over the overlap of `a` and `b` when b is conceptually translated
+ * by (dx, dy).  Pixels outside the overlap are ignored, which avoids the
+ * edge-replication bias of shifting first.
+ */
+double
+miAtShift(const Image2D &a, const Image2D &b, long dx, long dy,
+          size_t bins)
+{
+    const long w = static_cast<long>(a.width());
+    const long h = static_cast<long>(a.height());
+
+    const float alo = a.minValue(), ahi = a.maxValue();
+    const float blo = b.minValue(), bhi = b.maxValue();
+    const float ainv = (ahi > alo) ? 1.0f / (ahi - alo) : 0.0f;
+    const float binv = (bhi > blo) ? 1.0f / (bhi - blo) : 0.0f;
+
+    std::vector<double> joint(bins * bins, 0.0);
+    std::vector<double> pa(bins, 0.0), pb(bins, 0.0);
+    size_t n = 0;
+
+    const long x0 = std::max(0l, dx), x1 = std::min(w, w + dx);
+    const long y0 = std::max(0l, dy), y1 = std::min(h, h + dy);
+    for (long y = y0; y < y1; ++y) {
+        for (long x = x0; x < x1; ++x) {
+            const size_t ia = quantize(
+                a.at(static_cast<size_t>(x), static_cast<size_t>(y)),
+                alo, ainv, bins);
+            const size_t ib = quantize(
+                b.at(static_cast<size_t>(x - dx),
+                     static_cast<size_t>(y - dy)),
+                blo, binv, bins);
+            joint[ia * bins + ib] += 1.0;
+            ++n;
+        }
+    }
+    if (n == 0)
+        return 0.0;
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t i = 0; i < bins; ++i) {
+        for (size_t j = 0; j < bins; ++j) {
+            const double p = joint[i * bins + j] * inv_n;
+            pa[i] += p;
+            pb[j] += p;
+        }
+    }
+    double mi = 0.0;
+    for (size_t i = 0; i < bins; ++i) {
+        if (pa[i] <= 0.0)
+            continue;
+        for (size_t j = 0; j < bins; ++j) {
+            const double p = joint[i * bins + j] * inv_n;
+            if (p > 0.0 && pb[j] > 0.0)
+                mi += p * std::log(p / (pa[i] * pb[j]));
+        }
+    }
+    return mi;
+}
+
+} // namespace
+
+double
+mutualInformation(const Image2D &a, const Image2D &b, size_t bins)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument("mutualInformation: shape mismatch");
+    if (bins < 2)
+        throw std::invalid_argument("mutualInformation: bins < 2");
+    return miAtShift(a, b, 0, 0, bins);
+}
+
+std::pair<long, long>
+registerShiftMi(const Image2D &fixed, const Image2D &moving,
+                const MiParams &params)
+{
+    if (fixed.width() != moving.width() ||
+        fixed.height() != moving.height()) {
+        throw std::invalid_argument("registerShiftMi: shape mismatch");
+    }
+    double best = -1.0;
+    std::pair<long, long> best_shift{0, 0};
+    for (long dy = -params.maxShift; dy <= params.maxShift; ++dy) {
+        for (long dx = -params.maxShift; dx <= params.maxShift; ++dx) {
+            const double mi = miAtShift(fixed, moving, dx, dy,
+                                        params.bins);
+            // Prefer smaller shifts on ties for stability.
+            if (mi > best + 1e-12) {
+                best = mi;
+                best_shift = {dx, dy};
+            }
+        }
+    }
+    return best_shift;
+}
+
+std::pair<double, double>
+registerShiftMiSubpixel(const Image2D &fixed, const Image2D &moving,
+                        const MiParams &params)
+{
+    const auto best = registerShiftMi(fixed, moving, params);
+
+    auto mi_at = [&](long dx, long dy) {
+        return miAtShift(fixed, moving, dx, dy, params.bins);
+    };
+    auto refine = [&](double m_minus, double m_0, double m_plus) {
+        const double denom = m_minus - 2.0 * m_0 + m_plus;
+        if (std::abs(denom) < 1e-12)
+            return 0.0;
+        const double delta = 0.5 * (m_minus - m_plus) / denom;
+        return std::clamp(delta, -0.5, 0.5);
+    };
+
+    const double m0 = mi_at(best.first, best.second);
+    const double fx = refine(mi_at(best.first - 1, best.second), m0,
+                             mi_at(best.first + 1, best.second));
+    const double fy = refine(mi_at(best.first, best.second - 1), m0,
+                             mi_at(best.first, best.second + 1));
+    return {static_cast<double>(best.first) + fx,
+            static_cast<double>(best.second) + fy};
+}
+
+std::vector<std::pair<long, long>>
+alignStack(const std::vector<Image2D> &slices, const MiParams &params)
+{
+    if (slices.empty())
+        throw std::invalid_argument("alignStack: no slices");
+    std::vector<std::pair<long, long>> shifts;
+    shifts.reserve(slices.size());
+    shifts.emplace_back(0, 0);
+    long acc_x = 0, acc_y = 0;
+    for (size_t i = 1; i < slices.size(); ++i) {
+        const auto s = registerShiftMi(slices[i - 1], slices[i], params);
+        // registerShiftMi returns the offset of slice i relative to
+        // slice i-1; accumulate to express it relative to slice 0.
+        acc_x += -s.first;
+        acc_y += -s.second;
+        shifts.emplace_back(acc_x, acc_y);
+    }
+    return shifts;
+}
+
+double
+alignmentResidual(const std::vector<std::pair<long, long>> &recovered,
+                  const std::vector<std::pair<long, long>> &truth)
+{
+    if (recovered.size() != truth.size() || recovered.empty())
+        throw std::invalid_argument("alignmentResidual: size mismatch");
+    const long ox = truth[0].first - recovered[0].first;
+    const long oy = truth[0].second - recovered[0].second;
+    double sum = 0.0;
+    for (size_t i = 0; i < recovered.size(); ++i) {
+        const double ex = static_cast<double>(
+            recovered[i].first + ox - truth[i].first);
+        const double ey = static_cast<double>(
+            recovered[i].second + oy - truth[i].second);
+        sum += std::hypot(ex, ey);
+    }
+    return sum / static_cast<double>(recovered.size());
+}
+
+} // namespace image
+} // namespace hifi

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mutual-information slice registration (Section IV-C).
+ *
+ * The paper aligns each FIB/SEM slice to its predecessor with Dragonfly's
+ * mutual-information algorithm.  Planar-view fidelity requires residual
+ * alignment error below 0.77% of the slice height, so we expose both the
+ * pairwise MI search and the full-stack chained alignment, and report the
+ * residual against ground truth in tests/benches.
+ */
+
+#ifndef HIFI_IMAGE_REGISTRATION_HH
+#define HIFI_IMAGE_REGISTRATION_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "image/image2d.hh"
+
+namespace hifi
+{
+namespace image
+{
+
+/** Parameters for the MI shift search. */
+struct MiParams
+{
+    /// Histogram bins per axis for the joint intensity histogram.
+    size_t bins = 32;
+
+    /// Search window: shifts in [-maxShift, maxShift] on both axes.
+    long maxShift = 8;
+};
+
+/**
+ * Mutual information (nats) between two images of identical shape,
+ * computed from a joint histogram over the overlapping region.
+ */
+double mutualInformation(const Image2D &a, const Image2D &b,
+                         size_t bins = 32);
+
+/**
+ * Find the integer (dx, dy) translation of `moving` that maximizes
+ * mutual information with `fixed`.
+ *
+ * @return the shift to *apply to moving* so it best overlays fixed.
+ */
+std::pair<long, long> registerShiftMi(const Image2D &fixed,
+                                      const Image2D &moving,
+                                      const MiParams &params = {});
+
+/**
+ * Sub-pixel refinement of the best integer shift: fits a parabola to
+ * the MI values at the integer optimum and its neighbours on each
+ * axis and returns the fractional peak position.  Accuracy ~0.1 px on
+ * structured images, which is what the 0.77% alignment budget needs
+ * at small slice heights.
+ */
+std::pair<double, double> registerShiftMiSubpixel(
+    const Image2D &fixed, const Image2D &moving,
+    const MiParams &params = {});
+
+/**
+ * Chained stack alignment: slice i is registered to slice i-1 and the
+ * shifts are accumulated, exactly as the paper's per-slice procedure.
+ *
+ * @return absolute shift of every slice relative to slice 0
+ *         (element 0 is always {0, 0})
+ */
+std::vector<std::pair<long, long>>
+alignStack(const std::vector<Image2D> &slices, const MiParams &params = {});
+
+/**
+ * Residual alignment error against ground truth drift, as the mean
+ * Euclidean pixel distance between recovered and true per-slice shifts
+ * (after removing the global offset of slice 0).
+ */
+double alignmentResidual(
+    const std::vector<std::pair<long, long>> &recovered,
+    const std::vector<std::pair<long, long>> &truth);
+
+} // namespace image
+} // namespace hifi
+
+#endif // HIFI_IMAGE_REGISTRATION_HH

@@ -1,0 +1,87 @@
+#include "image/volume3d.hh"
+
+#include <stdexcept>
+
+namespace hifi
+{
+namespace image
+{
+
+Volume3D::Volume3D(size_t nx, size_t ny, size_t nz, float fill)
+    : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill)
+{
+    if (nx == 0 || ny == 0 || nz == 0)
+        throw std::invalid_argument("Volume3D: zero dimension");
+}
+
+Image2D
+Volume3D::crossSection(size_t x) const
+{
+    if (x >= nx_)
+        throw std::out_of_range("Volume3D::crossSection");
+    Image2D img(ny_, nz_);
+    for (size_t z = 0; z < nz_; ++z)
+        for (size_t y = 0; y < ny_; ++y)
+            img.at(y, z) = at(x, y, z);
+    return img;
+}
+
+Image2D
+Volume3D::planarView(size_t z) const
+{
+    if (z >= nz_)
+        throw std::out_of_range("Volume3D::planarView");
+    Image2D img(nx_, ny_);
+    for (size_t y = 0; y < ny_; ++y)
+        for (size_t x = 0; x < nx_; ++x)
+            img.at(x, y) = at(x, y, z);
+    return img;
+}
+
+void
+Volume3D::setCrossSection(size_t x, const Image2D &img)
+{
+    if (x >= nx_ || img.width() != ny_ || img.height() != nz_)
+        throw std::invalid_argument("Volume3D::setCrossSection: shape");
+    for (size_t z = 0; z < nz_; ++z)
+        for (size_t y = 0; y < ny_; ++y)
+            at(x, y, z) = img.at(y, z);
+}
+
+Image2D
+Volume3D::planarSlab(size_t z0, size_t z1) const
+{
+    if (z1 <= z0 || z1 > nz_)
+        throw std::invalid_argument("Volume3D::planarSlab: bad range");
+    Image2D img(nx_, ny_, 0.0f);
+    for (size_t z = z0; z < z1; ++z)
+        for (size_t y = 0; y < ny_; ++y)
+            for (size_t x = 0; x < nx_; ++x)
+                img.at(x, y) += at(x, y, z);
+    const float k = 1.0f / static_cast<float>(z1 - z0);
+    for (float &v : img.data())
+        v *= k;
+    return img;
+}
+
+Volume3D
+assembleVolume(const std::vector<Image2D> &slices,
+               const std::vector<std::pair<long, long>> &shifts)
+{
+    if (slices.empty())
+        throw std::invalid_argument("assembleVolume: no slices");
+    if (shifts.size() != slices.size())
+        throw std::invalid_argument("assembleVolume: shift count");
+    const size_t ny = slices[0].width();
+    const size_t nz = slices[0].height();
+    Volume3D vol(slices.size(), ny, nz);
+    for (size_t i = 0; i < slices.size(); ++i) {
+        const Image2D corrected =
+            slices[i].shifted(-shifts[i].first, -shifts[i].second);
+        vol.setCrossSection(i, corrected);
+    }
+    return vol;
+}
+
+} // namespace image
+} // namespace hifi

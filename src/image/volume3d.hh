@@ -1,0 +1,102 @@
+/**
+ * @file
+ * 3-D float volume with reslicing, used for FIB/SEM volumetric
+ * reconstruction.
+ *
+ * Axis convention: the FIB mills slices perpendicular to X (the bitline
+ * direction), so a cross-section image lives in the (Y, Z) plane and the
+ * stack index runs along X.  The planar (top-down) view the analyst works
+ * with lives in the (X, Y) plane at a chosen Z (IC layer depth).
+ */
+
+#ifndef HIFI_IMAGE_VOLUME3D_HH
+#define HIFI_IMAGE_VOLUME3D_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "image/image2d.hh"
+
+namespace hifi
+{
+namespace image
+{
+
+/** Dense float volume indexed as (x, y, z). */
+class Volume3D
+{
+  public:
+    Volume3D() = default;
+    Volume3D(size_t nx, size_t ny, size_t nz, float fill = 0.0f);
+
+    size_t nx() const { return nx_; }
+    size_t ny() const { return ny_; }
+    size_t nz() const { return nz_; }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    at(size_t x, size_t y, size_t z)
+    {
+        return data_[(z * ny_ + y) * nx_ + x];
+    }
+
+    float
+    at(size_t x, size_t y, size_t z) const
+    {
+        return data_[(z * ny_ + y) * nx_ + x];
+    }
+
+    /// Cross-section at a given X: image over (Y, Z).
+    Image2D crossSection(size_t x) const;
+
+    /// Planar (top-down) view at a given Z: image over (X, Y).
+    Image2D planarView(size_t z) const;
+
+    /// Insert a cross-section image (Y, Z) at position x.
+    void setCrossSection(size_t x, const Image2D &img);
+
+    /// Average planar view over a z range [z0, z1): a "layer slab".
+    Image2D planarSlab(size_t z0, size_t z1) const;
+
+  private:
+    size_t nx_ = 0;
+    size_t ny_ = 0;
+    size_t nz_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * Stack of cross-section images plus per-slice alignment shifts.
+ *
+ * This is the raw product of a FIB/SEM acquisition: slice i is the SEM
+ * image of the cross-section after the i-th mill, drifted by an unknown
+ * (dy, dz) relative to slice 0.
+ */
+struct SliceStack
+{
+    std::vector<Image2D> slices;
+
+    /// Ground-truth drift of each slice (known only to the simulator).
+    std::vector<std::pair<long, long>> trueDrift;
+
+    /// nm of material removed per slice (10 or 20 in the paper).
+    double sliceThicknessNm = 20.0;
+
+    /// nm per pixel in the cross-section images.
+    double pixelResolutionNm = 5.0;
+};
+
+/**
+ * Assemble an aligned slice stack into a volume.
+ *
+ * @param slices   cross-section images, all the same shape
+ * @param shifts   per-slice (dy, dz) correction to apply (from the
+ *                 registration step); slice i is translated by -shift[i]
+ */
+Volume3D assembleVolume(const std::vector<Image2D> &slices,
+                        const std::vector<std::pair<long, long>> &shifts);
+
+} // namespace image
+} // namespace hifi
+
+#endif // HIFI_IMAGE_VOLUME3D_HH

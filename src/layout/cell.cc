@@ -1,0 +1,58 @@
+#include "layout/cell.hh"
+
+namespace hifi
+{
+namespace layout
+{
+
+void
+Cell::flattenInto(std::vector<Shape> &out, common::Vec2 offset) const
+{
+    for (const auto &s : shapes_) {
+        Shape moved = s;
+        moved.rect = s.rect.translate(offset.x, offset.y);
+        out.push_back(std::move(moved));
+    }
+    for (const auto &inst : instances_)
+        inst.cell->flattenInto(out, offset + inst.offset);
+}
+
+std::vector<Shape>
+Cell::flatten() const
+{
+    std::vector<Shape> out;
+    flattenInto(out, {0.0, 0.0});
+    return out;
+}
+
+common::Rect
+Cell::boundingBox() const
+{
+    common::Rect box;
+    for (const auto &s : flatten())
+        box = box.unite(s.rect);
+    return box;
+}
+
+double
+Cell::areaOnLayer(Layer layer) const
+{
+    double area = 0.0;
+    for (const auto &s : flatten())
+        if (s.layer == layer)
+            area += s.rect.area();
+    return area;
+}
+
+size_t
+Cell::countOnLayer(Layer layer) const
+{
+    size_t n = 0;
+    for (const auto &s : flatten())
+        if (s.layer == layer)
+            ++n;
+    return n;
+}
+
+} // namespace layout
+} // namespace hifi

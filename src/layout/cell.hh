@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Layout cells: named collections of rectangles on layers, with nested
+ * instances.  This is the representation the virtual fab produces and
+ * the GDSII exporter serializes (the paper releases SA layouts in GDSII).
+ */
+
+#ifndef HIFI_LAYOUT_CELL_HH
+#define HIFI_LAYOUT_CELL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "layout/layer.hh"
+
+namespace hifi
+{
+namespace layout
+{
+
+/** One rectangle on a layer, optionally tagged with a net name. */
+struct Shape
+{
+    common::Rect rect;
+    Layer layer = Layer::Active;
+
+    /// Electrical net label ("BL3", "LA", "Vpre", ...); empty = unknown.
+    std::string net;
+
+    Shape() = default;
+    Shape(const common::Rect &r, Layer l, std::string n = {})
+        : rect(r), layer(l), net(std::move(n))
+    {}
+};
+
+/** Placement of a child cell at an XY offset (no rotation needed). */
+struct Instance
+{
+    std::shared_ptr<const class Cell> cell;
+    common::Vec2 offset;
+};
+
+/**
+ * A layout cell.
+ *
+ * Cells are built once by the generators and then treated as immutable;
+ * they are shared between instances via shared_ptr.
+ */
+class Cell
+{
+  public:
+    explicit Cell(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void addShape(Shape shape) { shapes_.push_back(std::move(shape)); }
+
+    void
+    addShape(const common::Rect &r, Layer layer, std::string net = {})
+    {
+        shapes_.emplace_back(r, layer, std::move(net));
+    }
+
+    void
+    addInstance(std::shared_ptr<const Cell> cell, common::Vec2 offset)
+    {
+        instances_.push_back({std::move(cell), offset});
+    }
+
+    const std::vector<Shape> &shapes() const { return shapes_; }
+    const std::vector<Instance> &instances() const { return instances_; }
+
+    /// All shapes with instances recursively resolved into one list.
+    std::vector<Shape> flatten() const;
+
+    /// Bounding box over all (flattened) shapes.
+    common::Rect boundingBox() const;
+
+    /// Sum of rectangle areas on one layer (flattened; no overlap dedup).
+    double areaOnLayer(Layer layer) const;
+
+    /// Count of flattened shapes on a layer.
+    size_t countOnLayer(Layer layer) const;
+
+  private:
+    void flattenInto(std::vector<Shape> &out, common::Vec2 offset) const;
+
+    std::string name_;
+    std::vector<Shape> shapes_;
+    std::vector<Instance> instances_;
+};
+
+} // namespace layout
+} // namespace hifi
+
+#endif // HIFI_LAYOUT_CELL_HH

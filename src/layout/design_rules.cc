@@ -1,0 +1,138 @@
+#include "layout/design_rules.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hifi
+{
+namespace layout
+{
+
+DesignRules::DesignRules()
+{
+    // Defaults; the fab module overrides these per process node.
+    for (auto &r : rules_)
+        r = {20.0, 20.0};
+}
+
+LayerRule &
+DesignRules::rule(Layer layer)
+{
+    return rules_.at(static_cast<size_t>(layer));
+}
+
+const LayerRule &
+DesignRules::rule(Layer layer) const
+{
+    return rules_.at(static_cast<size_t>(layer));
+}
+
+std::vector<Violation>
+DesignRules::check(const Cell &cell) const
+{
+    std::vector<Violation> out;
+    const auto shapes = cell.flatten();
+
+    for (const auto &s : shapes) {
+        const auto &r = rule(s.layer);
+        const double min_dim = std::min(s.rect.width(), s.rect.height());
+        if (min_dim + 1e-9 < r.minWidth) {
+            std::ostringstream ss;
+            ss << layerName(s.layer) << " shape " << s.net << " width "
+               << min_dim << " < " << r.minWidth;
+            out.push_back({Violation::Kind::Width, s.layer, ss.str()});
+        }
+    }
+
+    for (size_t i = 0; i < shapes.size(); ++i) {
+        for (size_t j = i + 1; j < shapes.size(); ++j) {
+            const auto &a = shapes[i];
+            const auto &b = shapes[j];
+            if (a.layer != b.layer)
+                continue;
+            // Same-net shapes are allowed to touch or overlap.
+            if (!a.net.empty() && a.net == b.net)
+                continue;
+            if (a.rect.overlaps(b.rect)) {
+                std::ostringstream ss;
+                ss << layerName(a.layer) << " overlap between '"
+                   << a.net << "' and '" << b.net << "'";
+                out.push_back(
+                    {Violation::Kind::Spacing, a.layer, ss.str()});
+                continue;
+            }
+            const double gap = a.rect.gapTo(b.rect);
+            if (gap + 1e-9 < rule(a.layer).minSpacing) {
+                std::ostringstream ss;
+                ss << layerName(a.layer) << " spacing " << gap << " < "
+                   << rule(a.layer).minSpacing << " between '" << a.net
+                   << "' and '" << b.net << "'";
+                out.push_back(
+                    {Violation::Kind::Spacing, a.layer, ss.str()});
+            }
+        }
+    }
+    return out;
+}
+
+size_t
+DesignRules::freeTracks(const Cell &cell, Layer layer,
+                        const common::Rect &region) const
+{
+    const auto &r = rule(layer);
+    const double wire_w = r.minWidth;
+    const double spacing = r.minSpacing;
+    if (region.height() < wire_w)
+        return 0;
+
+    // Existing shapes on the layer that matter for this region.
+    std::vector<common::Rect> obstacles;
+    for (const auto &s : cell.flatten()) {
+        if (s.layer != layer)
+            continue;
+        if (s.rect.x1 > region.x0 && s.rect.x0 < region.x1)
+            obstacles.push_back(s.rect);
+    }
+
+    // Scan candidate wire positions along Y at 1 nm steps, collecting
+    // maximal runs of valid positions.
+    const double step = 1.0;
+    bool prev_free = false;
+    double run_start = 0.0;
+    double last_free = 0.0;
+    size_t tracks = 0;
+    auto close_run = [&]() {
+        // A run [run_start, last_free] of valid bottom-edge positions
+        // fits 1 + floor(run_length / (wire + spacing)) parallel wires.
+        const double run = last_free - run_start;
+        tracks += 1 + static_cast<size_t>(run / (wire_w + spacing));
+    };
+    for (double y = region.y0; y + wire_w <= region.y1; y += step) {
+        common::Rect candidate(region.x0, y, region.x1, y + wire_w);
+        // Clearance only matters in Y here; inflate in Y by the rule.
+        candidate.y0 -= spacing - 1e-9;
+        candidate.y1 += spacing - 1e-9;
+        bool free = true;
+        for (const auto &obs : obstacles) {
+            if (candidate.overlaps(obs)) {
+                free = false;
+                break;
+            }
+        }
+        if (free) {
+            if (!prev_free)
+                run_start = y;
+            last_free = y;
+        } else if (prev_free) {
+            close_run();
+        }
+        prev_free = free;
+    }
+    if (prev_free)
+        close_run();
+    return tracks;
+}
+
+} // namespace layout
+} // namespace hifi

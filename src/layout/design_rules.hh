@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Design-rule checking and free-space analysis.
+ *
+ * Appendix A of the paper discusses IC design rules (minimum wire width
+ * and spacing); inaccuracies I1/I2 hinge on whether a new bitline track
+ * fits inside the MAT or SA region without violating the rules.  The
+ * `freeTracks` scan quantifies Fig. 13: it slides a candidate wire of
+ * minimum width across the region and counts positions where the
+ * spacing rule holds against every existing shape on the layer.
+ */
+
+#ifndef HIFI_LAYOUT_DESIGN_RULES_HH
+#define HIFI_LAYOUT_DESIGN_RULES_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "layout/cell.hh"
+
+namespace hifi
+{
+namespace layout
+{
+
+/** Per-layer width/spacing rules, in nm. */
+struct LayerRule
+{
+    double minWidth = 0.0;
+    double minSpacing = 0.0;
+};
+
+/** One detected violation. */
+struct Violation
+{
+    enum class Kind { Width, Spacing };
+
+    Kind kind;
+    Layer layer;
+    std::string detail;
+};
+
+/** Design rules for a process. */
+class DesignRules
+{
+  public:
+    DesignRules();
+
+    LayerRule &rule(Layer layer);
+    const LayerRule &rule(Layer layer) const;
+
+    /**
+     * Check every flattened shape of `cell` for width violations and
+     * every same-layer pair for spacing violations.  Shapes on the same
+     * net may abut (spacing is not enforced between same-net shapes).
+     */
+    std::vector<Violation> check(const Cell &cell) const;
+
+    /**
+     * Count the free routing tracks for a vertical wire (running along
+     * X) of `minWidth(layer)` inside `region`, given the existing
+     * shapes of `cell` on `layer`.
+     *
+     * The scan steps the candidate wire across Y at 1 nm resolution and
+     * requires `minSpacing` clearance to every existing shape that
+     * overlaps the region in X.  Overlapping candidate positions are
+     * merged, so the result is the number of *disjoint* insertable
+     * tracks — 0 reproduces inaccuracies I1/I2.
+     */
+    size_t freeTracks(const Cell &cell, Layer layer,
+                      const common::Rect &region) const;
+
+  private:
+    std::array<LayerRule, kNumLayers> rules_;
+};
+
+} // namespace layout
+} // namespace hifi
+
+#endif // HIFI_LAYOUT_DESIGN_RULES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * GDSII stream format writer and reader.
+ *
+ * The paper open-sources its reverse-engineered layouts "in the standard
+ * GDSII format" (Section V-C), so we implement real binary GDSII:
+ * BOUNDARY elements for rectangles, flattened cell hierarchy, and the
+ * 8-byte excess-64 floating point encoding the format requires for the
+ * UNITS record.  The reader round-trips everything the writer emits.
+ */
+
+#ifndef HIFI_LAYOUT_GDSII_HH
+#define HIFI_LAYOUT_GDSII_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "layout/cell.hh"
+
+namespace hifi
+{
+namespace layout
+{
+
+/** Options for GDSII export. */
+struct GdsOptions
+{
+    /// Library name stored in the LIBNAME record.
+    std::string libraryName = "HIFI-DRAM";
+
+    /// Database units per user unit (1000 -> 1 nm grid, um user unit).
+    double dbPerUserUnit = 1000.0;
+
+    /// Database unit in meters (1 nm).
+    double dbUnitMeters = 1e-9;
+
+    /**
+     * Flatten the hierarchy into one structure (legacy mode).  When
+     * false, child cells become their own structures referenced with
+     * SREF records, preserving the hierarchy across a round trip.
+     */
+    bool flatten = true;
+};
+
+/**
+ * Write a cell as GDSII.
+ *
+ * Coordinates are snapped to the 1 nm database grid.  Net names are not
+ * representable in plain BOUNDARY records and are dropped; layers map
+ * via gdsLayerNumber().  With options.flatten == false, instances are
+ * written as SREF records and shared children are emitted once.
+ */
+void writeGds(std::ostream &os, const Cell &cell,
+              const GdsOptions &options = {});
+
+/// Convenience: write to a file path; throws std::runtime_error.
+void writeGdsFile(const std::string &path, const Cell &cell,
+                  const GdsOptions &options = {});
+
+/**
+ * Read a GDSII stream produced by writeGds: BOUNDARY rectangles and
+ * SREF instances; the top structure is the last one in the library
+ * (the writer emits children first).  Throws std::runtime_error on
+ * malformed input.
+ */
+Cell readGds(std::istream &is);
+
+/// Convenience: read from a file path.
+Cell readGdsFile(const std::string &path);
+
+namespace detail
+{
+
+/// Encode a double as the 8-byte GDSII excess-64 real.
+uint64_t encodeGdsReal(double value);
+
+/// Decode an 8-byte GDSII excess-64 real.
+double decodeGdsReal(uint64_t bits);
+
+} // namespace detail
+
+} // namespace layout
+} // namespace hifi
+
+#endif // HIFI_LAYOUT_GDSII_HH

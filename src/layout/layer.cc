@@ -1,0 +1,64 @@
+#include "layout/layer.hh"
+
+#include <stdexcept>
+
+namespace hifi
+{
+namespace layout
+{
+
+const std::string &
+layerName(Layer layer)
+{
+    static const std::array<std::string, kNumLayers> names = {
+        "Active", "Gate", "Contact", "Metal1", "Via1", "Metal2",
+        "Capacitor",
+    };
+    return names.at(static_cast<size_t>(layer));
+}
+
+int
+gdsLayerNumber(Layer layer)
+{
+    // Conventional numbering: 1-based, matching the released layouts.
+    return static_cast<int>(layer) + 1;
+}
+
+Layer
+layerFromGdsNumber(int number)
+{
+    if (number < 1 || number > static_cast<int>(kNumLayers))
+        throw std::invalid_argument("layerFromGdsNumber: unknown layer");
+    return static_cast<Layer>(number - 1);
+}
+
+LayerZ
+layerZ(Layer layer)
+{
+    // Representative thicknesses (nm). Wire heights in the paper are as
+    // small as 30 nm; contacts/vias are short pillars between layers.
+    // A 20 nm substrate clearance below the active layer keeps the
+    // lowest features inside the imaged field of view under stage
+    // drift.
+    switch (layer) {
+      case Layer::Active:
+        return {20.0, 60.0};
+      case Layer::Gate:
+        return {60.0, 90.0};
+      case Layer::Contact:
+        return {90.0, 120.0};
+      case Layer::Metal1:
+        return {120.0, 150.0};
+      case Layer::Via1:
+        return {150.0, 180.0};
+      case Layer::Metal2:
+        return {180.0, 240.0};
+      case Layer::Capacitor:
+        return {240.0, 1200.0};
+      default:
+        throw std::invalid_argument("layerZ: unknown layer");
+    }
+}
+
+} // namespace layout
+} // namespace hifi

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * IC layer definitions for the DRAM sense-amplifier region.
+ *
+ * The paper observes a limited layer stack in the SA/MAT regions
+ * (Section VI-B, [49],[87],[98]): active silicon, gate poly, contacts,
+ * bitline metal (M1), via1, M2, and the capacitor structures above.
+ * Z ranges are representative thicknesses used by the voxelizer; the
+ * paper reports wire heights down to 30 nm (B5).
+ */
+
+#ifndef HIFI_LAYOUT_LAYER_HH
+#define HIFI_LAYOUT_LAYER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hifi
+{
+namespace layout
+{
+
+/** Physical layers, bottom to top. */
+enum class Layer : uint8_t
+{
+    Active = 0,   ///< transistor active region (diffusion)
+    Gate,         ///< gate poly / buried gate
+    Contact,      ///< active/gate to M1 contacts
+    Metal1,       ///< bitline metal
+    Via1,         ///< M1 to M2 vias
+    Metal2,       ///< second metal (routing; SA2 bitlines on A4-5)
+    Capacitor,    ///< storage capacitor pillars (MAT only)
+    NumLayers
+};
+
+constexpr size_t kNumLayers = static_cast<size_t>(Layer::NumLayers);
+
+/// Human-readable layer name.
+const std::string &layerName(Layer layer);
+
+/// GDSII layer number for export.
+int gdsLayerNumber(Layer layer);
+
+/// Inverse of gdsLayerNumber; throws std::invalid_argument on unknown.
+Layer layerFromGdsNumber(int number);
+
+/** Vertical extent of a layer in the IC stack (nm above substrate). */
+struct LayerZ
+{
+    double z0;
+    double z1;
+};
+
+/// Representative z extent per layer used by the voxelizer.
+LayerZ layerZ(Layer layer);
+
+} // namespace layout
+} // namespace hifi
+
+#endif // HIFI_LAYOUT_LAYER_HH

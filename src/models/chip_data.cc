@@ -1,0 +1,337 @@
+#include "models/chip_data.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hh"
+
+namespace hifi
+{
+namespace models
+{
+
+const std::string &
+roleName(Role role)
+{
+    static const std::string names[] = {
+        "nSA", "pSA", "precharge", "equalizer", "column", "iso", "oc",
+        "LSA",
+    };
+    return names[static_cast<size_t>(role)];
+}
+
+double
+ChipSpec::effective(Role r, bool length) const
+{
+    const auto &d = role(r);
+    if (!d)
+        throw std::invalid_argument(
+            "ChipSpec::effective: role " + roleName(r) +
+            " absent on " + id);
+    const double factor = (ddr == 4) ? 1.55 : 1.50;
+    const double value = (length ? d->l : d->w) * factor;
+    return std::floor(value / 5.0 + 0.5) * 5.0;
+}
+
+double
+ChipSpec::isoEffectiveLength() const
+{
+    if (role(Role::Iso))
+        return effective(Role::Iso, true);
+    // Section VI-C: when no isolation transistor exists, scale from
+    // the chip's precharge devices (also common-gate elements).
+    return effective(Role::Precharge, true) * 1.4;
+}
+
+double
+ChipSpec::dieAreaNm2() const
+{
+    return dieAreaMm2 * units::mm2;
+}
+
+double
+ChipSpec::matFraction() const
+{
+    return static_cast<double>(mats) * matAreaNm2() / dieAreaNm2();
+}
+
+double
+ChipSpec::saFraction() const
+{
+    return static_cast<double>(mats) * saAreaNm2() / dieAreaNm2();
+}
+
+namespace
+{
+
+void
+setDims(ChipSpec &c, Role r, double w, double l)
+{
+    c.dims[static_cast<size_t>(r)] = Dims{w, l};
+}
+
+std::vector<ChipSpec>
+buildChips()
+{
+    std::vector<ChipSpec> chips;
+
+    // ---------------- A4: vendor A, DDR4, OCSA -----------------------
+    {
+        ChipSpec c;
+        c.id = "A4";
+        c.vendor = 'A';
+        c.ddr = 4;
+        c.storageGbit = 8;
+        c.year = 2017;
+        c.dieAreaMm2 = 34.0;
+        c.detector = Detector::Se;
+        c.matsVisible = true;
+        c.pixelResNm = 10.4;
+        c.sliceNm = 20.0;
+        c.dwellUs = 3.0;
+        c.roiAreaUm2 = 100.0;
+        c.topology = Topology::Ocsa;
+        // Area calibration: MAT fraction 0.575, SA fraction 0.135
+        // (DDR4 averages 0.575 / 0.128, pinned by the 57% MAT-extension
+        // figure and CoolDRAM's 175x).
+        c.mats = 15068;
+        c.matWidthNm = 42400.0;
+        c.matHeightNm = 30600.0;
+        c.saHeightNm = 7184.0;
+        c.rowDriverWidthNm = 4200.0;
+        c.blPitchNm = 39.0;
+        c.blWidthNm = 26.0;
+        c.m2WidthNm = 208.0;
+        c.transitionNm = 330.0;
+        c.wireHeightNm = 45.0;
+        setDims(c, Role::Nsa, 210, 52);
+        setDims(c, Role::Psa, 150, 48);
+        setDims(c, Role::Precharge, 260, 39);
+        setDims(c, Role::Column, 180, 38);
+        setDims(c, Role::Iso, 300, 36);
+        setDims(c, Role::Oc, 120, 40);
+        setDims(c, Role::Lsa, 240, 45);
+        chips.push_back(c);
+    }
+
+    // ---------------- B4: vendor B, DDR4, classic ---------------------
+    {
+        ChipSpec c;
+        c.id = "B4";
+        c.vendor = 'B';
+        c.ddr = 4;
+        c.storageGbit = 4;
+        c.year = 2022;
+        c.dieAreaMm2 = 48.0;
+        c.detector = Detector::Bse;
+        c.matsVisible = false;
+        c.seQuality = 0.45;
+        c.pixelResNm = 3.4;
+        c.sliceNm = 20.0;
+        c.dwellUs = 3.0;
+        c.roiAreaUm2 = 30.0;
+        c.topology = Topology::Classic;
+        // B4 is a low-density 4 Gb part on an older node (hence the
+        // classic SA): large MATs, large feature sizes.
+        c.mats = 6336;
+        c.matWidthNm = 78300.0;
+        c.matHeightNm = 56600.0;
+        c.saHeightNm = 12094.0;
+        c.rowDriverWidthNm = 7000.0;
+        c.blPitchNm = 72.0;
+        c.blWidthNm = 48.0;
+        c.m2WidthNm = 384.0;
+        c.transitionNm = 312.0;
+        c.wireHeightNm = 40.0;
+        setDims(c, Role::Nsa, 260, 60);
+        setDims(c, Role::Psa, 190, 55);
+        setDims(c, Role::Precharge, 280, 42);
+        setDims(c, Role::Equalizer, 250, 62);
+        setDims(c, Role::Column, 220, 45);
+        setDims(c, Role::Lsa, 300, 55);
+        chips.push_back(c);
+    }
+
+    // ---------------- C4: vendor C, DDR4, classic ---------------------
+    {
+        ChipSpec c;
+        c.id = "C4";
+        c.vendor = 'C';
+        c.ddr = 4;
+        c.storageGbit = 8;
+        c.year = 2018;
+        c.dieAreaMm2 = 42.0;
+        c.detector = Detector::Bse;
+        c.matsVisible = true;
+        c.seQuality = 0.50;
+        c.pixelResNm = 5.0;
+        c.sliceNm = 20.0;
+        c.dwellUs = 6.0;
+        c.roiAreaUm2 = 30.0;
+        c.topology = Topology::Classic;
+        c.mats = 17209;
+        c.matWidthNm = 43500.0;
+        c.matHeightNm = 31700.0;
+        c.saHeightNm = 6901.0;
+        c.rowDriverWidthNm = 4100.0;
+        c.blPitchNm = 40.0;
+        c.blWidthNm = 26.5;
+        c.m2WidthNm = 212.0;
+        c.transitionNm = 312.0;
+        c.wireHeightNm = 38.0;
+        // C4's precharge devices pin the models' headline errors:
+        // CROW width 938% ("9x"), CROW W/L 562%; the equalizer pins
+        // REM's max length error (101%).
+        setDims(c, Role::Nsa, 190, 48);
+        setDims(c, Role::Psa, 135, 46);
+        setDims(c, Role::Precharge, 193, 29);
+        setDims(c, Role::Equalizer, 170, 60);
+        setDims(c, Role::Column, 170, 36);
+        setDims(c, Role::Lsa, 230, 42);
+        chips.push_back(c);
+    }
+
+    // ---------------- A5: vendor A, DDR5, OCSA -----------------------
+    {
+        ChipSpec c;
+        c.id = "A5";
+        c.vendor = 'A';
+        c.ddr = 5;
+        c.storageGbit = 16;
+        c.year = 2021;
+        c.dieAreaMm2 = 75.0;
+        c.detector = Detector::Se;
+        c.matsVisible = false;
+        c.pixelResNm = 5.2;
+        c.sliceNm = 20.0;
+        c.dwellUs = 3.0;
+        c.roiAreaUm2 = 100.0;
+        c.topology = Topology::Ocsa;
+        // Vendor A dedicates the largest SA strip (M2-routed second SA
+        // set, Appendix A); pins CHARM's 0.45x A-to-C DDR5 variation.
+        c.mats = 30371;
+        c.matWidthNm = 34800.0;
+        c.matHeightNm = 36900.0;
+        c.saHeightNm = 10999.0;
+        c.rowDriverWidthNm = 6400.0;
+        c.blPitchNm = 32.0;
+        c.blWidthNm = 21.5;
+        c.m2WidthNm = 172.0;
+        c.transitionNm = 280.0;
+        c.wireHeightNm = 34.0;
+        setDims(c, Role::Nsa, 180, 46);
+        setDims(c, Role::Psa, 130, 42);
+        setDims(c, Role::Precharge, 240, 36);
+        setDims(c, Role::Column, 165, 34);
+        setDims(c, Role::Iso, 280, 32);
+        setDims(c, Role::Oc, 110, 36);
+        setDims(c, Role::Lsa, 220, 40);
+        chips.push_back(c);
+    }
+
+    // ---------------- B5: vendor B, DDR5, OCSA -----------------------
+    {
+        ChipSpec c;
+        c.id = "B5";
+        c.vendor = 'B';
+        c.ddr = 5;
+        c.storageGbit = 16;
+        c.year = 2022;
+        c.dieAreaMm2 = 68.0;
+        c.detector = Detector::Bse;
+        c.matsVisible = false;
+        c.seQuality = 0.45;
+        c.pixelResNm = 4.2;
+        c.sliceNm = 10.0;
+        c.dwellUs = 6.0;
+        c.roiAreaUm2 = 30.0;
+        c.topology = Topology::Ocsa;
+        c.mats = 31104;
+        c.matWidthNm = 33400.0;
+        c.matHeightNm = 36000.0;
+        c.saHeightNm = 8182.0;
+        c.rowDriverWidthNm = 4800.0;
+        c.blPitchNm = 32.0;
+        c.blWidthNm = 21.5;
+        c.m2WidthNm = 172.0;
+        c.transitionNm = 272.0;
+        c.wireHeightNm = 30.0; // the 30 nm wire height of Section IV-C
+        setDims(c, Role::Nsa, 160, 40);
+        setDims(c, Role::Psa, 115, 38);
+        setDims(c, Role::Precharge, 220, 33);
+        setDims(c, Role::Column, 150, 31);
+        setDims(c, Role::Iso, 260, 34);
+        setDims(c, Role::Oc, 100, 33);
+        setDims(c, Role::Lsa, 200, 36);
+        chips.push_back(c);
+    }
+
+    // ---------------- C5: vendor C, DDR5, classic ---------------------
+    {
+        ChipSpec c;
+        c.id = "C5";
+        c.vendor = 'C';
+        c.ddr = 5;
+        c.storageGbit = 16;
+        c.year = 2022;
+        c.dieAreaMm2 = 66.0;
+        c.detector = Detector::Bse;
+        c.matsVisible = true;
+        c.seQuality = 0.50;
+        c.pixelResNm = 5.0;
+        c.sliceNm = 10.0;
+        c.dwellUs = 6.0;
+        c.roiAreaUm2 = 30.0;
+        c.topology = Topology::Classic;
+        c.mats = 30792;
+        c.matWidthNm = 33400.0;
+        c.matHeightNm = 36900.0;
+        c.saHeightNm = 6225.0;
+        c.rowDriverWidthNm = 3700.0;
+        c.blPitchNm = 32.0;
+        c.blWidthNm = 21.5;
+        c.m2WidthNm = 172.0;
+        c.transitionNm = 273.0;
+        c.wireHeightNm = 36.0;
+        setDims(c, Role::Nsa, 175, 44);
+        setDims(c, Role::Psa, 125, 42);
+        setDims(c, Role::Precharge, 140, 50);
+        setDims(c, Role::Equalizer, 130, 48);
+        setDims(c, Role::Column, 155, 33);
+        setDims(c, Role::Lsa, 210, 38);
+        chips.push_back(c);
+    }
+
+    return chips;
+}
+
+} // namespace
+
+const std::vector<ChipSpec> &
+allChips()
+{
+    static const std::vector<ChipSpec> chips = buildChips();
+    return chips;
+}
+
+const ChipSpec &
+chip(const std::string &id)
+{
+    for (const auto &c : allChips())
+        if (c.id == id)
+            return c;
+    throw std::out_of_range("chip: unknown id " + id);
+}
+
+std::vector<const ChipSpec *>
+chipsOfGeneration(int ddr)
+{
+    std::vector<const ChipSpec *> out;
+    for (const auto &c : allChips())
+        if (c.ddr == ddr)
+            out.push_back(&c);
+    return out;
+}
+
+} // namespace models
+} // namespace hifi

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Measured chip datasets: the six studied DDR4/DDR5 chips (Table I) and
+ * their reverse-engineered geometry (Sections IV-V).
+ *
+ * The paper publishes aggregate statistics rather than the raw 835
+ * measurements, so the per-chip values below are *calibrated*: they are
+ * chosen so that the analysis code in src/eval reproduces every
+ * aggregate the paper reports.  The anchors, each pinned by a specific
+ * paper statistic, are documented next to the constants in
+ * chip_data.cc, e.g.:
+ *
+ *  - DDR4 (MAT+SA)/die fraction averages 0.704 (CoolDRAM's 175x error
+ *    from its 0.4% estimate) and MAT/die averages 0.57 ("57% chip
+ *    overhead solely for the MAT extension");
+ *  - DDR5 (MAT+SA)/die averages 0.676 (CoolDRAM porting cost 168x);
+ *  - C4's precharge devices make CROW's width error 938% ("9x") and
+ *    its W/L error 562%;
+ *  - C4's equalizer makes REM's max length error 101%;
+ *  - the MAT-to-SA transition averages 318 nm (DDR4) / 275 nm (DDR5).
+ */
+
+#ifndef HIFI_MODELS_CHIP_DATA_HH
+#define HIFI_MODELS_CHIP_DATA_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace models
+{
+
+/// Functional classes of SA-region transistors (Section V-A).
+enum class Role
+{
+    Nsa = 0,    ///< NMOS latch pair
+    Psa,        ///< PMOS latch pair
+    Precharge,  ///< common-gate precharge devices
+    Equalizer,  ///< classic chips only
+    Column,     ///< column multiplexer (first after the MAT)
+    Iso,        ///< OCSA isolation devices
+    Oc,         ///< OCSA offset-cancellation devices
+    Lsa,        ///< LIO sense latch (SA region, not SA circuit)
+    NumRoles
+};
+
+const std::string &roleName(Role role);
+
+/// SA topology deployed on a chip.
+enum class Topology { Classic, Ocsa };
+
+/// SEM detector used for a chip (Table I).
+enum class Detector { Se, Bse };
+
+/** Drawn transistor dimensions, nm. */
+struct Dims
+{
+    double w = 0.0;
+    double l = 0.0;
+
+    double wOverL() const { return w / l; }
+};
+
+/** One studied chip. */
+struct ChipSpec
+{
+    std::string id;       ///< "A4" .. "C5"
+    char vendor = 'A';    ///< anonymized vendor letter
+    int ddr = 4;          ///< DDR generation (4 or 5)
+    int storageGbit = 8;
+    int year = 2017;
+    double dieAreaMm2 = 0.0;
+
+    // Table I imaging metadata.
+    Detector detector = Detector::Se;
+    bool matsVisible = false; ///< MATs visible after decap
+
+    /**
+     * Relative SE contrast quality of this chip's materials
+     * (Section IV-B: SE "does not provide a good contrast" for
+     * vendors B and C, "likely due to manufacturing processes", so
+     * the paper switched to BSE there).  1.0 = full SE contrast.
+     */
+    double seQuality = 1.0;
+    double pixelResNm = 5.0;
+    double sliceNm = 20.0;    ///< FIB slice thickness
+    double dwellUs = 3.0;
+    double roiAreaUm2 = 30.0;
+
+    Topology topology = Topology::Classic;
+
+    // Region geometry (nm unless noted). X runs along the bitlines
+    // (SA height), Y along the MAT edge (SA width).
+    size_t mats = 0;          ///< MATs per chip
+    double matWidthNm = 0.0;  ///< MAT extent along Y
+    double matHeightNm = 0.0; ///< MAT extent along X
+    double saHeightNm = 0.0;  ///< SA region strip height (two SAs)
+    double rowDriverWidthNm = 0.0; ///< W1 in Fig. 6 (< saHeight)
+
+    double blPitchNm = 0.0;
+    double blWidthNm = 0.0;
+    double m2WidthNm = 0.0;      ///< ~8x the M1 bitline width
+    double transitionNm = 0.0;   ///< MAT-to-SA bitline transition
+    double wireHeightNm = 0.0;   ///< smallest wire height observed
+
+    /// Drawn dimensions by role; absent roles are nullopt.
+    std::optional<Dims> dims[static_cast<size_t>(Role::NumRoles)];
+
+    const std::optional<Dims> &role(Role r) const
+    {
+        return dims[static_cast<size_t>(r)];
+    }
+
+    /**
+     * Effective (layout) size of a role dimension: drawn size plus
+     * spacing margins, snapped to a 5 nm grid.  The factor is 1.55 for
+     * DDR4 and 1.50 for DDR5 (Section V-B "effective sizes").
+     *
+     * @param r      transistor role (must be present on this chip)
+     * @param length true for the effective length, false for width
+     */
+    double effective(Role r, bool length) const;
+
+    /**
+     * Effective isolation length for overhead formulas.  Chips without
+     * ISO devices use scaled precharge dimensions, following the
+     * paper's rule in Section VI-C.
+     */
+    double isoEffectiveLength() const;
+
+    double matAreaNm2() const { return matWidthNm * matHeightNm; }
+    double saAreaNm2() const { return matWidthNm * saHeightNm; }
+    double dieAreaNm2() const;
+
+    /// MAT area fraction of the die (~0.57 avg on DDR4).
+    double matFraction() const;
+
+    /// SA-region area fraction of the die.
+    double saFraction() const;
+
+    /// (MAT + SA) fraction (~0.704 DDR4 / ~0.676 DDR5 on average).
+    double arrayFraction() const { return matFraction() + saFraction(); }
+};
+
+/// All six studied chips, in Table I order (A4,B4,C4,A5,B5,C5).
+const std::vector<ChipSpec> &allChips();
+
+/// Lookup by id; throws std::out_of_range for unknown ids.
+const ChipSpec &chip(const std::string &id);
+
+/// The chips of one DDR generation.
+std::vector<const ChipSpec *> chipsOfGeneration(int ddr);
+
+} // namespace models
+} // namespace hifi
+
+#endif // HIFI_MODELS_CHIP_DATA_HH

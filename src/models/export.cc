@@ -1,0 +1,109 @@
+#include "models/export.hh"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "models/chip_data.hh"
+#include "models/papers.hh"
+#include "models/public_models.hh"
+
+namespace hifi
+{
+namespace models
+{
+
+namespace
+{
+
+std::ofstream
+open(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("exportDataset: cannot open " + path);
+    return os;
+}
+
+} // namespace
+
+DatasetFiles
+exportDataset(const std::string &directory)
+{
+    DatasetFiles files;
+    files.chips = directory + "/hifi_chips.csv";
+    files.transistors = directory + "/hifi_transistors.csv";
+    files.publicModels = directory + "/hifi_public_models.csv";
+    files.papers = directory + "/hifi_papers.csv";
+
+    {
+        auto os = open(files.chips);
+        os << "id,vendor,ddr,storage_gbit,year,die_mm2,detector,"
+              "mats_visible,pixel_nm,slice_nm,dwell_us,roi_um2,"
+              "topology,mats,mat_w_nm,mat_h_nm,sa_h_nm,rowdrv_w_nm,"
+              "bl_pitch_nm,bl_width_nm,m2_width_nm,transition_nm,"
+              "wire_height_nm,mat_fraction,sa_fraction\n";
+        for (const auto &c : allChips()) {
+            os << c.id << "," << c.vendor << "," << c.ddr << ","
+               << c.storageGbit << "," << c.year << "," << c.dieAreaMm2
+               << "," << (c.detector == Detector::Se ? "SE" : "BSE")
+               << "," << (c.matsVisible ? 1 : 0) << "," << c.pixelResNm
+               << "," << c.sliceNm << "," << c.dwellUs << ","
+               << c.roiAreaUm2 << ","
+               << (c.topology == Topology::Ocsa ? "OCSA" : "classic")
+               << "," << c.mats << "," << c.matWidthNm << ","
+               << c.matHeightNm << "," << c.saHeightNm << ","
+               << c.rowDriverWidthNm << "," << c.blPitchNm << ","
+               << c.blWidthNm << "," << c.m2WidthNm << ","
+               << c.transitionNm << "," << c.wireHeightNm << ","
+               << c.matFraction() << "," << c.saFraction() << "\n";
+        }
+    }
+    {
+        auto os = open(files.transistors);
+        os << "chip,role,w_nm,l_nm,w_over_l,w_eff_nm,l_eff_nm\n";
+        for (const auto &c : allChips()) {
+            for (size_t ri = 0;
+                 ri < static_cast<size_t>(Role::NumRoles); ++ri) {
+                const auto role = static_cast<Role>(ri);
+                const auto &d = c.role(role);
+                if (!d)
+                    continue;
+                os << c.id << "," << roleName(role) << "," << d->w
+                   << "," << d->l << "," << d->wOverL() << ","
+                   << c.effective(role, false) << ","
+                   << c.effective(role, true) << "\n";
+            }
+        }
+    }
+    {
+        auto os = open(files.publicModels);
+        os << "model,year,role,w_nm,l_nm,w_over_l\n";
+        for (const auto *m : publicModels()) {
+            for (size_t ri = 0;
+                 ri < static_cast<size_t>(Role::NumRoles); ++ri) {
+                const auto role = static_cast<Role>(ri);
+                const auto &d = m->role(role);
+                if (!d)
+                    continue;
+                os << m->name << "," << m->year << ","
+                   << roleName(role) << "," << d->w << "," << d->l
+                   << "," << d->wOverL() << "\n";
+            }
+        }
+    }
+    {
+        auto os = open(files.papers);
+        os << "paper,venue,year,ddr,inaccuracies,original_estimate,"
+              "paper_error,paper_porting_cost\n";
+        for (const auto &p : allPapers()) {
+            os << p.name << "," << p.venue << "," << p.year << ","
+               << p.ddr << "," << inaccuracyLabel(p) << ","
+               << p.originalEstimate << "," << p.paperError << ","
+               << p.paperPortingCost << "\n";
+        }
+    }
+    return files;
+}
+
+} // namespace models
+} // namespace hifi

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dataset export: the paper's core deliverable is the open data
+ * (https://comsec.ethz.ch/hifi-dram).  This writes our calibrated
+ * equivalents as CSV files a downstream user can load anywhere:
+ * chip geometry, transistor dimensions (drawn + effective), the
+ * public-model dimensions, and the audited-paper metadata.
+ */
+
+#ifndef HIFI_MODELS_EXPORT_HH
+#define HIFI_MODELS_EXPORT_HH
+
+#include <string>
+
+namespace hifi
+{
+namespace models
+{
+
+/** Paths of the exported dataset files. */
+struct DatasetFiles
+{
+    std::string chips;       ///< per-chip geometry and metadata
+    std::string transistors; ///< per-role drawn + effective dims
+    std::string publicModels;
+    std::string papers;
+};
+
+/**
+ * Write the four CSV files under `directory` (which must exist).
+ * Returns the paths written.  Throws std::runtime_error on I/O
+ * failure.
+ */
+DatasetFiles exportDataset(const std::string &directory);
+
+} // namespace models
+} // namespace hifi
+
+#endif // HIFI_MODELS_EXPORT_HH

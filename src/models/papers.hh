@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Metadata for the 13 audited research papers (Table II): identifying
+ * information, the inaccuracies I1-I5 they exhibit, their original
+ * overhead estimate, and which Appendix-B overhead formula applies.
+ */
+
+#ifndef HIFI_MODELS_PAPERS_HH
+#define HIFI_MODELS_PAPERS_HH
+
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace models
+{
+
+/// Sources of research inaccuracy (Section VI-B).
+enum class Inaccuracy
+{
+    I1, ///< no free space for bitlines in the MAT
+    I2, ///< no free space for bitlines in the SA region
+    I3, ///< assuming an SA circuitry that is not deployed
+    I4, ///< assuming an SA physical layout that is not deployed
+    I5, ///< not considering offset-cancellation topologies
+};
+
+/// Which Appendix-B P_extra formula a paper uses.
+enum class OverheadFormula
+{
+    /// I1/I2 papers: the region (MAT + SA) effectively doubles.
+    DoubleArray,
+
+    /// REGA on vendors B and C: one new bitline every three.
+    ThirdArray,
+
+    /// REGA on vendor A chips (M2 slack, Appendix A):
+    /// MATs * SA_w * (2 iso_ls + 8 (san_ws + sap_ws) / 6).
+    RegaTransistor,
+
+    /// R.B. DEC: MATs * SA_w * 2 iso_ls.
+    IsolationOnly,
+
+    /// Nov. DRAM: MATs * SA_w * (2 iso_ls + 2 col_ws +
+    /// 8 (san_ws + sap_ws)).
+    IsoColumnSa,
+
+    /// PF-DRAM: MATs * SA_w * (4 iso_ls + 8 (san_ws + sap_ws)).
+    IsoSaImbalancer,
+
+    /// CHARM: MATs * SA_w * SA_h / 4 + 1% of the chip.
+    AspectRatio,
+};
+
+/** One audited paper. */
+struct ResearchPaper
+{
+    std::string name;    ///< short name used in Table II
+    std::string venue;   ///< for the report output
+    int year = 0;
+    int ddr = 4;         ///< technology the paper evaluated on (3 or 4)
+
+    std::vector<Inaccuracy> inaccuracies;
+
+    /// Original overhead estimate P_oe (fraction of the chip).
+    double originalEstimate = 0.0;
+
+    OverheadFormula formula = OverheadFormula::DoubleArray;
+
+    /// Values Table II reports, for EXPERIMENTS.md comparison.
+    /// NaN means N/A (paper older than DDR4: only porting applies).
+    double paperError = 0.0;
+    double paperPortingCost = 0.0;
+};
+
+/// All 13 papers in Table II order.
+const std::vector<ResearchPaper> &allPapers();
+
+/// Lookup by short name; throws std::out_of_range when missing.
+const ResearchPaper &paper(const std::string &name);
+
+/// "I1,2,5"-style rendering of a paper's inaccuracy list.
+std::string inaccuracyLabel(const ResearchPaper &paper);
+
+} // namespace models
+} // namespace hifi
+
+#endif // HIFI_MODELS_PAPERS_HH

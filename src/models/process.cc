@@ -1,0 +1,33 @@
+#include "models/process.hh"
+
+#include <cmath>
+
+namespace hifi
+{
+namespace models
+{
+
+ProcessInfo
+processInfo(const ChipSpec &chip)
+{
+    ProcessInfo info;
+    info.featureNm = chip.blPitchNm / 2.0;
+    info.cellAreaNm2 = 6.0 * info.featureNm * info.featureNm;
+    info.wlPitchNm = 3.0 * info.featureNm;
+
+    info.bitlinesPerMat = static_cast<size_t>(
+        chip.matWidthNm / chip.blPitchNm);
+    info.rowsPerMat = static_cast<size_t>(
+        chip.matHeightNm / info.wlPitchNm);
+    info.cellsPerMat = static_cast<double>(info.bitlinesPerMat) *
+        static_cast<double>(info.rowsPerMat);
+
+    info.impliedGbit = static_cast<double>(chip.mats) *
+        info.cellsPerMat / std::pow(2.0, 30);
+    info.capacityRatio =
+        info.impliedGbit / static_cast<double>(chip.storageGbit);
+    return info;
+}
+
+} // namespace models
+} // namespace hifi

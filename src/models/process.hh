@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Process accounting derived from the chip geometry: feature size F
+ * (the open-bitline 6F^2 cell has a 2F bitline pitch), cell area,
+ * cells per MAT, and the implied chip capacity.
+ *
+ * The datasets are calibrated to the paper's area aggregates (see
+ * DESIGN.md section 4), so the implied capacity carries a documented
+ * slack against the nominal Table I capacity: redundancy, on-die ECC
+ * (DDR5), dummy structures and the calibration itself.  This module
+ * makes that slack visible and bounded instead of hidden.
+ */
+
+#ifndef HIFI_MODELS_PROCESS_HH
+#define HIFI_MODELS_PROCESS_HH
+
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace models
+{
+
+/** Derived process numbers for one chip. */
+struct ProcessInfo
+{
+    double featureNm = 0.0;   ///< F = bitline pitch / 2
+    double cellAreaNm2 = 0.0; ///< 6 F^2
+    double wlPitchNm = 0.0;   ///< 3 F
+
+    size_t bitlinesPerMat = 0;
+    size_t rowsPerMat = 0;
+    double cellsPerMat = 0.0;
+
+    /// Capacity implied by MATs * cells per MAT, in Gbit.
+    double impliedGbit = 0.0;
+
+    /// impliedGbit / nominal capacity; the usable fraction after
+    /// redundancy/ECC/dummy accounting.
+    double capacityRatio = 0.0;
+};
+
+/// Derive the process numbers for a chip.
+ProcessInfo processInfo(const ChipSpec &chip);
+
+} // namespace models
+} // namespace hifi
+
+#endif // HIFI_MODELS_PROCESS_HH

@@ -1,0 +1,76 @@
+#include "models/public_models.hh"
+
+namespace hifi
+{
+namespace models
+{
+
+namespace
+{
+
+void
+setDims(PublicModel &m, Role r, double w, double l)
+{
+    m.dims[static_cast<size_t>(r)] = Dims{w, l};
+}
+
+PublicModel
+buildCrow()
+{
+    PublicModel m;
+    m.name = "CROW";
+    m.year = 2019;
+    m.basis = "best-guess transistor dimensions; no column transistors";
+    // Calibration anchors (Section VI-A): vs. the measured DDR4 chips
+    // these dimensions give ~236% average W/L inaccuracy, 562% max
+    // (C4 precharge), ~271% average width inaccuracy, 938% max (C4
+    // precharge), with length errors below REM's 31% average.
+    setDims(m, Role::Nsa, 380, 45);
+    setDims(m, Role::Psa, 300, 45);
+    setDims(m, Role::Precharge, 2000, 45);
+    setDims(m, Role::Equalizer, 350, 45);
+    return m;
+}
+
+PublicModel
+buildRem()
+{
+    PublicModel m;
+    m.name = "REM";
+    m.year = 2022;
+    m.basis = "25 nm DDR4 dimensions from a smaller vendor (one "
+              "generation older than commodity devices)";
+    // Calibration anchors: average length inaccuracy ~31% with the
+    // maximum (101%) against C4's equalizer.
+    setDims(m, Role::Nsa, 300, 62);
+    setDims(m, Role::Psa, 220, 58);
+    setDims(m, Role::Precharge, 280, 40);
+    setDims(m, Role::Equalizer, 260, 120);
+    setDims(m, Role::Column, 320, 48);
+    return m;
+}
+
+} // namespace
+
+const PublicModel &
+crowModel()
+{
+    static const PublicModel m = buildCrow();
+    return m;
+}
+
+const PublicModel &
+remModel()
+{
+    static const PublicModel m = buildRem();
+    return m;
+}
+
+std::vector<const PublicModel *>
+publicModels()
+{
+    return {&crowModel(), &remModel()};
+}
+
+} // namespace models
+} // namespace hifi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The two public DDR4 sense-amplifier models evaluated in Section VI-A:
+ * CROW (2019) with best-guess transistor dimensions and no column
+ * transistors, and REM (2022) based on a smaller vendor's 25 nm
+ * technology.  Neither models the OCSA topology.
+ */
+
+#ifndef HIFI_MODELS_PUBLIC_MODELS_HH
+#define HIFI_MODELS_PUBLIC_MODELS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace models
+{
+
+/** A published analog DRAM SA model. */
+struct PublicModel
+{
+    std::string name;
+    int year = 0;
+    std::string basis; ///< provenance note
+
+    std::optional<Dims> dims[static_cast<size_t>(Role::NumRoles)];
+
+    const std::optional<Dims> &role(Role r) const
+    {
+        return dims[static_cast<size_t>(r)];
+    }
+};
+
+/// CROW [29]: best-guess dimensions, no column transistors.
+const PublicModel &crowModel();
+
+/// REM [68]: real 25 nm DDR4 dimensions from a smaller vendor.
+const PublicModel &remModel();
+
+/// Both models, CROW first.
+std::vector<const PublicModel *> publicModels();
+
+} // namespace models
+} // namespace hifi
+
+#endif // HIFI_MODELS_PUBLIC_MODELS_HH

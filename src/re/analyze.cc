@@ -1,0 +1,453 @@
+#include "re/analyze.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "layout/layer.hh"
+#include "re/segmentation.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+using models::Role;
+using models::Topology;
+
+size_t
+RegionAnalysis::countRole(Role role) const
+{
+    size_t n = 0;
+    for (const auto &d : devices)
+        if (d.role == role)
+            ++n;
+    return n;
+}
+
+std::optional<models::Dims>
+RegionAnalysis::meanDims(Role role) const
+{
+    double w = 0.0, l = 0.0;
+    size_t n = 0;
+    for (const auto &d : devices) {
+        if (d.role == role && d.wNm > 0.0 && d.lNm > 0.0) {
+            w += d.wNm;
+            l += d.lNm;
+            ++n;
+        }
+    }
+    if (n == 0)
+        return std::nullopt;
+    return models::Dims{w / static_cast<double>(n),
+                        l / static_cast<double>(n)};
+}
+
+bool
+RegionAnalysis::crossCouplingConsistent() const
+{
+    bool any = false;
+    for (const auto &d : devices) {
+        if (d.role != Role::Nsa && d.role != Role::Psa)
+            continue;
+        if (d.couplesTo < 0 || d.bitline < 0)
+            return false;
+        if (d.couplesTo == d.bitline)
+            return false;
+        // The partner device of the same role must mirror us.
+        bool mirrored = false;
+        for (const auto &o : devices) {
+            if (&o != &d && o.role == d.role &&
+                o.bitline == d.couplesTo && o.couplesTo == d.bitline) {
+                mirrored = true;
+                break;
+            }
+        }
+        if (!mirrored)
+            return false;
+        any = true;
+    }
+    return any;
+}
+
+namespace
+{
+
+struct Slab
+{
+    image::Image2D intensity;
+    image::Image2D mask;
+    std::vector<Component> comps;
+};
+
+Slab
+makeSlab(const image::Volume3D &vol, layout::Layer layer,
+         fab::Material material, models::Detector detector,
+         const PlanarScales &scales, size_t min_pixels)
+{
+    const layout::LayerZ z = layout::layerZ(layer);
+    const double shrink = 0.2 * (z.z1 - z.z0);
+    auto z0 = static_cast<size_t>((z.z0 + shrink) / scales.zNm);
+    auto z1 = static_cast<size_t>(
+        std::ceil((z.z1 - shrink) / scales.zNm));
+    z0 = std::min(z0, vol.nz() - 1);
+    z1 = std::max(z0 + 1, std::min(z1, vol.nz()));
+
+    Slab slab;
+    slab.intensity = vol.planarSlab(z0, z1);
+    slab.mask = morphologicalOpen(
+        materialMask(slab.intensity, material, detector));
+    slab.comps = connectedComponents(slab.mask, min_pixels);
+    return slab;
+}
+
+common::Rect
+toNm(const Component &c, const PlanarScales &s)
+{
+    return common::Rect(static_cast<double>(c.x0) * s.xNm,
+                        static_cast<double>(c.y0) * s.yNm,
+                        static_cast<double>(c.x1) * s.xNm,
+                        static_cast<double>(c.y1) * s.yNm);
+}
+
+} // namespace
+
+RegionAnalysis
+analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
+              models::Detector detector)
+{
+    if (recon.empty())
+        throw std::invalid_argument("analyzeRegion: empty volume");
+
+    using fab::Material;
+    using layout::Layer;
+
+    // (i) Layer slabs and material masks.
+    const Slab active = makeSlab(recon, Layer::Active,
+                                 Material::Silicon, detector, scales, 4);
+    const Slab gate = makeSlab(recon, Layer::Gate,
+                               Material::Polysilicon, detector, scales,
+                               4);
+    const Slab contact = makeSlab(recon, Layer::Contact,
+                                  Material::Tungsten, detector, scales,
+                                  2);
+    const Slab metal = makeSlab(recon, Layer::Metal1, Material::Copper,
+                                detector, scales, 4);
+
+    const double region_w =
+        static_cast<double>(recon.nx()) * scales.xNm;
+    const double region_h =
+        static_cast<double>(recon.ny()) * scales.yNm;
+
+    RegionAnalysis out;
+
+    // (ii) Bitline anchors: M1 components spanning the region in X.
+    std::vector<common::Rect> bitlines;
+    for (const auto &c : metal.comps) {
+        const common::Rect r = toNm(c, scales);
+        if (r.width() >= 0.85 * region_w)
+            bitlines.push_back(r);
+    }
+    std::sort(bitlines.begin(), bitlines.end(),
+              [](const common::Rect &a, const common::Rect &b) {
+                  return a.y0 < b.y0;
+              });
+    out.bitlines = bitlines;
+
+    // Nearest bitline by centre distance, within one pitch.
+    double pitch_nm = region_h;
+    for (size_t i = 0; i + 1 < bitlines.size(); ++i) {
+        pitch_nm = std::min(pitch_nm, bitlines[i + 1].center().y -
+                                          bitlines[i].center().y);
+    }
+    auto bitline_at = [&, pitch_nm](double y_nm) -> long {
+        long best = -1;
+        double best_d = pitch_nm;
+        for (size_t i = 0; i < bitlines.size(); ++i) {
+            const double d = std::abs(y_nm - bitlines[i].center().y);
+            if (d < best_d) {
+                best_d = d;
+                best = static_cast<long>(i);
+            }
+        }
+        return best;
+    };
+
+    // (iv) Gate classes: common-gate strips vs small gates.
+    std::vector<Component> strips, small_gates;
+    for (const auto &c : gate.comps) {
+        const common::Rect r = toNm(c, scales);
+        if (r.height() >= 0.8 * region_h)
+            strips.push_back(c);
+        else
+            small_gates.push_back(c);
+    }
+    std::sort(strips.begin(), strips.end(),
+              [](const Component &a, const Component &b) {
+                  return a.x0 < b.x0;
+              });
+    out.commonGateStrips = strips.size();
+
+    // (vii) Topology: three independent strips = OCSA; one bridged
+    // component (containing the precharge and equalizer bars) =
+    // classic.
+    out.topology = strips.size() >= 3 ? Topology::Ocsa
+                                      : Topology::Classic;
+
+    // Strip bars: x-runs of the gate mask at mid height (the classic
+    // PEQ bridge only exists at the region edge).
+    struct Bar
+    {
+        size_t x0, x1; // pixel bounds
+    };
+    std::vector<Bar> bars;
+    const size_t mid_y = recon.ny() / 2;
+    for (const auto &s : strips) {
+        bool in_run = false;
+        size_t run_start = 0;
+        for (size_t x = s.x0; x <= s.x1 && x < gate.mask.width();
+             ++x) {
+            const bool on =
+                x < s.x1 && gate.mask.at(x, mid_y) > 0.5f;
+            if (on && !in_run) {
+                in_run = true;
+                run_start = x;
+            } else if (!on && in_run) {
+                in_run = false;
+                bars.push_back({run_start, x});
+            }
+        }
+    }
+    std::sort(bars.begin(), bars.end(),
+              [](const Bar &a, const Bar &b) { return a.x0 < b.x0; });
+
+    // Role order along X (Section V-C: column first, then for OCSA
+    // the ISO and OC strips, the latch, and the precharge).  With two
+    // stacked SAs the layout is mirrored, so bars in the right half
+    // carry the template in reverse.
+    std::vector<Role> bar_roles;
+    if (out.topology == Topology::Ocsa)
+        bar_roles = {Role::Iso, Role::Oc, Role::Precharge};
+    else
+        bar_roles = {Role::Precharge, Role::Equalizer};
+
+    // A mirrored (two-stacked-SA) region has its bars in symmetric
+    // pairs: bar i and bar n-1-i reflect about the region centre.
+    const double nx_px = static_cast<double>(recon.nx());
+    auto bar_center = [](const Bar &b) {
+        return 0.5 * static_cast<double>(b.x0 + b.x1);
+    };
+    bool mirrored = bars.size() >= 2 && bars.size() % 2 == 0;
+    if (mirrored) {
+        for (size_t i = 0; i < bars.size() / 2; ++i) {
+            const double sum = bar_center(bars[i]) +
+                bar_center(bars[bars.size() - 1 - i]);
+            if (std::abs(sum - nx_px) > 0.1 * nx_px) {
+                mirrored = false;
+                break;
+            }
+        }
+    }
+
+    auto role_of_bar = [&](size_t bi) {
+        size_t idx = bi;
+        if (mirrored && bi >= bars.size() / 2)
+            idx = bars.size() - 1 - bi; // reversed in the mirror half
+        return idx < bar_roles.size() ? bar_roles[idx]
+                                      : Role::Precharge;
+    };
+
+    // Strip devices: active segments under each bar.
+    for (size_t bi = 0; bi < bars.size(); ++bi) {
+        const Role role = role_of_bar(bi);
+        const auto bar_cx =
+            static_cast<size_t>((bars[bi].x0 + bars[bi].x1) / 2);
+        for (const auto &a : active.comps) {
+            if (bar_cx < a.x0 || bar_cx >= a.x1)
+                continue;
+            const auto cy = static_cast<size_t>(a.centerY());
+            if (active.mask.at(bar_cx, cy) <= 0.5f)
+                continue;
+            ExtractedDevice dev;
+            dev.role = role;
+            dev.gate = toNm(a, scales);
+            dev.wNm = measureRun(active.intensity, active.mask,
+                                 bar_cx, cy, false) *
+                scales.yNm;
+            dev.lNm = measureRun(gate.intensity, gate.mask, bar_cx,
+                                 cy, true) *
+                scales.xNm;
+            dev.bitline = bitline_at(a.centerY() * scales.yNm);
+            out.devices.push_back(dev);
+        }
+    }
+
+    // (iii)/(iv) Small gates grouped per active region.
+    struct GateOnActive
+    {
+        const Component *gate;
+        const Component *active;
+    };
+    std::vector<std::vector<const Component *>> gates_per_active(
+        active.comps.size());
+    for (const auto &g : small_gates) {
+        for (size_t ai = 0; ai < active.comps.size(); ++ai) {
+            const auto &a = active.comps[ai];
+            if (g.centerX() >= a.x0 && g.centerX() < a.x1 &&
+                g.centerY() >= a.y0 && g.centerY() < a.y1) {
+                gates_per_active[ai].push_back(&g);
+                break;
+            }
+        }
+    }
+
+    // (vi) Latch pairs: two gates on one active.  Measure W along X
+    // at the gate's body centre row and L along Y at the body centre
+    // column; trace the cross-coupling through contacts.
+    std::vector<ExtractedDevice> latch, singles;
+    for (size_t ai = 0; ai < active.comps.size(); ++ai) {
+        const auto &gats = gates_per_active[ai];
+        const auto &act = active.comps[ai];
+        if (gats.size() == 2) {
+            for (const auto *g : gats) {
+                // Gate body: the intersection with the active.
+                const size_t bx0 = std::max(g->x0, act.x0);
+                const size_t bx1 = std::min(g->x1, act.x1);
+                const size_t by0 = std::max(g->y0, act.y0);
+                const size_t by1 = std::min(g->y1, act.y1);
+                const size_t cx = (bx0 + bx1) / 2;
+                const size_t cy = (by0 + by1) / 2;
+
+                ExtractedDevice dev;
+                dev.role = Role::Nsa; // refined below
+                dev.gate = toNm(*g, scales);
+                dev.wNm = measureRun(gate.intensity, gate.mask, cx,
+                                     cy, true) *
+                    scales.xNm;
+                dev.lNm = measureRun(gate.intensity, gate.mask, cx,
+                                     cy, false) *
+                    scales.yNm;
+
+                // Contacts overlapping the gate component trace the
+                // poly tab to the partner bitline.
+                for (const auto &ct : contact.comps) {
+                    const bool overlaps = ct.centerX() >= g->x0 &&
+                        ct.centerX() < g->x1 &&
+                        ct.centerY() >= g->y0 && ct.centerY() < g->y1;
+                    if (!overlaps)
+                        continue;
+                    const long bl =
+                        bitline_at(ct.centerY() * scales.yNm);
+                    if (bl >= 0)
+                        dev.couplesTo = bl;
+                }
+                latch.push_back(dev);
+            }
+        } else if (gats.size() == 1) {
+            const auto *g = gats.front();
+            ExtractedDevice dev;
+            dev.role = Role::Column; // refined below
+            dev.gate = toNm(*g, scales);
+            dev.bitline =
+                bitline_at(g->centerY() * scales.yNm);
+            singles.push_back(dev);
+        }
+    }
+
+    // Latch devices within one active serve the two bitlines of the
+    // pair: each side's own bitline is the partner's coupling target.
+    for (size_t i = 0; i + 1 < latch.size(); i += 2) {
+        latch[i].bitline = latch[i + 1].couplesTo;
+        latch[i + 1].bitline = latch[i].couplesTo;
+    }
+
+    // (viii) nSA vs pSA: split the latch devices by measured width
+    // (1-D two-means); the wider cluster is the NMOS latch.
+    if (!latch.empty()) {
+        std::vector<double> widths;
+        for (const auto &d : latch)
+            widths.push_back(d.wNm);
+        const auto [mn, mx] =
+            std::minmax_element(widths.begin(), widths.end());
+        double lo = *mn, hi = *mx;
+        if (hi - lo > 0.12 * hi) {
+            // Two-means on widths.
+            for (int it = 0; it < 16; ++it) {
+                double slo = 0.0, shi = 0.0;
+                size_t nlo = 0, nhi = 0;
+                for (double w : widths) {
+                    if (std::abs(w - lo) < std::abs(w - hi)) {
+                        slo += w;
+                        ++nlo;
+                    } else {
+                        shi += w;
+                        ++nhi;
+                    }
+                }
+                if (nlo)
+                    lo = slo / static_cast<double>(nlo);
+                if (nhi)
+                    hi = shi / static_cast<double>(nhi);
+            }
+            for (auto &d : latch) {
+                d.role = std::abs(d.wNm - hi) <= std::abs(d.wNm - lo)
+                             ? Role::Nsa
+                             : Role::Psa;
+            }
+        }
+        for (auto &d : latch)
+            out.devices.push_back(d);
+    }
+
+    // (v) Column transistors are the multiplexers nearest the MATs:
+    // before the first strip, and with a mirrored second SA also
+    // after the last strip.  Everything else is the LSA datapath.
+    double first_strip_x = region_w, last_strip_x = 0.0;
+    for (const auto &bar : bars) {
+        first_strip_x = std::min(
+            first_strip_x, static_cast<double>(bar.x0) * scales.xNm);
+        last_strip_x = std::max(
+            last_strip_x, static_cast<double>(bar.x1) * scales.xNm);
+    }
+    double latch_min_x = region_w;
+    for (const auto &d : latch)
+        latch_min_x = std::min(latch_min_x, d.gate.x0);
+    // Classic single-SA regions have their strips after the latch;
+    // fall back to the latch boundary there.
+    const double left_limit = std::min(first_strip_x, latch_min_x);
+    for (auto &d : singles) {
+        const double cx = d.gate.center().x;
+        if (cx < left_limit || (mirrored && cx > last_strip_x)) {
+            d.role = Role::Column;
+            // W along Y, L along X (series device in the bitline).
+            const auto px = static_cast<size_t>(
+                d.gate.center().x / scales.xNm);
+            const auto py = static_cast<size_t>(
+                d.gate.center().y / scales.yNm);
+            d.wNm = measureRun(gate.intensity, gate.mask, px, py,
+                               false) *
+                scales.yNm;
+            d.lNm = measureRun(gate.intensity, gate.mask, px, py,
+                               true) *
+                scales.xNm;
+        } else {
+            d.role = Role::Lsa;
+            const auto px = static_cast<size_t>(
+                d.gate.center().x / scales.xNm);
+            const auto py = static_cast<size_t>(
+                d.gate.center().y / scales.yNm);
+            d.wNm = measureRun(gate.intensity, gate.mask, px, py,
+                               true) *
+                scales.xNm;
+            d.lNm = measureRun(gate.intensity, gate.mask, px, py,
+                               false) *
+                scales.yNm;
+        }
+        out.devices.push_back(d);
+    }
+
+    return out;
+}
+
+} // namespace re
+} // namespace hifi

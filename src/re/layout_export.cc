@@ -1,0 +1,56 @@
+#include "re/layout_export.hh"
+
+#include "layout/gdsii.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+std::shared_ptr<layout::Cell>
+layoutFromAnalysis(const RegionAnalysis &analysis,
+                   const std::string &cell_name)
+{
+    auto cell = std::make_shared<layout::Cell>(cell_name);
+
+    for (size_t i = 0; i < analysis.bitlines.size(); ++i) {
+        cell->addShape(analysis.bitlines[i], layout::Layer::Metal1,
+                       "BL" + std::to_string(i));
+    }
+
+    for (const auto &dev : analysis.devices) {
+        const std::string net = models::roleName(dev.role);
+        cell->addShape(dev.gate, layout::Layer::Gate, net);
+
+        // Active reconstructed from the measured dimensions around
+        // the gate centre, in the device's orientation: latch-like
+        // devices have W along X, series devices W along Y.
+        const auto c = dev.gate.center();
+        const bool latch_like = dev.role == models::Role::Nsa ||
+            dev.role == models::Role::Psa ||
+            dev.role == models::Role::Lsa;
+        const double ext_x = latch_like ? dev.wNm : dev.lNm;
+        const double ext_y = latch_like ? dev.lNm : dev.wNm;
+        if (ext_x > 0.0 && ext_y > 0.0) {
+            cell->addShape(
+                common::Rect(c.x - ext_x / 2.0 - 30.0,
+                             c.y - ext_y / 2.0,
+                             c.x + ext_x / 2.0 + 30.0,
+                             c.y + ext_y / 2.0),
+                layout::Layer::Active, net + ".active");
+        }
+    }
+    return cell;
+}
+
+void
+writeAnalysisGds(const std::string &path,
+                 const RegionAnalysis &analysis,
+                 const std::string &cell_name)
+{
+    const auto cell = layoutFromAnalysis(analysis, cell_name);
+    layout::writeGdsFile(path, *cell);
+}
+
+} // namespace re
+} // namespace hifi

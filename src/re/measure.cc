@@ -1,0 +1,105 @@
+#include "re/measure.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+double
+Campaign::meanRelativeError() const
+{
+    if (records.empty())
+        return 0.0;
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto &r : records) {
+        if (r.nominalNm <= 0.0)
+            continue;
+        sum += std::abs(r.samples.mean() / r.nominalNm - 1.0);
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+namespace
+{
+
+void
+addRecord(Campaign &campaign, common::Rng &rng,
+          const std::string &chip_id, const std::string &target,
+          double nominal, double jitter, size_t reps)
+{
+    MeasurementRecord rec;
+    rec.chipId = chip_id;
+    rec.target = target;
+    rec.nominalNm = nominal;
+    for (size_t i = 0; i < reps; ++i)
+        rec.samples.add(rng.gaussian(nominal, jitter));
+    campaign.totalMeasurements += reps;
+    campaign.records.push_back(std::move(rec));
+}
+
+} // namespace
+
+Campaign
+measurementCampaign(uint64_t seed)
+{
+    common::Rng rng(seed);
+    Campaign campaign;
+
+    for (const auto &chip : models::allChips()) {
+        const double jitter = chip.pixelResNm * 0.5;
+
+        // Transistor dimensions: 10 repetitions per dimension.
+        for (size_t ri = 0;
+             ri < static_cast<size_t>(models::Role::NumRoles); ++ri) {
+            const auto role = static_cast<models::Role>(ri);
+            const auto &dims = chip.role(role);
+            if (!dims)
+                continue;
+            addRecord(campaign, rng, chip.id,
+                      models::roleName(role) + ".W", dims->w, jitter,
+                      10);
+            addRecord(campaign, rng, chip.id,
+                      models::roleName(role) + ".L", dims->l, jitter,
+                      10);
+        }
+
+        // Region dimensions: one careful measurement each.
+        addRecord(campaign, rng, chip.id, "region.matWidth",
+                  chip.matWidthNm, jitter, 1);
+        addRecord(campaign, rng, chip.id, "region.matHeight",
+                  chip.matHeightNm, jitter, 1);
+        addRecord(campaign, rng, chip.id, "region.saHeight",
+                  chip.saHeightNm, jitter, 1);
+        addRecord(campaign, rng, chip.id, "region.rowDriverWidth",
+                  chip.rowDriverWidthNm, jitter, 1);
+        addRecord(campaign, rng, chip.id, "region.transition",
+                  chip.transitionNm, jitter, 1);
+        addRecord(campaign, rng, chip.id, "region.blPitch",
+                  chip.blPitchNm, jitter * 0.2, 1);
+        addRecord(campaign, rng, chip.id, "region.blWidth",
+                  chip.blWidthNm, jitter * 0.2, 1);
+        addRecord(campaign, rng, chip.id, "region.m2Width",
+                  chip.m2WidthNm, jitter * 0.2, 1);
+
+        // Die size (nm-scale number is enormous; store in mm^2-like
+        // nominal by measuring the die edge instead).
+        addRecord(campaign, rng, chip.id, "die.edge",
+                  std::sqrt(chip.dieAreaNm2()), jitter * 10.0, 1);
+    }
+
+    // The minimum wire height, observed on B5 (30 nm).
+    addRecord(campaign, rng, "B5", "wire.height",
+              models::chip("B5").wireHeightNm,
+              models::chip("B5").pixelResNm * 0.25, 1);
+
+    return campaign;
+}
+
+} // namespace re
+} // namespace hifi

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The measurement campaign of Section V-B: 835 size measurements
+ * across the six chips using repeated analyst measurements.
+ *
+ * Plan (summing to exactly 835):
+ *  - every present transistor role on every chip, W and L, measured
+ *    10 times each: 39 role instances x 2 dims x 10 = 780;
+ *  - 8 region measurements per chip (MAT width/height, SA height,
+ *    row-driver width, transition, bitline pitch/width, M2 width):
+ *    48;
+ *  - one die-size measurement per chip: 6;
+ *  - the minimum wire height (observed on B5): 1.
+ *
+ * Repeated measurements are jittered at half the chip's pixel
+ * resolution, modelling analyst variance in Dragonfly.
+ */
+
+#ifndef HIFI_RE_MEASURE_HH
+#define HIFI_RE_MEASURE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+/** One measured quantity with its repeated samples. */
+struct MeasurementRecord
+{
+    std::string chipId;
+    std::string target;  ///< e.g. "nSA.W" or "region.saHeight"
+    double nominalNm = 0.0;
+    common::Accumulator samples;
+};
+
+/** The full campaign. */
+struct Campaign
+{
+    std::vector<MeasurementRecord> records;
+    size_t totalMeasurements = 0;
+
+    /// Mean absolute relative error of sample means vs nominal.
+    double meanRelativeError() const;
+};
+
+/// Run the full six-chip campaign (deterministic given the seed).
+Campaign measurementCampaign(uint64_t seed = 2024);
+
+/// The paper's measurement count.
+constexpr size_t kPaperMeasurements = 835;
+
+} // namespace re
+} // namespace hifi
+
+#endif // HIFI_RE_MEASURE_HH

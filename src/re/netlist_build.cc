@@ -1,0 +1,36 @@
+#include "re/netlist_build.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+using models::Role;
+
+circuit::SaParams
+saParamsFromAnalysis(const RegionAnalysis &analysis,
+                     const circuit::SaParams &base)
+{
+    circuit::SaParams params = base;
+    params.topology = analysis.topology == models::Topology::Ocsa
+        ? circuit::SaTopology::OffsetCancellation
+        : circuit::SaTopology::Classic;
+
+    auto apply = [&](Role role, double &w, double &l) {
+        if (const auto dims = analysis.meanDims(role)) {
+            w = dims->w;
+            l = dims->l;
+        }
+    };
+    apply(Role::Nsa, params.sizing.nsaW, params.sizing.nsaL);
+    apply(Role::Psa, params.sizing.psaW, params.sizing.psaL);
+    apply(Role::Precharge, params.sizing.preW, params.sizing.preL);
+    apply(Role::Equalizer, params.sizing.eqW, params.sizing.eqL);
+    apply(Role::Column, params.sizing.colW, params.sizing.colL);
+    apply(Role::Iso, params.sizing.isoW, params.sizing.isoL);
+    apply(Role::Oc, params.sizing.ocW, params.sizing.ocL);
+    return params;
+}
+
+} // namespace re
+} // namespace hifi

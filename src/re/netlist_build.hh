@@ -1,0 +1,32 @@
+/**
+ * @file
+ * From reverse-engineered geometry to a working analog netlist: builds
+ * a sense-amplifier testbench whose topology and transistor sizing
+ * come from a RegionAnalysis, closing the paper's loop between imaging
+ * and high-fidelity simulation.
+ */
+
+#ifndef HIFI_RE_NETLIST_BUILD_HH
+#define HIFI_RE_NETLIST_BUILD_HH
+
+#include "circuit/sense_amp.hh"
+#include "re/analyze.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+/**
+ * Produce SA testbench parameters from an analysis: the extracted
+ * topology plus the mean measured W/L of each role.  Roles the
+ * analysis lacks keep the values from `base`.
+ */
+circuit::SaParams saParamsFromAnalysis(
+    const RegionAnalysis &analysis,
+    const circuit::SaParams &base = {});
+
+} // namespace re
+} // namespace hifi
+
+#endif // HIFI_RE_NETLIST_BUILD_HH

@@ -1,0 +1,247 @@
+#include "re/segmentation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "scope/sem.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+image::Image2D
+materialMask(const image::Image2D &intensity, fab::Material material,
+             models::Detector detector, bool binary_vs_oxide)
+{
+    image::Image2D mask(intensity.width(), intensity.height(), 0.0f);
+    if (binary_vs_oxide) {
+        const double threshold = 0.5 *
+            (scope::materialContrast(material, detector) +
+             scope::materialContrast(fab::Material::Oxide, detector));
+        const bool bright = scope::materialContrast(material, detector)
+            > scope::materialContrast(fab::Material::Oxide, detector);
+        for (size_t y = 0; y < intensity.height(); ++y) {
+            for (size_t x = 0; x < intensity.width(); ++x) {
+                const bool on = bright
+                    ? intensity.at(x, y) > threshold
+                    : intensity.at(x, y) < threshold;
+                mask.at(x, y) = on ? 1.0f : 0.0f;
+            }
+        }
+        return mask;
+    }
+    for (size_t y = 0; y < intensity.height(); ++y) {
+        for (size_t x = 0; x < intensity.width(); ++x) {
+            const fab::Material m = scope::classifyIntensity(
+                intensity.at(x, y), detector, true);
+            mask.at(x, y) = (m == material) ? 1.0f : 0.0f;
+        }
+    }
+    return mask;
+}
+
+float
+otsuThreshold(const image::Image2D &intensity, size_t bins)
+{
+    if (intensity.empty() || bins < 2)
+        throw std::invalid_argument("otsuThreshold: bad input");
+    const float lo = intensity.minValue();
+    const float hi = intensity.maxValue();
+    if (hi <= lo)
+        return lo;
+
+    std::vector<double> hist(bins, 0.0);
+    for (float v : intensity.data()) {
+        auto b = static_cast<size_t>((v - lo) / (hi - lo) *
+                                     static_cast<float>(bins));
+        if (b >= bins)
+            b = bins - 1;
+        hist[b] += 1.0;
+    }
+    const double total = static_cast<double>(intensity.size());
+
+    double sum_all = 0.0;
+    for (size_t b = 0; b < bins; ++b)
+        sum_all += static_cast<double>(b) * hist[b];
+
+    // Track the plateau of maximal between-class variance and return
+    // its midpoint: between two well-separated modes every split is
+    // equivalent, and the midpoint is the robust choice.
+    double w0 = 0.0, sum0 = 0.0, best_var = -1.0;
+    size_t best_first = 0, best_last = 0;
+    for (size_t b = 0; b + 1 < bins; ++b) {
+        w0 += hist[b];
+        if (w0 <= 0.0)
+            continue;
+        const double w1 = total - w0;
+        if (w1 <= 0.0)
+            break;
+        sum0 += static_cast<double>(b) * hist[b];
+        const double mu0 = sum0 / w0;
+        const double mu1 = (sum_all - sum0) / w1;
+        const double var = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+        // Relative comparison: at these magnitudes an absolute
+        // epsilon would vanish below one ULP.
+        if (var > best_var * (1.0 + 1e-12)) {
+            best_var = var;
+            best_first = best_last = b;
+        } else if (var >= best_var * (1.0 - 1e-12)) {
+            best_last = b;
+        }
+    }
+    const double mid =
+        0.5 * static_cast<double>(best_first + best_last);
+    return lo + (hi - lo) *
+        static_cast<float>(mid + 1.0) / static_cast<float>(bins);
+}
+
+image::Image2D
+morphologicalOpen(const image::Image2D &mask, size_t radius)
+{
+    const long r = static_cast<long>(radius);
+    const long w = static_cast<long>(mask.width());
+    const long h = static_cast<long>(mask.height());
+    auto pass = [&](const image::Image2D &in, bool erode) {
+        image::Image2D out(in.width(), in.height(), 0.0f);
+        for (long y = 0; y < h; ++y) {
+            for (long x = 0; x < w; ++x) {
+                bool hit = erode;
+                for (long dy = -r; dy <= r; ++dy) {
+                    const bool v = in.clampedAt(x, y + dy) > 0.5f;
+                    if (erode && !v) {
+                        hit = false;
+                        break;
+                    }
+                    if (!erode && v) {
+                        hit = true;
+                        break;
+                    }
+                }
+                out.at(x, y) = hit ? 1.0f : 0.0f;
+            }
+        }
+        return out;
+    };
+    return pass(pass(mask, true), false);
+}
+
+std::vector<Component>
+connectedComponents(const image::Image2D &mask, size_t min_pixels)
+{
+    const size_t w = mask.width();
+    const size_t h = mask.height();
+    std::vector<int> label(w * h, -1);
+    std::vector<Component> out;
+
+    std::vector<size_t> stack;
+    for (size_t start = 0; start < w * h; ++start) {
+        if (mask.data()[start] <= 0.5f || label[start] >= 0)
+            continue;
+        // Flood fill.
+        Component comp;
+        comp.x0 = comp.x1 = start % w;
+        comp.y0 = comp.y1 = start / w;
+        comp.x1 += 1;
+        comp.y1 += 1;
+        const int id = static_cast<int>(out.size());
+        stack.clear();
+        stack.push_back(start);
+        label[start] = id;
+        while (!stack.empty()) {
+            const size_t p = stack.back();
+            stack.pop_back();
+            const size_t px = p % w, py = p / w;
+            ++comp.pixels;
+            comp.x0 = std::min(comp.x0, px);
+            comp.y0 = std::min(comp.y0, py);
+            comp.x1 = std::max(comp.x1, px + 1);
+            comp.y1 = std::max(comp.y1, py + 1);
+
+            const size_t nbrs[4] = {
+                px > 0 ? p - 1 : p, px + 1 < w ? p + 1 : p,
+                py > 0 ? p - w : p, py + 1 < h ? p + w : p};
+            for (size_t n : nbrs) {
+                if (n != p && mask.data()[n] > 0.5f && label[n] < 0) {
+                    label[n] = id;
+                    stack.push_back(n);
+                }
+            }
+        }
+        out.push_back(comp);
+    }
+
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Component &c) {
+                                 return c.pixels < min_pixels;
+                             }),
+              out.end());
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Refine one run edge: the boundary lies between in-pixel `a` and
+ * out-pixel `b` (1-D indices along the scan axis).  Interpolate the
+ * half-maximum crossing between the two intensity samples.
+ */
+double
+edgeOffset(double v_in, double v_out, double half)
+{
+    const double denom = v_in - v_out;
+    if (std::abs(denom) < 1e-9)
+        return 0.5;
+    return std::clamp((v_in - half) / denom, 0.0, 1.0);
+}
+
+} // namespace
+
+double
+measureRun(const image::Image2D &intensity, const image::Image2D &mask,
+           size_t cx, size_t cy, bool along_x)
+{
+    if (mask.at(cx, cy) <= 0.5f)
+        return 0.0;
+    const long len = static_cast<long>(along_x ? mask.width()
+                                               : mask.height());
+    auto mask_at = [&](long i) {
+        return along_x ? mask.at(static_cast<size_t>(i), cy)
+                       : mask.at(cx, static_cast<size_t>(i));
+    };
+    auto val_at = [&](long i) {
+        const long c = std::clamp(i, 0l, len - 1);
+        return static_cast<double>(
+            along_x ? intensity.at(static_cast<size_t>(c), cy)
+                    : intensity.at(cx, static_cast<size_t>(c)));
+    };
+
+    const long c0 = static_cast<long>(along_x ? cx : cy);
+    long lo = c0, hi = c0;
+    while (lo > 0 && mask_at(lo - 1) > 0.5f)
+        --lo;
+    while (hi + 1 < len && mask_at(hi + 1) > 0.5f)
+        ++hi;
+
+    // Inside level: sample at the run centre; outside: past each edge.
+    const long mid = (lo + hi) / 2;
+    const double v_in = val_at(mid);
+    const double v_lo_out = val_at(lo - 2);
+    const double v_hi_out = val_at(hi + 2);
+
+    const double half_lo = 0.5 * (v_in + v_lo_out);
+    const double half_hi = 0.5 * (v_in + v_hi_out);
+
+    // Edge positions in pixel coordinates (pixel i spans [i, i+1)).
+    const double left = static_cast<double>(lo) -
+        edgeOffset(val_at(lo), val_at(lo - 1), half_lo) + 0.5;
+    const double right = static_cast<double>(hi) +
+        edgeOffset(val_at(hi), val_at(hi + 1), half_hi) + 0.5;
+    return right - left;
+}
+
+} // namespace re
+} // namespace hifi

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Intensity segmentation and connected components (Section V-A step i:
+ * "determine color intensities that correspond to gates, wires and
+ * vias").
+ */
+
+#ifndef HIFI_RE_SEGMENTATION_HH
+#define HIFI_RE_SEGMENTATION_HH
+
+#include <vector>
+
+#include "fab/materials.hh"
+#include "image/image2d.hh"
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+/**
+ * Binary mask of the pixels whose intensity classifies (nearest
+ * contrast level for the detector) as the given material.
+ *
+ * When `binary_vs_oxide` is set the decision is a per-layer threshold
+ * between the target material and the oxide background, modelling the
+ * analyst's per-layer intensity calibration (Section V-A step i).
+ * This matters under BSE, where active silicon and polysilicon have
+ * similar atomic numbers: within a known layer slab the only question
+ * is material-vs-background.
+ */
+image::Image2D materialMask(const image::Image2D &intensity,
+                            fab::Material material,
+                            models::Detector detector,
+                            bool binary_vs_oxide = true);
+
+/**
+ * Otsu's automatic threshold on an intensity image: maximizes the
+ * between-class variance of the two-class split.  Lets the analysis
+ * calibrate per-layer thresholds from the data itself instead of a
+ * known contrast table (the analyst's real situation).
+ */
+float otsuThreshold(const image::Image2D &intensity,
+                    size_t bins = 64);
+
+/**
+ * Morphological opening (erosion then dilation) along the Y axis
+ * only, removing noise bridges between features stacked at the
+ * bitline pitch.  X (the FIB slicing axis) is left untouched: at
+ * 20 nm slices the common-gate strips are only ~2 slices long and
+ * isotropic erosion would destroy them.
+ */
+image::Image2D morphologicalOpen(const image::Image2D &mask,
+                                 size_t radius = 1);
+
+/** A connected component of a binary mask. */
+struct Component
+{
+    // Pixel-space bounding box [x0, x1) x [y0, y1).
+    size_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    size_t pixels = 0;
+
+    size_t width() const { return x1 - x0; }
+    size_t height() const { return y1 - y0; }
+    double centerX() const { return 0.5 * double(x0 + x1); }
+    double centerY() const { return 0.5 * double(y0 + y1); }
+};
+
+/**
+ * 4-connected components of a mask (pixels > 0.5), ignoring
+ * components smaller than `min_pixels`.
+ */
+std::vector<Component> connectedComponents(const image::Image2D &mask,
+                                           size_t min_pixels = 4);
+
+/**
+ * Sub-pixel run measurement: length (in pixels) of the bright run of
+ * `mask` passing through (cx, cy), along X (`along_x`) or Y, with the
+ * run edges refined on the `intensity` image by half-maximum
+ * interpolation.  Returns 0 when (cx, cy) is not inside a run.
+ */
+double measureRun(const image::Image2D &intensity,
+                  const image::Image2D &mask, size_t cx, size_t cy,
+                  bool along_x);
+
+} // namespace re
+} // namespace hifi
+
+#endif // HIFI_RE_SEGMENTATION_HH

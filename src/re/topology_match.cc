@@ -1,0 +1,193 @@
+#include "re/topology_match.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace re
+{
+
+using models::Role;
+using models::Topology;
+
+const std::vector<TopologyTemplate> &
+topologyLibrary()
+{
+    static const std::vector<TopologyTemplate> library = [] {
+        std::vector<TopologyTemplate> lib;
+
+        TopologyTemplate classic;
+        classic.name = "classic SA";
+        classic.reference = "Keeth et al., DRAM Circuit Design [42]";
+        classic.family = Topology::Classic;
+        classic.commonGateComponents = 1; // bridged PEQ
+        classic.devicesPerPair = {
+            {Role::Column, 2}, {Role::Nsa, 2},       {Role::Psa, 2},
+            {Role::Precharge, 1}, {Role::Equalizer, 1},
+        };
+        classic.hasEqualizer = true;
+        lib.push_back(classic);
+
+        TopologyTemplate ocsa;
+        ocsa.name = "offset-cancellation SA";
+        ocsa.reference = "Kim, Song, Jung, TVLSI 2019 [45]";
+        ocsa.family = Topology::Ocsa;
+        ocsa.commonGateComponents = 3; // ISO, OC, PRE
+        ocsa.devicesPerPair = {
+            {Role::Column, 2}, {Role::Iso, 1},  {Role::Oc, 1},
+            {Role::Nsa, 2},    {Role::Psa, 2},  {Role::Precharge, 1},
+        };
+        ocsa.hasEqualizer = false;
+        lib.push_back(ocsa);
+
+        // Variants the matcher must reject on the studied chips.
+        TopologyTemplate iso_sa;
+        iso_sa.name = "isolation SA (research proposal)";
+        iso_sa.reference = "CLR-DRAM-style isolated latch [66]";
+        iso_sa.family = Topology::Classic;
+        iso_sa.commonGateComponents = 2; // PEQ + ISO strips
+        iso_sa.devicesPerPair = {
+            {Role::Column, 2}, {Role::Iso, 2},       {Role::Nsa, 2},
+            {Role::Psa, 2},    {Role::Precharge, 1},
+            {Role::Equalizer, 1},
+        };
+        iso_sa.hasEqualizer = true;
+        lib.push_back(iso_sa);
+
+        TopologyTemplate pre_only;
+        pre_only.name = "precharge-only SA (no equalizer)";
+        pre_only.reference = "PF-DRAM-style precharge-free ideas [81]";
+        pre_only.family = Topology::Classic;
+        pre_only.commonGateComponents = 1;
+        pre_only.devicesPerPair = {
+            {Role::Column, 2}, {Role::Nsa, 2},       {Role::Psa, 2},
+            {Role::Precharge, 1},
+        };
+        pre_only.hasEqualizer = false;
+        lib.push_back(pre_only);
+
+        return lib;
+    }();
+    return library;
+}
+
+namespace
+{
+
+/// Per-pair device counts of an analysis (latch count sets the pairs).
+std::map<Role, double>
+devicesPerPair(const RegionAnalysis &analysis, size_t &pairs_out)
+{
+    const size_t nsa = analysis.countRole(Role::Nsa);
+    pairs_out = std::max<size_t>(1, nsa / 2);
+    std::map<Role, double> out;
+    for (size_t ri = 0; ri < static_cast<size_t>(Role::NumRoles);
+         ++ri) {
+        const Role role = static_cast<Role>(ri);
+        if (role == Role::Lsa)
+            continue; // datapath, not part of the SA circuit
+        const size_t n = analysis.countRole(role);
+        if (n)
+            out[role] =
+                static_cast<double>(n) / static_cast<double>(pairs_out);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<MatchScore>
+matchTopology(const RegionAnalysis &analysis)
+{
+    size_t pairs = 1;
+    const auto observed = devicesPerPair(analysis, pairs);
+
+    std::vector<MatchScore> scores;
+    for (const auto &tmpl : topologyLibrary()) {
+        MatchScore ms;
+        ms.candidate = &tmpl;
+        double score = 1.0;
+
+        // Common-gate component count: strong discriminator.  The
+        // template describes one SA set; chips place two stacked
+        // sets, so an exact multiple (x1 or x2) also matches.
+        const bool strips_match =
+            analysis.commonGateStrips == tmpl.commonGateComponents ||
+            analysis.commonGateStrips ==
+                2 * tmpl.commonGateComponents;
+        if (!strips_match) {
+            score -= 0.35;
+            std::ostringstream ss;
+            ss << "common-gate components: observed "
+               << analysis.commonGateStrips << ", template has "
+               << tmpl.commonGateComponents << " per SA set";
+            ms.mismatches.push_back(ss.str());
+        }
+
+        // Equalizer presence.
+        const bool observed_eq =
+            analysis.countRole(Role::Equalizer) > 0;
+        if (observed_eq != tmpl.hasEqualizer) {
+            score -= 0.25;
+            ms.mismatches.push_back(
+                observed_eq ? "observed an equalizer the template "
+                              "lacks"
+                            : "template expects an equalizer");
+        }
+
+        // Device multiset: penalize each per-pair count difference.
+        std::map<Role, double> expected;
+        for (const auto &[role, n] : tmpl.devicesPerPair)
+            expected[role] = static_cast<double>(n);
+        for (const auto &[role, n] : expected) {
+            const auto it = observed.find(role);
+            const double got = it == observed.end() ? 0.0 : it->second;
+            const double err = std::abs(got - n) / n;
+            if (err > 0.25) {
+                score -= std::min(0.15, 0.1 * err);
+                std::ostringstream ss;
+                ss << models::roleName(role) << ": " << got
+                   << " per pair vs " << n;
+                ms.mismatches.push_back(ss.str());
+            }
+        }
+        for (const auto &[role, got] : observed) {
+            if (!expected.count(role)) {
+                score -= 0.15;
+                ms.mismatches.push_back(
+                    "unexpected " + models::roleName(role) +
+                    " devices");
+            }
+        }
+
+        // Cross-coupling.
+        if (tmpl.crossCoupledLatch &&
+            !analysis.crossCouplingConsistent()) {
+            score -= 0.10;
+            ms.mismatches.push_back("latch cross-coupling not traced");
+        }
+
+        ms.score = std::max(0.0, score);
+        scores.push_back(std::move(ms));
+    }
+    std::stable_sort(scores.begin(), scores.end(),
+                     [](const MatchScore &a, const MatchScore &b) {
+                         return a.score > b.score;
+                     });
+    return scores;
+}
+
+const TopologyTemplate &
+bestMatch(const RegionAnalysis &analysis)
+{
+    const auto scores = matchTopology(analysis);
+    if (scores.empty())
+        throw std::logic_error("bestMatch: empty template library");
+    return *scores.front().candidate;
+}
+
+} // namespace re
+} // namespace hifi

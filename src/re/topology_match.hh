@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Topology template matching (Section V-A).
+ *
+ * When the paper found extra elements on B5/A4/A5, it searched the
+ * published corpus of sense-amplifier designs and "could finally
+ * pin-point the reverse-engineered circuits to one design".  This
+ * module makes that step algorithmic: a library of structural
+ * templates for published SA topologies, and a matcher that scores an
+ * extracted RegionAnalysis against each template using
+ *
+ *  - the number of independent common-gate components,
+ *  - the per-SA device-role multiset (devices per bitline pair),
+ *  - the presence/absence of a standalone equalizer,
+ *  - the latch cross-coupling pattern.
+ */
+
+#ifndef HIFI_RE_TOPOLOGY_MATCH_HH
+#define HIFI_RE_TOPOLOGY_MATCH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "re/analyze.hh"
+
+namespace hifi
+{
+namespace re
+{
+
+/** Structural template of a published SA topology. */
+struct TopologyTemplate
+{
+    std::string name;
+    std::string reference; ///< literature pointer
+    models::Topology family = models::Topology::Classic;
+
+    /// Independent common-gate components in the region.
+    size_t commonGateComponents = 1;
+
+    /// Devices per bitline pair, by role (latch devices count 2).
+    std::map<models::Role, size_t> devicesPerPair;
+
+    /// Standalone equalizer present?
+    bool hasEqualizer = true;
+
+    /// Cross-coupled latch (always true for real SAs; kept for
+    /// completeness against degenerate extractions).
+    bool crossCoupledLatch = true;
+};
+
+/**
+ * The template library: the classic SA [42], the deployed OCSA [45],
+ * and two further published variants that the matcher must be able to
+ * reject (an isolation-SA used by CLR-DRAM-style proposals and a
+ * bitline-precharge-only design).
+ */
+const std::vector<TopologyTemplate> &topologyLibrary();
+
+/** Score of one template against an analysis. */
+struct MatchScore
+{
+    const TopologyTemplate *candidate = nullptr;
+
+    /// 1.0 = perfect structural agreement.
+    double score = 0.0;
+
+    /// Human-readable mismatch notes.
+    std::vector<std::string> mismatches;
+};
+
+/**
+ * Score every library template against the analysis, best first.
+ * The number of SA pairs is inferred from the latch device count.
+ */
+std::vector<MatchScore> matchTopology(const RegionAnalysis &analysis);
+
+/// Best-matching template (throws if the library is empty).
+const TopologyTemplate &bestMatch(const RegionAnalysis &analysis);
+
+} // namespace re
+} // namespace hifi
+
+#endif // HIFI_RE_TOPOLOGY_MATCH_HH

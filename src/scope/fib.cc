@@ -1,0 +1,75 @@
+#include "scope/fib.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace scope
+{
+
+image::SliceStack
+acquire(const image::Volume3D &materials, const FibSemParams &params,
+        common::Rng &rng)
+{
+    if (params.sliceVoxels == 0)
+        throw std::invalid_argument("acquire: zero slice thickness");
+
+    image::SliceStack stack;
+    stack.sliceThicknessNm = 0.0; // caller-level metadata; see below
+
+    long drift_y = 0, drift_z = 0;
+    auto step = [&](long drift) {
+        if (rng.uniform() >= params.driftProbability)
+            return drift;
+        // Mean reversion: more likely to step back toward zero the
+        // further out the stage has wandered.
+        const double p_out = 0.5 /
+            (1.0 + std::abs(static_cast<double>(drift)) /
+                 static_cast<double>(params.maxDriftPx));
+        const long delta = (rng.uniform() < p_out) ? 1 : -1;
+        const long next = drift + (drift >= 0 ? delta : -delta);
+        return std::clamp(next, -params.maxDriftPx, params.maxDriftPx);
+    };
+    for (size_t x = 0; x + params.sliceVoxels <= materials.nx();
+         x += params.sliceVoxels) {
+        if (x > 0) {
+            drift_y = step(drift_y);
+            drift_z = step(drift_z);
+        }
+        image::Image2D img =
+            semImage(materials, x, params.sliceVoxels, params.sem, rng);
+        stack.slices.push_back(img.shifted(drift_y, drift_z));
+        stack.trueDrift.emplace_back(drift_y, drift_z);
+    }
+    return stack;
+}
+
+CampaignCost
+campaignCost(const models::ChipSpec &chip)
+{
+    CampaignCost cost;
+    // Square ROI of the Table I area; the imaged stack face is the
+    // ROI width by a ~2 um deep IC cross-section.
+    const double side_um = std::sqrt(chip.roiAreaUm2);
+    const double stack_depth_um = 2.0;
+
+    cost.slices = static_cast<size_t>(
+        std::ceil(side_um * 1000.0 / chip.sliceNm));
+    const double px_w = side_um * 1000.0 / chip.pixelResNm;
+    const double px_h = stack_depth_um * 1000.0 / chip.pixelResNm;
+    cost.pixelsPerImage = px_w * px_h;
+
+    // Mill time grows with the cross-section width; 18 s per um of
+    // face width reproduces the paper's >24 h for the 100 um^2 scans.
+    const double mill_s = 18.0 * side_um;
+    const double image_s = cost.pixelsPerImage * chip.dwellUs * 1e-6;
+    cost.secondsPerSlice = mill_s + image_s;
+    cost.totalHours = static_cast<double>(cost.slices) *
+        cost.secondsPerSlice / 3600.0;
+    return cost;
+}
+
+} // namespace scope
+} // namespace hifi

@@ -1,0 +1,50 @@
+#include "scope/postprocess.hh"
+
+#include <stdexcept>
+
+namespace hifi
+{
+namespace scope
+{
+
+PostprocessResult
+postprocess(const image::SliceStack &stack,
+            const PostprocessParams &params)
+{
+    if (stack.slices.empty())
+        throw std::invalid_argument("postprocess: empty stack");
+
+    // 1. Edge-preserving denoise per slice.
+    std::vector<image::Image2D> denoised;
+    denoised.reserve(stack.slices.size());
+    for (const auto &slice : stack.slices) {
+        switch (params.algo) {
+          case DenoiseAlgo::SplitBregman:
+            denoised.push_back(
+                image::denoiseSplitBregman(slice, params.tv));
+            break;
+          case DenoiseAlgo::Chambolle:
+            denoised.push_back(
+                image::denoiseChambolle(slice, params.tv));
+            break;
+          case DenoiseAlgo::None:
+            denoised.push_back(slice);
+            break;
+        }
+    }
+
+    // 2. Chained mutual-information alignment.
+    PostprocessResult result;
+    result.shifts = image::alignStack(denoised, params.mi);
+    if (!stack.trueDrift.empty()) {
+        result.alignmentResidualPx =
+            image::alignmentResidual(result.shifts, stack.trueDrift);
+    }
+
+    // 3. Assemble the volume with the recovered corrections.
+    result.volume = image::assembleVolume(denoised, result.shifts);
+    return result;
+}
+
+} // namespace scope
+} // namespace hifi

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Image post-processing chain (Section IV-C): denoise each slice with
+ * an edge-preserving TV filter, align the stack slice-to-slice with
+ * mutual information, and assemble the planar-viewable volume.
+ */
+
+#ifndef HIFI_SCOPE_POSTPROCESS_HH
+#define HIFI_SCOPE_POSTPROCESS_HH
+
+#include <utility>
+#include <vector>
+
+#include "image/denoise.hh"
+#include "image/registration.hh"
+#include "image/volume3d.hh"
+
+namespace hifi
+{
+namespace scope
+{
+
+/// Which TV denoiser to run (both are supported, as in the paper).
+enum class DenoiseAlgo { SplitBregman, Chambolle, None };
+
+/** Post-processing parameters. */
+struct PostprocessParams
+{
+    DenoiseAlgo algo = DenoiseAlgo::Chambolle;
+    image::TvParams tv{0.05, 50};
+    image::MiParams mi{32, 6};
+};
+
+/** Post-processing output. */
+struct PostprocessResult
+{
+    image::Volume3D volume;
+
+    /// Recovered per-slice shifts relative to slice 0.
+    std::vector<std::pair<long, long>> shifts;
+
+    /// Mean pixel residual vs the stack's ground-truth drift.
+    double alignmentResidualPx = 0.0;
+
+    /// Paper requirement: residual below 0.77% of the slice height.
+    bool meetsAlignmentBudget(size_t slice_height_px) const
+    {
+        return alignmentResidualPx <=
+            0.0077 * static_cast<double>(slice_height_px);
+    }
+};
+
+/// Run the full chain on an acquired stack.
+PostprocessResult postprocess(const image::SliceStack &stack,
+                              const PostprocessParams &params = {});
+
+} // namespace scope
+} // namespace hifi
+
+#endif // HIFI_SCOPE_POSTPROCESS_HH

@@ -1,0 +1,52 @@
+#include "scope/prep.hh"
+
+namespace hifi
+{
+namespace scope
+{
+
+double
+PrepPlan::prepMinutes() const
+{
+    double total = 0.0;
+    for (const auto &s : steps)
+        total += s.minutes;
+    return total;
+}
+
+double
+PrepPlan::identificationHours() const
+{
+    if (matsVisible) {
+        // Optical microscope session: pick the widest logic strip
+        // around a MAT.
+        return 0.5;
+    }
+    return blindSearch.hoursSpent;
+}
+
+PrepPlan
+prepareChip(const models::ChipSpec &chip)
+{
+    PrepPlan plan;
+    plan.matsVisible = chip.matsVisible;
+
+    plan.steps.push_back(
+        {"desolder from DIMM", "400 C heat gun", 10.0});
+    plan.steps.push_back(
+        {"remove epoxy package", "heat gun, mechanical", 20.0});
+    plan.steps.push_back(
+        {"decap residue", "sulfuric acid at 140 C", 45.0});
+    plan.steps.push_back(
+        {"optical inspection", "AX10 Imager.M2: banks + logic pad",
+         15.0});
+
+    if (!plan.matsVisible) {
+        // Top layer only: blind FIB cross sections (Fig. 6).
+        plan.blindSearch = roiSearch(chip);
+    }
+    return plan;
+}
+
+} // namespace scope
+} // namespace hifi

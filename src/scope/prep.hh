@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sample preparation (Section IV-A, Fig. 5): desolder the chip from
+ * the DIMM with a heat gun, strip the epoxy package, finish with the
+ * sulfuric-acid decap, then locate the ROI.
+ *
+ * On some chips the decap exposes the lower layers, making the MATs
+ * optically visible (Table I column "MATs"); those skip the blind
+ * cross-section search and identify the ROI under the optical
+ * microscope in minutes.  The others need the Fig. 6 blind search.
+ */
+
+#ifndef HIFI_SCOPE_PREP_HH
+#define HIFI_SCOPE_PREP_HH
+
+#include <string>
+#include <vector>
+
+#include "models/chip_data.hh"
+#include "scope/roi_search.hh"
+
+namespace hifi
+{
+namespace scope
+{
+
+/** One preparation step. */
+struct PrepStep
+{
+    std::string name;
+    std::string parameters; ///< e.g. "400 C heat gun"
+    double minutes = 0.0;
+};
+
+/** Full preparation + ROI identification plan for one chip. */
+struct PrepPlan
+{
+    std::vector<PrepStep> steps;
+
+    /// MATs optically visible after decap (Table I).
+    bool matsVisible = false;
+
+    /// Blind search result; only run when MATs are not visible.
+    RoiSearchResult blindSearch;
+
+    double prepMinutes() const;
+
+    /// Total identification time: optical minutes or blind-search
+    /// hours (paper: <= 2 h per chip either way).
+    double identificationHours() const;
+};
+
+/// Build the preparation plan and run the appropriate ROI search.
+PrepPlan prepareChip(const models::ChipSpec &chip);
+
+} // namespace scope
+} // namespace hifi
+
+#endif // HIFI_SCOPE_PREP_HH

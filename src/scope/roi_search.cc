@@ -1,0 +1,134 @@
+#include "scope/roi_search.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hifi
+{
+namespace scope
+{
+
+namespace
+{
+
+/// Fold a coordinate into [0, period).
+double
+fold(double v, double period)
+{
+    const double m = std::fmod(v, period);
+    return m < 0.0 ? m + period : m;
+}
+
+/**
+ * Find the width of the logic strip in one scan direction.
+ *
+ * @param is_logic  predicate classifying a coordinate
+ * @param sections  incremented per simulated cross section
+ */
+double
+measureLogicStrip(const models::ChipSpec &chip,
+                  bool (*is_logic)(const models::ChipSpec &, double),
+                  const RoiSearchParams &params, size_t &sections)
+{
+    // Coarse scan until the morphology changes to logic.
+    double x = 0.0;
+    const double limit = 1e7; // 10 mm: far beyond any tile period
+    while (!is_logic(chip, x)) {
+        x += params.coarseStepNm;
+        ++sections;
+        if (x > limit)
+            throw std::runtime_error("roiSearch: no logic found");
+    }
+
+    // Bisect the leading edge (last MAT position before x).
+    double lo = x - params.coarseStepNm, hi = x;
+    while (hi - lo > params.refineNm) {
+        const double mid = 0.5 * (lo + hi);
+        ++sections;
+        if (is_logic(chip, mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    const double start = hi;
+
+    // Walk forward to find the trailing edge, then bisect it.
+    double fwd = start;
+    while (is_logic(chip, fwd)) {
+        fwd += params.coarseStepNm;
+        ++sections;
+    }
+    lo = fwd - params.coarseStepNm;
+    hi = fwd;
+    while (hi - lo > params.refineNm) {
+        const double mid = 0.5 * (lo + hi);
+        ++sections;
+        if (is_logic(chip, mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo - start + params.refineNm * 0.5;
+}
+
+bool
+logicAlongBitlines(const models::ChipSpec &chip, double x)
+{
+    return regionAlongBitlines(chip, x) != RegionKind::Mat;
+}
+
+bool
+logicAlongWordlines(const models::ChipSpec &chip, double y)
+{
+    return regionAlongWordlines(chip, y) != RegionKind::Mat;
+}
+
+} // namespace
+
+RegionKind
+regionAlongBitlines(const models::ChipSpec &chip, double x_nm)
+{
+    const double period = chip.matHeightNm + chip.saHeightNm;
+    return fold(x_nm, period) < chip.matHeightNm ? RegionKind::Mat
+                                                 : RegionKind::SaLogic;
+}
+
+RegionKind
+regionAlongWordlines(const models::ChipSpec &chip, double y_nm)
+{
+    const double period = chip.matWidthNm + chip.rowDriverWidthNm;
+    return fold(y_nm, period) < chip.matWidthNm
+        ? RegionKind::Mat
+        : RegionKind::RowDriverLogic;
+}
+
+RoiSearchResult
+roiSearch(const models::ChipSpec &chip, const RoiSearchParams &params)
+{
+    RoiSearchParams p = params;
+    if (p.coarseStepNm <= 0.0) {
+        p.coarseStepNm = std::max(
+            2500.0,
+            0.7 * std::min(chip.rowDriverWidthNm, chip.saHeightNm));
+    }
+
+    RoiSearchResult result;
+    size_t sections = 0;
+
+    // Direction 1 (Fig. 6): along the wordline axis, the logic strip
+    // is the row drivers.
+    result.w1Nm = measureLogicStrip(chip, &logicAlongWordlines, p,
+                                    sections);
+    // Direction 2: perpendicular, the logic strip is the SA region.
+    result.w2Nm = measureLogicStrip(chip, &logicAlongBitlines, p,
+                                    sections);
+
+    result.saIsSecondDirection = result.w2Nm > result.w1Nm;
+    result.crossSections = sections;
+    result.hoursSpent =
+        static_cast<double>(sections) * p.minutesPerSection / 60.0;
+    return result;
+}
+
+} // namespace scope
+} // namespace hifi

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Blind ROI identification (Section IV-A, Fig. 6).
+ *
+ * For chips whose MATs are not visible after decap, the paper locates
+ * the SA region by stepping blind FIB cross sections across a bank:
+ * capacitor-free morphology marks a logic strip; scanning in one
+ * direction crosses the row-driver strips (width W1), scanning in the
+ * perpendicular direction crosses the SA strips (width W2 > W1), so
+ * the wider logic region is identified as the SAs.
+ *
+ * The chip tile model comes straight from the measured geometry:
+ * period matHeight + saHeight along the bitline axis, period
+ * matWidth + rowDriverWidth along the wordline axis.
+ */
+
+#ifndef HIFI_SCOPE_ROI_SEARCH_HH
+#define HIFI_SCOPE_ROI_SEARCH_HH
+
+#include <cstddef>
+
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace scope
+{
+
+/// What a blind cross section at a given position shows.
+enum class RegionKind { Mat, SaLogic, RowDriverLogic };
+
+/// Region along the bitline axis (MAT / SA strips alternate).
+RegionKind regionAlongBitlines(const models::ChipSpec &chip,
+                               double x_nm);
+
+/// Region along the wordline axis (MAT / row-driver strips).
+RegionKind regionAlongWordlines(const models::ChipSpec &chip,
+                                double y_nm);
+
+/** Result of the two-direction blind search. */
+struct RoiSearchResult
+{
+    double w1Nm = 0.0; ///< logic width found in the first direction
+    double w2Nm = 0.0; ///< logic width found perpendicular
+    bool saIsSecondDirection = false; ///< W2 > W1 -> SAs found there
+
+    size_t crossSections = 0; ///< blind sections spent
+    double hoursSpent = 0.0;  ///< <= 2 h per chip in the paper
+
+    /// The recovered SA-strip width; compare to chip.saHeightNm.
+    double saWidthNm() const
+    {
+        return saIsSecondDirection ? w2Nm : w1Nm;
+    }
+};
+
+/** Search parameters. */
+struct RoiSearchParams
+{
+    /// Coarse stepping distance between blind sections (nm);
+    /// <= 0 picks 0.7x the narrowest logic strip (the analyst scales
+    /// the stride to the expected feature size so no strip is
+    /// stepped over).
+    double coarseStepNm = 0.0;
+
+    /// Boundary bisection resolution (nm).
+    double refineNm = 100.0;
+
+    /// Analyst + instrument minutes per blind cross section.
+    double minutesPerSection = 2.0;
+};
+
+/**
+ * Run the blind two-direction search on a chip: step until a logic
+ * region is found in each direction, bisect its edges, and pick the
+ * wider strip as the SA region.
+ */
+RoiSearchResult roiSearch(const models::ChipSpec &chip,
+                          const RoiSearchParams &params = {});
+
+} // namespace scope
+} // namespace hifi
+
+#endif // HIFI_SCOPE_ROI_SEARCH_HH

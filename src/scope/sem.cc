@@ -1,0 +1,127 @@
+#include "scope/sem.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fab/voxelizer.hh"
+
+#include "image/noise.hh"
+
+namespace hifi
+{
+namespace scope
+{
+
+double
+materialContrast(fab::Material material, models::Detector detector)
+{
+    using fab::Material;
+    if (detector == models::Detector::Se) {
+        // SE contrast follows conductivity.
+        switch (material) {
+          case Material::Oxide:
+            return 0.12;
+          case Material::Silicon:
+            return 0.40;
+          case Material::Polysilicon:
+            return 0.55;
+          case Material::Tungsten:
+            return 0.78;
+          case Material::Copper:
+            return 0.92;
+          case Material::CapacitorMetal:
+            return 0.85;
+          default:
+            break;
+        }
+    } else {
+        // BSE contrast follows the mean atomic number.
+        switch (material) {
+          case Material::Oxide:
+            return 0.10;
+          case Material::Silicon:
+            return 0.30;
+          case Material::Polysilicon:
+            return 0.42;
+          case Material::Tungsten:
+            return 0.95;
+          case Material::Copper:
+            return 0.70;
+          case Material::CapacitorMetal:
+            return 0.58;
+          default:
+            break;
+        }
+    }
+    throw std::invalid_argument("materialContrast: unknown material");
+}
+
+fab::Material
+classifyIntensity(double intensity, models::Detector detector,
+                  bool exclude_capacitor)
+{
+    fab::Material best = fab::Material::Oxide;
+    double best_err = 1e9;
+    for (size_t m = 0; m < fab::kNumMaterials; ++m) {
+        const auto mat = static_cast<fab::Material>(m);
+        if (exclude_capacitor && mat == fab::Material::CapacitorMetal)
+            continue;
+        const double err =
+            std::abs(materialContrast(mat, detector) - intensity);
+        if (err < best_err) {
+            best_err = err;
+            best = mat;
+        }
+    }
+    return best;
+}
+
+image::Image2D
+semImageClean(const image::Volume3D &materials, size_t x0,
+              size_t slice_voxels, const SemParams &params)
+{
+    if (x0 >= materials.nx())
+        throw std::out_of_range("semImageClean: x0 out of range");
+    if (slice_voxels == 0)
+        throw std::invalid_argument("semImageClean: zero slice");
+
+    // Sample-dependent SE contrast compression (Section IV-B): on
+    // vendors B and C the SE signal barely separates the materials,
+    // which is why those chips were imaged with BSE.
+    const bool se = params.detector == models::Detector::Se;
+    const double q = se ? params.seQuality : 1.0;
+    const double pivot = 0.45;
+
+    const size_t x1 = std::min(materials.nx(), x0 + slice_voxels);
+    image::Image2D img(materials.ny(), materials.nz());
+    for (size_t z = 0; z < materials.nz(); ++z) {
+        for (size_t y = 0; y < materials.ny(); ++y) {
+            double sum = 0.0;
+            for (size_t x = x0; x < x1; ++x) {
+                const double c = materialContrast(
+                    fab::voxelMaterial(materials.at(x, y, z)),
+                    params.detector);
+                sum += pivot + (c - pivot) * q;
+            }
+            img.at(y, z) = static_cast<float>(
+                sum / static_cast<double>(x1 - x0));
+        }
+    }
+    return img;
+}
+
+image::Image2D
+semImage(const image::Volume3D &materials, size_t x0,
+         size_t slice_voxels, const SemParams &params,
+         common::Rng &rng)
+{
+    image::Image2D img =
+        semImageClean(materials, x0, slice_voxels, params);
+    const double electrons = params.electronsPerUs * params.dwellUs;
+    image::addShotNoise(img, electrons, rng);
+    image::addGaussianNoise(img, params.readNoise, rng);
+    return img;
+}
+
+} // namespace scope
+} // namespace hifi

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SEM image formation (Section IV).
+ *
+ * Each material has a nominal detected intensity that depends on the
+ * detector: secondary electrons (SE) respond to conductivity, back-
+ * scattered electrons (BSE) to atomic number.  Shot noise scales with
+ * dwell time (3 us vs 6 us in the paper); additive detector noise is
+ * Gaussian.  The beam interaction volume averages the material over
+ * the FIB slice thickness, which is what later allows sub-slice edge
+ * interpolation during measurement.
+ */
+
+#ifndef HIFI_SCOPE_SEM_HH
+#define HIFI_SCOPE_SEM_HH
+
+#include "common/rng.hh"
+#include "fab/materials.hh"
+#include "image/image2d.hh"
+#include "image/volume3d.hh"
+#include "models/chip_data.hh"
+
+namespace hifi
+{
+namespace scope
+{
+
+/// Nominal detected intensity of a material under a detector.
+double materialContrast(fab::Material material,
+                        models::Detector detector);
+
+/**
+ * Classify an observed intensity to the nearest material contrast.
+ * Inverse of materialContrast; used by the RE segmentation stage.
+ *
+ * @param exclude_capacitor drop the capacitor electrode material from
+ *        the candidates; the SA region has none, and under BSE its
+ *        contrast sits between copper and polysilicon, which would
+ *        swallow blurred wire pixels.
+ */
+fab::Material classifyIntensity(double intensity,
+                                models::Detector detector,
+                                bool exclude_capacitor = false);
+
+/** SEM acquisition parameters. */
+struct SemParams
+{
+    models::Detector detector = models::Detector::Se;
+    double dwellUs = 3.0;
+
+    /// Full-scale detected electrons per us of dwell.
+    double electronsPerUs = 300.0;
+
+    /// Additive detector (readout) noise sigma.
+    double readNoise = 0.05;
+
+    /**
+     * SE contrast quality of the sample (models::ChipSpec::seQuality).
+     * For the SE detector, contrasts are compressed toward their mean
+     * by this factor; BSE is unaffected.
+     */
+    double seQuality = 1.0;
+};
+
+/**
+ * Image the cross-section of a material volume at voxel position
+ * `x0`, averaging the interaction volume over `sliceVoxels` voxels
+ * along X.  Output pixels are (Y, Z).
+ */
+image::Image2D semImage(const image::Volume3D &materials, size_t x0,
+                        size_t slice_voxels, const SemParams &params,
+                        common::Rng &rng);
+
+/// Noise-free version (for ground-truth comparisons).
+image::Image2D semImageClean(const image::Volume3D &materials,
+                             size_t x0, size_t slice_voxels,
+                             const SemParams &params);
+
+} // namespace scope
+} // namespace hifi
+
+#endif // HIFI_SCOPE_SEM_HH

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the common module: units, geometry, RNG, stats, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/log.hh"
+#include "common/geometry.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace hifi;
+using common::Accumulator;
+using common::Histogram;
+using common::Rect;
+using common::Rng;
+using common::Table;
+using common::Vec2;
+
+TEST(Units, LengthConversions)
+{
+    EXPECT_DOUBLE_EQ(units::um, 1000.0);
+    EXPECT_DOUBLE_EQ(units::mm, 1e6);
+    EXPECT_DOUBLE_EQ(units::toUm(2500.0), 2.5);
+    EXPECT_DOUBLE_EQ(units::toMm2(units::mm2), 1.0);
+    EXPECT_DOUBLE_EQ(units::toUm2(3.0 * units::um2), 3.0);
+}
+
+TEST(Units, TimeAndElectrical)
+{
+    EXPECT_DOUBLE_EQ(units::ns, 1e-9);
+    EXPECT_DOUBLE_EQ(units::us / units::ns, 1000.0);
+    EXPECT_DOUBLE_EQ(units::fF, 1e-15);
+    EXPECT_DOUBLE_EQ(units::mV * 1000.0, units::V);
+}
+
+TEST(Rect, BasicProperties)
+{
+    Rect r(10, 20, 40, 60);
+    EXPECT_DOUBLE_EQ(r.width(), 30);
+    EXPECT_DOUBLE_EQ(r.height(), 40);
+    EXPECT_DOUBLE_EQ(r.area(), 1200);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(Rect().empty());
+    EXPECT_DOUBLE_EQ(Rect().area(), 0.0);
+}
+
+TEST(Rect, FromSize)
+{
+    Rect r = Rect::fromSize(5, 6, 10, 20);
+    EXPECT_EQ(r, Rect(5, 6, 15, 26));
+}
+
+TEST(Rect, ContainsAndCenter)
+{
+    Rect r(0, 0, 10, 10);
+    EXPECT_TRUE(r.contains({5, 5}));
+    EXPECT_TRUE(r.contains({0, 0}));
+    EXPECT_FALSE(r.contains({10, 10})); // half-open
+    Vec2 c = r.center();
+    EXPECT_DOUBLE_EQ(c.x, 5);
+    EXPECT_DOUBLE_EQ(c.y, 5);
+}
+
+TEST(Rect, OverlapIntersectUnite)
+{
+    Rect a(0, 0, 10, 10), b(5, 5, 15, 15), c(20, 20, 30, 30);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    Rect i = a.intersect(b);
+    EXPECT_EQ(i, Rect(5, 5, 10, 10));
+    EXPECT_TRUE(a.intersect(c).empty());
+    Rect u = a.unite(b);
+    EXPECT_EQ(u, Rect(0, 0, 15, 15));
+    EXPECT_EQ(Rect().unite(a), a);
+}
+
+TEST(Rect, TouchingRectsDoNotOverlap)
+{
+    Rect a(0, 0, 10, 10), b(10, 0, 20, 10);
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_DOUBLE_EQ(a.gapTo(b), 0.0);
+}
+
+TEST(Rect, GapTo)
+{
+    Rect a(0, 0, 10, 10);
+    EXPECT_DOUBLE_EQ(a.gapTo(Rect(15, 0, 20, 10)), 5.0);
+    EXPECT_DOUBLE_EQ(a.gapTo(Rect(0, 13, 10, 20)), 3.0);
+    // Diagonal: Euclidean corner distance.
+    EXPECT_DOUBLE_EQ(a.gapTo(Rect(13, 14, 20, 20)), 5.0);
+    EXPECT_DOUBLE_EQ(a.gapTo(Rect(2, 2, 5, 5)), 0.0);
+}
+
+TEST(Rect, InflateTranslate)
+{
+    Rect r(10, 10, 20, 20);
+    EXPECT_EQ(r.inflate(2), Rect(8, 8, 22, 22));
+    EXPECT_EQ(r.translate(5, -5), Rect(15, 5, 25, 15));
+}
+
+TEST(Rng, Determinism)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowRange)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.add(rng.gaussian(3.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmall)
+{
+    Rng rng(10);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.add(static_cast<double>(rng.poisson(4.0)));
+    EXPECT_NEAR(acc.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, PoissonMeanLarge)
+{
+    Rng rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.add(static_cast<double>(rng.poisson(400.0)));
+    EXPECT_NEAR(acc.mean(), 400.0, 2.0);
+    EXPECT_NEAR(acc.stddev(), 20.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(12);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Stats, AccumulatorBasics)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    acc.add(2.0);
+    acc.add(4.0);
+    acc.add(6.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_NEAR(acc.variance(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorMerge)
+{
+    Accumulator a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i);
+        all.add(i);
+    }
+    for (int i = 10; i < 25; ++i) {
+        b.add(i * 1.5);
+        all.add(i * 1.5);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeIntoEmpty)
+{
+    Accumulator a, b;
+    b.add(5.0);
+    b.add(7.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.add(3.5);
+    h.add(9.99);
+    h.add(-1.0);  // below range: ignored
+    h.add(10.0);  // at high edge: ignored
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.count(3), 5u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.modeBin(), 3u);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(3), 4.0);
+}
+
+TEST(Stats, HistogramRejectsBadArgs)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Stats, MedianAndMean)
+{
+    EXPECT_DOUBLE_EQ(common::median({}), 0.0);
+    EXPECT_DOUBLE_EQ(common::median({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(common::median({1.0, 2.0, 9.0}), 2.0);
+    EXPECT_DOUBLE_EQ(common::median({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(common::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(common::mean({}), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"ID", "Value"});
+    t.addRow({"A4", "34"});
+    t.addRow({"B5long", "7"});
+    std::ostringstream ss;
+    t.print(ss);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("| ID "), std::string::npos);
+    EXPECT_NE(out.find("| B5long "), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::times(175.0, 0), "175x");
+    EXPECT_EQ(Table::times(-0.25, 2), "-0.25x");
+    EXPECT_EQ(Table::percent(2.36, 0), "236%");
+}
+
+TEST(Log, LevelsAndWarnCounter)
+{
+    const auto before = common::warnCount();
+    common::setLogLevel(common::LogLevel::Silent);
+    common::warn("silent warning");
+    EXPECT_EQ(common::warnCount(), before + 1); // counted even silent
+    common::inform("silent info");
+    common::setLogLevel(common::LogLevel::Warn);
+    EXPECT_EQ(common::logLevel(), common::LogLevel::Warn);
+    common::setLogLevel(common::LogLevel::Silent);
+}
+
+TEST(Csv, WritesRows)
+{
+    const std::string path = "/tmp/hifi_test_csv.csv";
+    {
+        common::CsvWriter w(path, {"t", "v"});
+        w.addRow({0.0, 1.0});
+        w.addRow({1.0, 2.5});
+        EXPECT_EQ(w.rows(), 2u);
+        EXPECT_THROW(w.addRow({1.0}), std::invalid_argument);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "t,v");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0,1");
+}
+
+} // namespace

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests for the command-level DRAM model: simulation-derived timings,
+ * the bank state machine, data storage, the trace runner, and the
+ * out-of-spec two-row activation semantics per topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/device.hh"
+
+namespace
+{
+
+using namespace hifi;
+using dram::Bank;
+using dram::BankConfig;
+using dram::Timings;
+
+BankConfig
+testConfig(models::Topology topology = models::Topology::Classic)
+{
+    BankConfig config;
+    config.rows = 16;
+    config.columns = 8;
+    config.topology = topology;
+    config.timings = {10.0, 30.0, 10.0, 4.0, 8.0};
+    return config;
+}
+
+TEST(Timings, DerivedFromSimulationPerTopology)
+{
+    const Timings classic =
+        Timings::forTopology(circuit::SaTopology::Classic);
+    const Timings ocsa =
+        Timings::forTopology(circuit::SaTopology::OffsetCancellation);
+
+    // OCSA's extra phases lengthen activation (Section VI-D).
+    EXPECT_GT(ocsa.tRcd, classic.tRcd);
+    EXPECT_GT(ocsa.tRas, classic.tRas);
+    EXPECT_GT(classic.tRcd, 3.0);
+    EXPECT_LT(classic.tRcd, 20.0);
+    EXPECT_GT(classic.tRas, classic.tRcd);
+    EXPECT_GT(classic.tRp, 0.5);
+}
+
+TEST(Timings, GuardBandScales)
+{
+    circuit::SaParams p;
+    const Timings tight = Timings::fromSimulation(p, 1.0);
+    const Timings guarded = Timings::fromSimulation(p, 1.5);
+    EXPECT_NEAR(guarded.tRcd, 1.5 * tight.tRcd, 1e-9);
+    EXPECT_THROW(Timings::fromSimulation(p, 0.5),
+                 std::invalid_argument);
+}
+
+TEST(BankConfigFromChip, UsesTopologyAndGeometry)
+{
+    const auto ocsa = BankConfig::fromChip(models::chip("B5"));
+    const auto classic = BankConfig::fromChip(models::chip("C5"));
+    EXPECT_EQ(ocsa.topology, models::Topology::Ocsa);
+    EXPECT_EQ(classic.topology, models::Topology::Classic);
+    EXPECT_GT(ocsa.timings.tRcd, classic.timings.tRcd);
+    EXPECT_GT(ocsa.rows, 256u);
+    EXPECT_LT(ocsa.rows, 2048u);
+}
+
+TEST(Bank, HappyPathActReadWritePre)
+{
+    Bank bank(testConfig());
+    EXPECT_TRUE(bank.activate(0.0, 3).accepted);
+    EXPECT_EQ(bank.openRow(), 3u);
+
+    auto wr = bank.write(15.0, 2, 0xAB);
+    EXPECT_TRUE(wr.accepted);
+    auto rd = bank.read(20.0, 2);
+    ASSERT_TRUE(rd.accepted);
+    EXPECT_EQ(*rd.data, 0xAB);
+
+    EXPECT_TRUE(bank.precharge(40.0).accepted);
+    EXPECT_FALSE(bank.openRow());
+    EXPECT_EQ(bank.violations(), 0u);
+}
+
+TEST(Bank, DataPersistsAcrossActivations)
+{
+    Bank bank(testConfig());
+    bank.activate(0.0, 5);
+    bank.write(15.0, 0, 42);
+    bank.precharge(40.0);
+    bank.activate(60.0, 1);
+    bank.precharge(100.0);
+    bank.activate(120.0, 5);
+    auto rd = bank.read(135.0, 0);
+    ASSERT_TRUE(rd.accepted);
+    EXPECT_EQ(*rd.data, 42);
+}
+
+TEST(Bank, TimingViolationsRejected)
+{
+    Bank bank(testConfig());
+    bank.activate(0.0, 0);
+    // tRCD = 10: read at 5 ns is too early.
+    EXPECT_FALSE(bank.read(5.0, 0).accepted);
+    // tRAS = 30: precharge at 20 ns is too early.
+    EXPECT_FALSE(bank.precharge(20.0).accepted);
+    // Valid read, then tCCD violation.
+    EXPECT_TRUE(bank.read(12.0, 0).accepted);
+    EXPECT_FALSE(bank.read(13.0, 1).accepted);
+    // tWR: write at 31, precharge at 35 violates tWR = 8.
+    EXPECT_TRUE(bank.write(31.0, 0, 1).accepted);
+    EXPECT_FALSE(bank.precharge(35.0).accepted);
+    EXPECT_TRUE(bank.precharge(40.0).accepted);
+    // tRP = 10: immediate re-activation rejected.
+    EXPECT_FALSE(bank.activate(45.0, 1).accepted);
+    EXPECT_TRUE(bank.activate(51.0, 1).accepted);
+    EXPECT_EQ(bank.violations(), 5u);
+}
+
+TEST(Bank, StateViolationsRejected)
+{
+    Bank bank(testConfig());
+    EXPECT_FALSE(bank.read(100.0, 0).accepted);  // no open row
+    EXPECT_FALSE(bank.precharge(100.0).accepted);
+    EXPECT_TRUE(bank.activate(100.0, 0).accepted);
+    EXPECT_FALSE(bank.activate(200.0, 1).accepted); // already open
+    EXPECT_FALSE(bank.read(120.0, 99).accepted);    // bad column
+    EXPECT_FALSE(bank.activate(300.0, 99).accepted);
+}
+
+TEST(Bank, TwoRowActivationAgreeingBits)
+{
+    Bank bank(testConfig());
+    bank.cell(1, 0) = 0b11001100;
+    bank.cell(2, 0) = 0b11001100;
+    EXPECT_TRUE(bank.activateTwoRows(0.0, 1, 2).accepted);
+    EXPECT_EQ(bank.cell(1, 0), 0b11001100);
+    EXPECT_EQ(bank.cell(2, 0), 0b11001100);
+}
+
+TEST(Bank, TwoRowConflictsClassicVsOcsa)
+{
+    // Conflicting bits: classic keeps row A's value (the mismatch
+    // lottery's deterministic stand-in); OCSA biases toward '1'.
+    Bank classic(testConfig(models::Topology::Classic));
+    classic.cell(1, 0) = 0b11110000;
+    classic.cell(2, 0) = 0b10101010;
+    classic.activateTwoRows(0.0, 1, 2);
+    // agree mask: ~(a^b) = 0b10100101 -> agreed bits keep a; the
+    // rest resolve to a as well on classic.
+    EXPECT_EQ(classic.cell(1, 0), 0b11110000);
+
+    Bank ocsa(testConfig(models::Topology::Ocsa));
+    ocsa.cell(1, 0) = 0b11110000;
+    ocsa.cell(2, 0) = 0b10101010;
+    ocsa.activateTwoRows(0.0, 1, 2);
+    // Conflicts (bits where a != b) become 1: 0b11110000 | 0b01011010.
+    EXPECT_EQ(ocsa.cell(1, 0), 0b11111010);
+    EXPECT_EQ(ocsa.cell(2, 0), 0b11111010);
+}
+
+TEST(Bank, TwoRowRejectsBadPairs)
+{
+    Bank bank(testConfig());
+    EXPECT_FALSE(bank.activateTwoRows(0.0, 1, 1).accepted);
+    EXPECT_FALSE(bank.activateTwoRows(0.0, 1, 99).accepted);
+    bank.activate(0.0, 0);
+    EXPECT_FALSE(bank.activateTwoRows(10.0, 1, 2).accepted);
+}
+
+TEST(Bank, RetentionDecaysUnrefreshedRows)
+{
+    auto config = testConfig();
+    config.retentionNs = 1000.0; // 1 us retention for the test
+    Bank bank(config);
+    bank.activate(0.0, 3);
+    bank.write(15.0, 0, 0xEE);
+    bank.precharge(40.0);
+
+    // Within retention: data survives.
+    bank.activate(60.0, 3);
+    EXPECT_EQ(*bank.read(75.0, 0).data, 0xEE);
+    bank.precharge(100.0);
+
+    // Beyond retention: the row decays to zeros.
+    bank.activate(5000.0, 3);
+    EXPECT_EQ(*bank.read(5015.0, 0).data, 0x00);
+}
+
+TEST(Bank, RefreshPreservesDataAcrossRetentionWindows)
+{
+    auto config = testConfig();
+    config.retentionNs = 1000.0;
+    config.rowsPerRefresh = config.rows; // refresh-all for simplicity
+    Bank bank(config);
+    bank.activate(0.0, 3);
+    bank.write(15.0, 0, 0x5A);
+    bank.precharge(40.0);
+
+    // Refresh every 800 ns: data must survive 5 windows.
+    for (int i = 1; i <= 5; ++i)
+        EXPECT_TRUE(bank.refresh(40.0 + 800.0 * i).accepted);
+
+    bank.activate(4200.0, 3);
+    EXPECT_EQ(*bank.read(4215.0, 0).data, 0x5A);
+}
+
+TEST(Bank, RefreshRequiresPrechargedBank)
+{
+    Bank bank(testConfig());
+    bank.activate(0.0, 0);
+    EXPECT_FALSE(bank.refresh(50.0).accepted);
+    bank.precharge(40.0);
+    EXPECT_TRUE(bank.refresh(60.0).accepted);
+}
+
+TEST(Bank, DecayedRowsCountGrowsOverTime)
+{
+    auto config = testConfig();
+    config.retentionNs = 100.0;
+    Bank bank(config);
+    EXPECT_EQ(bank.decayedRows(50.0), 0u);
+    EXPECT_EQ(bank.decayedRows(200.0), config.rows);
+    bank.activate(200.0, 5);
+    bank.precharge(240.0);
+    EXPECT_EQ(bank.decayedRows(300.0), config.rows - 1);
+}
+
+TEST(Bank, DisturbanceFlipsVictimBitsAfterThreshold)
+{
+    auto config = testConfig();
+    config.disturbanceThreshold = 5;
+    Bank bank(config);
+    bank.cell(4, 0) = 0xFF; // victim above the aggressor
+    bank.cell(6, 0) = 0xFF; // victim below
+
+    // Hammer row 5.
+    double t = 0.0;
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(bank.activate(t, 5).accepted);
+        EXPECT_TRUE(bank.precharge(t + 31.0).accepted);
+        t += 50.0;
+    }
+    EXPECT_EQ(bank.exposure(4), 8u);
+    EXPECT_EQ(bank.cell(4, 0), 0xFE); // weak bit leaked
+    EXPECT_EQ(bank.cell(6, 0), 0xFE);
+    // Non-adjacent rows untouched.
+    bank.cell(8, 0) = 0xFF;
+    EXPECT_EQ(bank.cell(8, 0), 0xFF);
+}
+
+TEST(Bank, RefreshResetsDisturbanceExposure)
+{
+    auto config = testConfig();
+    config.disturbanceThreshold = 5;
+    config.rowsPerRefresh = config.rows;
+    Bank bank(config);
+    bank.cell(4, 0) = 0xFF;
+
+    double t = 0.0;
+    for (int i = 0; i < 4; ++i) { // below threshold
+        bank.activate(t, 5);
+        bank.precharge(t + 31.0);
+        t += 50.0;
+    }
+    EXPECT_TRUE(bank.refresh(t).accepted); // TRR-style rescue
+    EXPECT_EQ(bank.exposure(4), 0u);
+
+    for (int i = 0; i < 4; ++i) { // below threshold again
+        bank.activate(t + 20.0, 5);
+        bank.precharge(t + 51.0);
+        t += 50.0;
+    }
+    EXPECT_EQ(bank.cell(4, 0), 0xFF); // survived 8 total activations
+}
+
+TEST(Bank, DisturbanceDisabledByDefault)
+{
+    Bank bank(testConfig());
+    bank.cell(4, 0) = 0xFF;
+    double t = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        bank.activate(t, 5);
+        bank.precharge(t + 31.0);
+        t += 50.0;
+    }
+    EXPECT_EQ(bank.cell(4, 0), 0xFF);
+}
+
+TEST(Device, RefInTrace)
+{
+    auto config = testConfig();
+    config.retentionNs = 500.0;
+    config.rowsPerRefresh = config.rows;
+    dram::Device dev(1, config);
+    dev.bank(0).cell(2, 0) = 77;
+    std::istringstream trace(R"(
+0    REF 0
+400  REF 0
+800  REF 0
+1000 ACT 0 2
+1012 RD  0 0
+)");
+    const auto stats = dev.runTrace(trace);
+    EXPECT_EQ(stats.rejected, 0u);
+    ASSERT_EQ(stats.readData.size(), 1u);
+    EXPECT_EQ(stats.readData[0], 77);
+}
+
+TEST(Device, TraceRunnerExecutesWorkload)
+{
+    dram::Device dev(2, testConfig());
+    std::istringstream trace(R"(
+# write then read back on bank 0; bank 1 independent
+0    ACT 0 3
+12   WR  0 1 170
+20   RD  0 1
+40   PRE 0
+41   ACT 1 7
+55   RD  1 0
+)");
+    const auto stats = dev.runTrace(trace);
+    EXPECT_EQ(stats.commands, 6u);
+    EXPECT_EQ(stats.accepted, 6u);
+    EXPECT_EQ(stats.rejected, 0u);
+    ASSERT_EQ(stats.readData.size(), 2u);
+    EXPECT_EQ(stats.readData[0], 170);
+    EXPECT_EQ(stats.readData[1], 0);
+}
+
+TEST(Device, TraceRecordsViolations)
+{
+    dram::Device dev(1, testConfig());
+    std::istringstream trace(R"(
+0  ACT 0 0
+2  RD  0 0     # tRCD violation
+50 PRE 0
+)");
+    const auto stats = dev.runTrace(trace);
+    EXPECT_EQ(stats.rejected, 1u);
+    ASSERT_EQ(stats.errors.size(), 1u);
+    EXPECT_NE(stats.errors[0].find("tRCD"), std::string::npos);
+}
+
+TEST(Device, TraceRejectsMalformedInput)
+{
+    dram::Device dev(1, testConfig());
+    std::istringstream unknown("0 FOO 0\n");
+    EXPECT_THROW(dev.runTrace(unknown), std::runtime_error);
+    std::istringstream out_of_order("10 ACT 0 0\n5 PRE 0\n");
+    EXPECT_THROW(dev.runTrace(out_of_order), std::runtime_error);
+    std::istringstream bad_bank("0 ACT 7 0\n");
+    EXPECT_THROW(dev.runTrace(bad_bank), std::runtime_error);
+    EXPECT_THROW(dram::Device(0, testConfig()),
+                 std::invalid_argument);
+}
+
+TEST(Device, OcsaBankNeedsLongerGaps)
+{
+    // The same aggressive trace passes on a classic-timed bank but
+    // trips tRCD on the OCSA bank - the architectural consequence of
+    // the reverse-engineered topology.
+    const auto classic = BankConfig::fromChip(models::chip("C5"));
+    const auto ocsa = BankConfig::fromChip(models::chip("B5"));
+
+    const double t_rd = classic.timings.tRcd + 1.0;
+    std::ostringstream trace;
+    trace << "0 ACT 0 0\n" << t_rd << " RD 0 0\n";
+
+    dram::Device dc(1, classic);
+    std::istringstream t1(trace.str());
+    EXPECT_EQ(dc.runTrace(t1).rejected, 0u);
+
+    dram::Device doc(1, ocsa);
+    std::istringstream t2(trace.str());
+    EXPECT_EQ(doc.runTrace(t2).rejected, 1u);
+}
+
+} // namespace

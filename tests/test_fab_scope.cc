@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the virtual fab (SA-region and MAT generators, voxelizer)
+ * and the microscope simulator (SEM contrast, FIB acquisition, cost
+ * model, ROI search, post-processing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fab/mat.hh"
+#include "fab/sa_region.hh"
+#include "fab/voxelizer.hh"
+#include "scope/fib.hh"
+#include "scope/postprocess.hh"
+#include "scope/prep.hh"
+#include "scope/roi_search.hh"
+#include "scope/sem.hh"
+
+namespace
+{
+
+using namespace hifi;
+using models::Detector;
+using models::Role;
+using models::Topology;
+
+// ---- fab -------------------------------------------------------------
+
+TEST(SaRegion, SpecFromChipCopiesTopologyAndDims)
+{
+    const auto spec =
+        fab::SaRegionSpec::fromChip(models::chip("A4"), 4);
+    EXPECT_EQ(spec.topology, Topology::Ocsa);
+    EXPECT_DOUBLE_EQ(spec.nsa.w, 210);
+    EXPECT_DOUBLE_EQ(spec.iso.l, 36);
+    EXPECT_DOUBLE_EQ(spec.blPitchNm, 39);
+}
+
+class SaRegionTopology
+    : public ::testing::TestWithParam<models::Topology>
+{
+};
+
+TEST_P(SaRegionTopology, GeneratesExpectedStructure)
+{
+    fab::SaRegionSpec spec;
+    spec.topology = GetParam();
+    spec.pairs = 4;
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+
+    const bool ocsa = GetParam() == Topology::Ocsa;
+    EXPECT_EQ(truth.bitlines.size(), 8u);
+    EXPECT_EQ(truth.countRole(Role::Column), 8u);
+    EXPECT_EQ(truth.countRole(Role::Nsa), 8u);
+    EXPECT_EQ(truth.countRole(Role::Psa), 8u);
+    EXPECT_EQ(truth.countRole(Role::Precharge), 4u);
+    EXPECT_EQ(truth.countRole(Role::Lsa), 4u);
+    EXPECT_EQ(truth.countRole(Role::Iso), ocsa ? 4u : 0u);
+    EXPECT_EQ(truth.countRole(Role::Oc), ocsa ? 4u : 0u);
+    EXPECT_EQ(truth.countRole(Role::Equalizer), ocsa ? 0u : 4u);
+    EXPECT_EQ(truth.commonGateComponents, ocsa ? 3u : 1u);
+
+    // All devices inside the region.
+    for (const auto &d : truth.devices) {
+        EXPECT_TRUE(truth.region.overlaps(d.gate));
+        EXPECT_TRUE(truth.region.overlaps(d.active));
+    }
+    fab::SaRegionSpec bad;
+    bad.pairs = 0;
+    EXPECT_THROW(fab::buildSaRegion(bad, truth),
+                 std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, SaRegionTopology,
+                         ::testing::Values(Topology::Classic,
+                                           Topology::Ocsa));
+
+TEST(SaRegion, ColumnsAreFirstAfterTheMat)
+{
+    // Section V-C: column transistors are the first elements the
+    // bitlines meet.
+    fab::SaRegionSpec spec;
+    spec.pairs = 2;
+    fab::SaRegionTruth truth;
+    fab::buildSaRegion(spec, truth);
+
+    double col_max = 0.0, others_min = 1e18;
+    for (const auto &d : truth.devices) {
+        if (d.role == Role::Column)
+            col_max = std::max(col_max, d.gate.x1);
+        else
+            others_min = std::min(others_min, d.gate.x0);
+    }
+    EXPECT_LT(col_max, others_min);
+}
+
+TEST(SaRegion, LatchCrossCouplingRecordedInTruth)
+{
+    fab::SaRegionSpec spec;
+    spec.pairs = 3;
+    fab::SaRegionTruth truth;
+    fab::buildSaRegion(spec, truth);
+    for (const auto &d : truth.devices) {
+        if (d.role == Role::Nsa || d.role == Role::Psa) {
+            EXPECT_NE(d.bitline, d.couplesTo);
+            EXPECT_EQ(d.bitline / 2, d.couplesTo / 2); // same pair
+        }
+    }
+}
+
+TEST(SaRegion, NoDesignRuleOverlapsWithinLayers)
+{
+    // Distinct-net gates must not overlap each other.
+    fab::SaRegionSpec spec;
+    spec.pairs = 4;
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+    const auto shapes = cell->flatten();
+    for (size_t i = 0; i < shapes.size(); ++i) {
+        for (size_t j = i + 1; j < shapes.size(); ++j) {
+            const auto &a = shapes[i];
+            const auto &b = shapes[j];
+            if (a.layer != b.layer ||
+                a.layer != layout::Layer::Gate)
+                continue;
+            if (!a.net.empty() && a.net == b.net)
+                continue;
+            EXPECT_FALSE(a.rect.overlaps(b.rect))
+                << a.net << " vs " << b.net;
+        }
+    }
+}
+
+TEST(Mat, HoneycombCapacitorsAndGrid)
+{
+    fab::MatSpec spec;
+    spec.bitlines = 4;
+    spec.wordlines = 6;
+    const auto cell = fab::buildMatSlice(spec);
+    EXPECT_EQ(cell->countOnLayer(layout::Layer::Metal1), 4u);
+    EXPECT_EQ(cell->countOnLayer(layout::Layer::Gate), 6u);
+    EXPECT_EQ(cell->countOnLayer(layout::Layer::Capacitor), 24u);
+
+    // Honeycomb: odd-column capacitors offset by half a pitch.
+    const auto flat = cell->flatten();
+    double even_y = -1.0, odd_y = -1.0;
+    for (const auto &s : flat) {
+        if (s.layer != layout::Layer::Capacitor)
+            continue;
+        if (even_y < 0)
+            even_y = s.rect.center().y;
+        else if (odd_y < 0 && s.rect.center().x > even_y)
+            odd_y = s.rect.center().y;
+    }
+    EXPECT_THROW(fab::buildMatSlice({0, 0}), std::invalid_argument);
+}
+
+TEST(Voxelizer, PaintsMaterialsAtLayerHeights)
+{
+    layout::Cell cell("c");
+    cell.addShape(common::Rect(0, 0, 50, 50), layout::Layer::Metal1);
+    cell.addShape(common::Rect(0, 0, 50, 50), layout::Layer::Active);
+
+    fab::VoxelizeParams params;
+    params.voxelNm = 10.0;
+    const auto vol =
+        fab::voxelize(cell, common::Rect(0, 0, 100, 100), params);
+    EXPECT_EQ(vol.nx(), 10u);
+    EXPECT_EQ(vol.ny(), 10u);
+
+    const auto m1z = layout::layerZ(layout::Layer::Metal1);
+    const auto z_m1 = static_cast<size_t>((m1z.z0 + 5.0) / 10.0);
+    EXPECT_EQ(fab::voxelMaterial(vol.at(2, 2, z_m1)),
+              fab::Material::Copper);
+    const auto az = layout::layerZ(layout::Layer::Active);
+    const auto z_act = static_cast<size_t>((az.z0 + 5.0) / 10.0);
+    EXPECT_EQ(fab::voxelMaterial(vol.at(2, 2, z_act)),
+              fab::Material::Silicon);
+    // Outside the shape: oxide.
+    EXPECT_EQ(fab::voxelMaterial(vol.at(8, 8, z_m1)),
+              fab::Material::Oxide);
+    EXPECT_THROW(fab::voxelize(cell, common::Rect(), params),
+                 std::invalid_argument);
+}
+
+TEST(Voxelizer, MaterialDecodingClamps)
+{
+    EXPECT_EQ(fab::voxelMaterial(-3.0f), fab::Material::Oxide);
+    EXPECT_EQ(fab::voxelMaterial(99.0f), fab::Material::Oxide);
+    EXPECT_EQ(fab::voxelMaterial(1.2f), fab::Material::Silicon);
+}
+
+// ---- scope ------------------------------------------------------------
+
+TEST(Sem, ContrastDistinguishesMaterialsPerDetector)
+{
+    using fab::Material;
+    // SE orders by conductivity: copper above poly above oxide.
+    EXPECT_GT(scope::materialContrast(Material::Copper, Detector::Se),
+              scope::materialContrast(Material::Polysilicon,
+                                      Detector::Se));
+    // BSE orders by atomic number: tungsten brightest.
+    EXPECT_GT(scope::materialContrast(Material::Tungsten,
+                                      Detector::Bse),
+              scope::materialContrast(Material::Copper,
+                                      Detector::Bse));
+    // Round trip through classification.
+    for (size_t m = 0; m < fab::kNumMaterials; ++m) {
+        const auto mat = static_cast<Material>(m);
+        for (auto det : {Detector::Se, Detector::Bse}) {
+            EXPECT_EQ(scope::classifyIntensity(
+                          scope::materialContrast(mat, det), det),
+                      mat);
+        }
+    }
+}
+
+TEST(Sem, SliceAveragingEnablesSubSliceEdges)
+{
+    // A material edge inside the slice produces an intermediate
+    // intensity, which the measurement stage interpolates.
+    image::Volume3D vol(8, 4, 4,
+                        static_cast<float>(fab::Material::Oxide));
+    for (size_t x = 3; x < 8; ++x)
+        for (size_t y = 0; y < 4; ++y)
+            for (size_t z = 0; z < 4; ++z)
+                vol.at(x, y, z) =
+                    static_cast<float>(fab::Material::Copper);
+
+    scope::SemParams sem;
+    sem.detector = Detector::Se;
+    // Slice covering x in [2, 6): 1 of 4 voxels oxide.
+    const auto img = scope::semImageClean(vol, 2, 4, sem);
+    const double cu =
+        scope::materialContrast(fab::Material::Copper, Detector::Se);
+    const double ox =
+        scope::materialContrast(fab::Material::Oxide, Detector::Se);
+    EXPECT_NEAR(img.at(1, 1), 0.25 * ox + 0.75 * cu, 1e-6);
+}
+
+TEST(Sem, SeQualityCompressesContrast)
+{
+    // Section IV-B: vendor B/C materials give poor SE contrast.
+    image::Volume3D vol(4, 2, 2,
+                        static_cast<float>(fab::Material::Copper));
+    scope::SemParams good;
+    good.detector = Detector::Se;
+    good.seQuality = 1.0;
+    scope::SemParams poor = good;
+    poor.seQuality = 0.45;
+
+    const auto img_good = scope::semImageClean(vol, 0, 2, good);
+    const auto img_poor = scope::semImageClean(vol, 0, 2, poor);
+    const double pivot = 0.45;
+    EXPECT_LT(std::abs(img_poor.at(0, 0) - pivot),
+              std::abs(img_good.at(0, 0) - pivot));
+
+    // BSE is unaffected by the sample's SE quality.
+    scope::SemParams bse = poor;
+    bse.detector = Detector::Bse;
+    const auto img_bse = scope::semImageClean(vol, 0, 2, bse);
+    EXPECT_FLOAT_EQ(img_bse.at(0, 0),
+                    static_cast<float>(scope::materialContrast(
+                        fab::Material::Copper, Detector::Bse)));
+}
+
+TEST(Sem, VendorSeQualityInDatasets)
+{
+    // Vendor A imaged with SE (quality 1); B and C needed BSE.
+    EXPECT_DOUBLE_EQ(models::chip("A4").seQuality, 1.0);
+    EXPECT_DOUBLE_EQ(models::chip("A5").seQuality, 1.0);
+    for (const char *id : {"B4", "C4", "B5", "C5"})
+        EXPECT_LT(models::chip(id).seQuality, 0.6) << id;
+}
+
+TEST(Fib, AcquisitionRecordsBoundedDrift)
+{
+    image::Volume3D vol(64, 16, 16, 0.0f);
+    scope::FibSemParams params;
+    params.sliceVoxels = 2;
+    params.driftProbability = 0.9; // drift a lot
+    params.maxDriftPx = 3;
+    common::Rng rng(5);
+    const auto stack = scope::acquire(vol, params, rng);
+    EXPECT_EQ(stack.slices.size(), 32u);
+    ASSERT_EQ(stack.trueDrift.size(), 32u);
+    for (const auto &d : stack.trueDrift) {
+        EXPECT_LE(std::abs(d.first), 3);
+        EXPECT_LE(std::abs(d.second), 3);
+    }
+    EXPECT_EQ(stack.trueDrift.front(), (std::pair<long, long>{0, 0}));
+}
+
+TEST(Fib, CampaignCostMatchesPaperScale)
+{
+    // Section IV-B: the 100 um^2 scans (A4, A5) took more than 24 h;
+    // the reduced 30 um^2 scans stay well below that.
+    for (const auto &chip : models::allChips()) {
+        const auto cost = scope::campaignCost(chip);
+        if (chip.roiAreaUm2 >= 100.0) {
+            EXPECT_GT(cost.totalHours, 24.0) << chip.id;
+        } else {
+            EXPECT_LT(cost.totalHours, 24.0) << chip.id;
+        }
+        EXPECT_GT(cost.slices, 100u);
+    }
+}
+
+TEST(Fib, FinerSlicesCostMore)
+{
+    models::ChipSpec coarse = models::chip("C4"); // 20 nm slices
+    models::ChipSpec fine = coarse;
+    fine.sliceNm = 10.0;
+    EXPECT_GT(scope::campaignCost(fine).totalHours,
+              scope::campaignCost(coarse).totalHours);
+}
+
+TEST(Postprocess, RejectsEmptyStack)
+{
+    image::SliceStack stack;
+    EXPECT_THROW(scope::postprocess(stack), std::invalid_argument);
+}
+
+TEST(Postprocess, MeetsAlignmentBudgetOnSyntheticStack)
+{
+    // Build a drifting noisy stack over a structured volume and check
+    // the chain recovers the drift within the paper's 0.77% budget.
+    image::Volume3D vol(96, 40, 40, 0.1f);
+    for (size_t x = 0; x < 96; ++x)
+        for (size_t y = 4; y < 36; y += 8)
+            for (size_t z = 10; z < 20; ++z)
+                for (size_t yy = y; yy < y + 4; ++yy)
+                    vol.at(x, yy, z) = 0.8f;
+
+    scope::FibSemParams params;
+    params.sliceVoxels = 2;
+    params.driftProbability = 0.5;
+    common::Rng rng(6);
+    const auto stack = scope::acquire(vol, params, rng);
+
+    const auto result = scope::postprocess(stack);
+    EXPECT_LT(result.alignmentResidualPx, 0.5);
+    EXPECT_TRUE(result.meetsAlignmentBudget(512));
+    EXPECT_EQ(result.volume.nx(), stack.slices.size());
+}
+
+// ---- ROI search (Fig. 6) ----------------------------------------------
+
+TEST(RoiSearch, RegionClassification)
+{
+    const auto &chip = models::chip("C5");
+    EXPECT_EQ(scope::regionAlongBitlines(chip, 0.0),
+              scope::RegionKind::Mat);
+    EXPECT_EQ(scope::regionAlongBitlines(chip,
+                                         chip.matHeightNm + 10.0),
+              scope::RegionKind::SaLogic);
+    EXPECT_EQ(scope::regionAlongWordlines(chip,
+                                          chip.matWidthNm + 10.0),
+              scope::RegionKind::RowDriverLogic);
+    // Periodicity.
+    const double period = chip.matHeightNm + chip.saHeightNm;
+    EXPECT_EQ(scope::regionAlongBitlines(chip, 3 * period + 10.0),
+              scope::RegionKind::Mat);
+}
+
+class RoiSearchPerChip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RoiSearchPerChip, FindsSaAsTheWiderLogicStrip)
+{
+    const auto &chip = models::chip(GetParam());
+    const auto result = scope::roiSearch(chip);
+
+    // The SA strip is wider than the row drivers on every chip.
+    EXPECT_TRUE(result.saIsSecondDirection);
+    EXPECT_NEAR(result.w1Nm, chip.rowDriverWidthNm, 120.0);
+    EXPECT_NEAR(result.w2Nm, chip.saHeightNm, 120.0);
+    // Paper: identification takes no more than 2 hours per chip.
+    EXPECT_LE(result.hoursSpent, 2.0);
+    EXPECT_GT(result.crossSections, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChips, RoiSearchPerChip,
+                         ::testing::Values("A4", "B4", "C4", "A5",
+                                           "B5", "C5"));
+
+TEST(Prep, PlanCoversDecapAndIdentification)
+{
+    // MAT-visible chips (A4, C4, C5) identify the ROI optically;
+    // the rest need the Fig. 6 blind search.  Either way, the paper's
+    // <= 2 h identification budget holds.
+    for (const auto &chip : models::allChips()) {
+        const auto plan = scope::prepareChip(chip);
+        EXPECT_EQ(plan.matsVisible, chip.matsVisible) << chip.id;
+        EXPECT_GE(plan.steps.size(), 4u);
+        EXPECT_GT(plan.prepMinutes(), 30.0);
+        EXPECT_LE(plan.identificationHours(), 2.0) << chip.id;
+        if (!chip.matsVisible) {
+            EXPECT_TRUE(plan.blindSearch.saIsSecondDirection)
+                << chip.id;
+        } else {
+            EXPECT_EQ(plan.blindSearch.crossSections, 0u);
+            EXPECT_LT(plan.identificationHours(), 1.0);
+        }
+    }
+}
+
+} // namespace

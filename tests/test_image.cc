@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the image substrate: containers, noise, TV denoising, and
+ * mutual-information registration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "image/denoise.hh"
+#include "image/image2d.hh"
+#include "image/noise.hh"
+#include "image/pgm.hh"
+#include "image/registration.hh"
+#include "image/volume3d.hh"
+
+namespace
+{
+
+using namespace hifi;
+using common::Rng;
+using image::Image2D;
+using image::Volume3D;
+
+/// A synthetic structured test image: bars and a block.
+Image2D
+testPattern(size_t w = 48, size_t h = 40)
+{
+    Image2D img(w, h, 0.1f);
+    for (size_t x = 6; x < w; x += 8)
+        img.fillRect(static_cast<long>(x), 0, static_cast<long>(x + 4),
+                     static_cast<long>(h), 0.8f);
+    img.fillRect(10, 12, 30, 26, 0.5f);
+    return img;
+}
+
+TEST(Image2D, BasicAccessors)
+{
+    Image2D img(8, 4, 0.25f);
+    EXPECT_EQ(img.width(), 8u);
+    EXPECT_EQ(img.height(), 4u);
+    EXPECT_EQ(img.size(), 32u);
+    img.at(3, 2) = 1.0f;
+    EXPECT_FLOAT_EQ(img.at(3, 2), 1.0f);
+    EXPECT_FLOAT_EQ(img.minValue(), 0.25f);
+    EXPECT_FLOAT_EQ(img.maxValue(), 1.0f);
+    EXPECT_THROW(Image2D(0, 4), std::invalid_argument);
+}
+
+TEST(Image2D, ClampedAtEdges)
+{
+    Image2D img(4, 4, 0.0f);
+    img.at(0, 0) = 1.0f;
+    img.at(3, 3) = 2.0f;
+    EXPECT_FLOAT_EQ(img.clampedAt(-5, -5), 1.0f);
+    EXPECT_FLOAT_EQ(img.clampedAt(10, 10), 2.0f);
+}
+
+TEST(Image2D, FillRectClips)
+{
+    Image2D img(10, 10, 0.0f);
+    img.fillRect(-5, -5, 3, 3, 1.0f);
+    EXPECT_FLOAT_EQ(img.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(img.at(2, 2), 1.0f);
+    EXPECT_FLOAT_EQ(img.at(3, 3), 0.0f);
+}
+
+TEST(Image2D, MseAndPsnr)
+{
+    Image2D a(4, 4, 0.0f), b(4, 4, 0.5f);
+    EXPECT_DOUBLE_EQ(a.mse(b), 0.25);
+    EXPECT_NEAR(a.psnr(b), 10.0 * std::log10(4.0), 1e-9);
+    EXPECT_GT(a.psnr(a), 1e8);
+    Image2D c(5, 4);
+    EXPECT_THROW(a.mse(c), std::invalid_argument);
+}
+
+TEST(Image2D, ShiftMovesContent)
+{
+    Image2D img(8, 8, 0.0f);
+    img.at(2, 3) = 1.0f;
+    Image2D s = img.shifted(3, 2);
+    EXPECT_FLOAT_EQ(s.at(5, 5), 1.0f);
+    EXPECT_FLOAT_EQ(s.at(2, 3), 0.0f);
+}
+
+TEST(Image2D, CropExtractsWindow)
+{
+    Image2D img = testPattern();
+    Image2D c = img.crop(10, 12, 30, 26);
+    EXPECT_EQ(c.width(), 20u);
+    EXPECT_EQ(c.height(), 14u);
+    EXPECT_FLOAT_EQ(c.at(0, 0), img.at(10, 12));
+    EXPECT_THROW(img.crop(10, 10, 5, 20), std::invalid_argument);
+}
+
+TEST(Image2D, TotalVariationOfFlatIsZero)
+{
+    Image2D flat(16, 16, 0.7f);
+    EXPECT_DOUBLE_EQ(flat.totalVariation(), 0.0);
+    Image2D step(2, 1, 0.0f);
+    step.at(1, 0) = 1.0f;
+    EXPECT_DOUBLE_EQ(step.totalVariation(), 1.0);
+}
+
+TEST(Volume3D, SliceRoundTrip)
+{
+    Volume3D vol(5, 4, 3, 0.0f);
+    Image2D xs(4, 3, 0.0f);
+    xs.at(1, 2) = 0.9f;
+    vol.setCrossSection(2, xs);
+    EXPECT_FLOAT_EQ(vol.at(2, 1, 2), 0.9f);
+    Image2D back = vol.crossSection(2);
+    EXPECT_FLOAT_EQ(back.at(1, 2), 0.9f);
+    EXPECT_THROW(vol.crossSection(9), std::out_of_range);
+}
+
+TEST(Volume3D, PlanarViewAndSlab)
+{
+    Volume3D vol(4, 4, 4, 0.0f);
+    vol.at(1, 2, 0) = 0.4f;
+    vol.at(1, 2, 1) = 0.8f;
+    EXPECT_FLOAT_EQ(vol.planarView(1).at(1, 2), 0.8f);
+    EXPECT_NEAR(vol.planarSlab(0, 2).at(1, 2), 0.6f, 1e-6);
+    EXPECT_THROW(vol.planarSlab(3, 3), std::invalid_argument);
+}
+
+TEST(Noise, ShotNoiseIsUnbiased)
+{
+    Rng rng(3);
+    Image2D img(64, 64, 0.5f);
+    image::addShotNoise(img, 2000.0, rng);
+    EXPECT_NEAR(img.meanValue(), 0.5f, 0.005);
+    EXPECT_GT(img.maxValue(), 0.5f); // noise actually applied
+    EXPECT_THROW(image::addShotNoise(img, 0.0, rng),
+                 std::invalid_argument);
+}
+
+TEST(Noise, MoreDwellMeansHigherSnr)
+{
+    // The paper doubles dwell (3 us -> 6 us) for hard samples; SNR
+    // should rise accordingly.
+    Rng rng(4);
+    const Image2D clean = testPattern();
+
+    Image2D low = clean;
+    image::addShotNoise(low, 900.0, rng);
+    Image2D high = clean;
+    image::addShotNoise(high, 1800.0, rng);
+    EXPECT_GT(image::snr(high, clean), image::snr(low, clean));
+}
+
+TEST(Noise, GaussianSigmaScales)
+{
+    Rng rng(5);
+    Image2D a = testPattern();
+    image::addGaussianNoise(a, 0.02, rng);
+    Image2D b = testPattern();
+    image::addGaussianNoise(b, 0.2, rng);
+    const Image2D clean = testPattern();
+    EXPECT_LT(a.mse(clean), b.mse(clean));
+}
+
+class DenoiserTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    Image2D
+    denoise(const Image2D &img, const image::TvParams &tv) const
+    {
+        return GetParam() == 0 ? image::denoiseChambolle(img, tv)
+                               : image::denoiseSplitBregman(img, tv);
+    }
+};
+
+TEST_P(DenoiserTest, ReducesNoiseMse)
+{
+    Rng rng(6);
+    const Image2D clean = testPattern();
+    Image2D noisy = clean;
+    image::addShotNoise(noisy, 900.0, rng);
+    image::addGaussianNoise(noisy, 0.05, rng);
+
+    const Image2D out = denoise(noisy, {0.05, 40});
+    EXPECT_LT(out.mse(clean), 0.5 * noisy.mse(clean));
+}
+
+TEST_P(DenoiserTest, ReducesTotalVariation)
+{
+    Rng rng(7);
+    Image2D noisy = testPattern();
+    image::addGaussianNoise(noisy, 0.08, rng);
+    const Image2D out = denoise(noisy, {0.05, 40});
+    EXPECT_LT(out.totalVariation(), noisy.totalVariation());
+}
+
+TEST_P(DenoiserTest, PreservesEdges)
+{
+    // After denoising, a strong edge must remain steep: the contrast
+    // across the bar boundary stays above 60% of the original.
+    Rng rng(8);
+    const Image2D clean = testPattern();
+    Image2D noisy = clean;
+    image::addGaussianNoise(noisy, 0.05, rng);
+    const Image2D out = denoise(noisy, {0.05, 40});
+
+    const double edge = out.at(8, 20) - out.at(4, 20);
+    EXPECT_GT(edge, 0.6 * (clean.at(8, 20) - clean.at(4, 20)));
+}
+
+TEST_P(DenoiserTest, RejectsEmptyImage)
+{
+    Image2D empty;
+    EXPECT_THROW(denoise(empty, {0.05, 10}), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAlgos, DenoiserTest,
+                         ::testing::Values(0, 1),
+                         [](const auto &info) {
+                             return info.param == 0 ? "Chambolle"
+                                                    : "SplitBregman";
+                         });
+
+TEST(Registration, MutualInformationSelfIsMax)
+{
+    const Image2D img = testPattern();
+    const double self = image::mutualInformation(img, img);
+    const double shifted =
+        image::mutualInformation(img, img.shifted(3, 0));
+    EXPECT_GT(self, shifted);
+    EXPECT_THROW(image::mutualInformation(img, Image2D(3, 3)),
+                 std::invalid_argument);
+}
+
+TEST(Registration, RecoversKnownShift)
+{
+    Rng rng(9);
+    Image2D fixed = testPattern(60, 50);
+    image::addGaussianNoise(fixed, 0.03, rng);
+    // moving = fixed displaced by (+3, -2): registration must report
+    // the corrective (-3, +2).
+    Image2D moving = fixed.shifted(3, -2);
+
+    const auto shift = image::registerShiftMi(fixed, moving);
+    EXPECT_EQ(shift.first, -3);
+    EXPECT_EQ(shift.second, 2);
+}
+
+TEST(Registration, SubpixelRefinementStaysNearIntegerTruth)
+{
+    Rng rng(12);
+    Image2D fixed = testPattern(60, 50);
+    image::addGaussianNoise(fixed, 0.02, rng);
+    Image2D moving = fixed.shifted(2, -3);
+    const auto sub = image::registerShiftMiSubpixel(fixed, moving);
+    EXPECT_NEAR(sub.first, -2.0, 0.5);
+    EXPECT_NEAR(sub.second, 3.0, 0.5);
+}
+
+TEST(Registration, AlignStackRecoversDriftWalk)
+{
+    Rng rng(10);
+    Image2D base = testPattern(60, 50);
+    image::addGaussianNoise(base, 0.02, rng);
+
+    const std::vector<std::pair<long, long>> drift = {
+        {0, 0}, {1, 0}, {2, 1}, {2, 2}, {1, 2}, {0, 1}};
+    std::vector<Image2D> slices;
+    for (const auto &d : drift)
+        slices.push_back(base.shifted(d.first, d.second));
+
+    const auto recovered = image::alignStack(slices);
+    EXPECT_NEAR(image::alignmentResidual(recovered, drift), 0.0, 0.5);
+}
+
+TEST(Registration, ResidualDetectsMisalignment)
+{
+    const std::vector<std::pair<long, long>> truth = {
+        {0, 0}, {1, 1}, {2, 2}};
+    const std::vector<std::pair<long, long>> bad = {
+        {0, 0}, {-1, -1}, {-2, -2}};
+    EXPECT_GT(image::alignmentResidual(bad, truth), 2.0);
+    EXPECT_DOUBLE_EQ(image::alignmentResidual(truth, truth), 0.0);
+}
+
+TEST(Pgm, RoundTripPreservesStructure)
+{
+    const Image2D img = testPattern(24, 16);
+    const std::string path = "/tmp/hifi_test.pgm";
+    image::writePgm(path, img, 0.0f, 1.0f);
+    const Image2D back = image::readPgm(path);
+    ASSERT_EQ(back.width(), img.width());
+    ASSERT_EQ(back.height(), img.height());
+    EXPECT_LT(back.mse(img), 1e-4); // 8-bit quantization only
+}
+
+TEST(Pgm, AutoRangeNormalizes)
+{
+    Image2D img(4, 4, 5.0f);
+    img.at(0, 0) = 7.0f;
+    image::writePgm("/tmp/hifi_test2.pgm", img);
+    const Image2D back = image::readPgm("/tmp/hifi_test2.pgm");
+    EXPECT_NEAR(back.at(0, 0), 1.0f, 0.01);
+    EXPECT_NEAR(back.at(1, 1), 0.0f, 0.01);
+}
+
+TEST(Pgm, Errors)
+{
+    Image2D img(4, 4, 0.5f);
+    EXPECT_THROW(image::writePgm("/nonexistent/x.pgm", img),
+                 std::runtime_error);
+    EXPECT_THROW(image::readPgm("/nonexistent/x.pgm"),
+                 std::runtime_error);
+    EXPECT_THROW(image::writePgm("/tmp/x.pgm", Image2D()),
+                 std::invalid_argument);
+}
+
+TEST(Registration, AssembleVolumeAppliesCorrections)
+{
+    Image2D a(6, 6, 0.0f);
+    a.at(3, 3) = 1.0f;
+    // Slice 1 drifted by (+1, +1); assembly with the recorded drift
+    // must put the bright pixel back at (3, 3).
+    std::vector<Image2D> slices = {a, a.shifted(1, 1)};
+    const auto vol =
+        image::assembleVolume(slices, {{0, 0}, {1, 1}});
+    EXPECT_FLOAT_EQ(vol.at(0, 3, 3), 1.0f);
+    EXPECT_FLOAT_EQ(vol.at(1, 3, 3), 1.0f);
+}
+
+} // namespace

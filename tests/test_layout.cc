@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the layout module: cells, design rules, free-track
+ * analysis (I1/I2), and the binary GDSII writer/reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+
+#include "layout/cell.hh"
+#include "layout/design_rules.hh"
+#include "layout/gdsii.hh"
+#include "layout/layer.hh"
+
+namespace
+{
+
+using namespace hifi;
+using common::Rect;
+using layout::Cell;
+using layout::DesignRules;
+using layout::Layer;
+
+TEST(Layer, NamesAndGdsNumbers)
+{
+    EXPECT_EQ(layout::layerName(Layer::Metal1), "Metal1");
+    EXPECT_EQ(layout::gdsLayerNumber(Layer::Active), 1);
+    EXPECT_EQ(layout::layerFromGdsNumber(4), Layer::Metal1);
+    EXPECT_THROW(layout::layerFromGdsNumber(0), std::invalid_argument);
+    EXPECT_THROW(layout::layerFromGdsNumber(99), std::invalid_argument);
+}
+
+TEST(Layer, ZRangesAreStackedBottomUp)
+{
+    double prev_top = 0.0;
+    for (auto layer : {Layer::Active, Layer::Gate, Layer::Contact,
+                       Layer::Metal1, Layer::Via1, Layer::Metal2,
+                       Layer::Capacitor}) {
+        const auto z = layout::layerZ(layer);
+        EXPECT_LT(z.z0, z.z1);
+        EXPECT_GE(z.z0, prev_top);
+        prev_top = z.z1;
+    }
+}
+
+TEST(Cell, FlattenResolvesInstances)
+{
+    auto child = std::make_shared<Cell>("child");
+    child->addShape(Rect(0, 0, 10, 10), Layer::Metal1, "net");
+
+    Cell parent("parent");
+    parent.addShape(Rect(100, 100, 110, 110), Layer::Gate);
+    parent.addInstance(child, {50, 60});
+    parent.addInstance(child, {200, 0});
+
+    const auto flat = parent.flatten();
+    ASSERT_EQ(flat.size(), 3u);
+    // Instance offsets applied.
+    bool found = false;
+    for (const auto &s : flat)
+        if (s.rect == Rect(50, 60, 60, 70))
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Cell, BoundingBoxAndAreas)
+{
+    Cell cell("c");
+    cell.addShape(Rect(0, 0, 10, 10), Layer::Metal1);
+    cell.addShape(Rect(20, 20, 40, 30), Layer::Metal1);
+    cell.addShape(Rect(5, 5, 6, 6), Layer::Gate);
+    EXPECT_EQ(cell.boundingBox(), Rect(0, 0, 40, 30));
+    EXPECT_DOUBLE_EQ(cell.areaOnLayer(Layer::Metal1), 100 + 200);
+    EXPECT_EQ(cell.countOnLayer(Layer::Metal1), 2u);
+    EXPECT_EQ(cell.countOnLayer(Layer::Via1), 0u);
+}
+
+TEST(DesignRules, DetectsWidthViolation)
+{
+    DesignRules rules;
+    rules.rule(Layer::Metal1) = {30.0, 20.0};
+    Cell cell("c");
+    cell.addShape(Rect(0, 0, 100, 25), Layer::Metal1, "thin");
+    const auto violations = rules.check(cell);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].kind,
+              layout::Violation::Kind::Width);
+}
+
+TEST(DesignRules, DetectsSpacingViolationAcrossNets)
+{
+    DesignRules rules;
+    rules.rule(Layer::Metal1) = {10.0, 20.0};
+    Cell cell("c");
+    cell.addShape(Rect(0, 0, 50, 15), Layer::Metal1, "a");
+    cell.addShape(Rect(0, 25, 50, 40), Layer::Metal1, "b"); // gap 10
+    auto violations = rules.check(cell);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].kind, layout::Violation::Kind::Spacing);
+
+    // Same net may abut freely.
+    Cell ok("ok");
+    ok.addShape(Rect(0, 0, 50, 15), Layer::Metal1, "n");
+    ok.addShape(Rect(0, 15, 50, 30), Layer::Metal1, "n");
+    EXPECT_TRUE(rules.check(ok).empty());
+}
+
+TEST(DesignRules, CleanLayoutPasses)
+{
+    DesignRules rules;
+    rules.rule(Layer::Metal1) = {10.0, 10.0};
+    Cell cell("c");
+    cell.addShape(Rect(0, 0, 50, 15), Layer::Metal1, "a");
+    cell.addShape(Rect(0, 30, 50, 45), Layer::Metal1, "b");
+    EXPECT_TRUE(rules.check(cell).empty());
+}
+
+TEST(DesignRules, FreeTracksOnEmptyRegion)
+{
+    DesignRules rules;
+    rules.rule(Layer::Metal1) = {20.0, 20.0};
+    Cell cell("c");
+    // 100 nm of free height: wires at 40 nm pitch -> 2 disjoint
+    // tracks fit ((100 - 20) / 40 + 1 = 3)? The scan counts
+    // placements: run of valid bottoms = 80 nm -> 1 + 80/40 = 3.
+    const size_t tracks =
+        rules.freeTracks(cell, Layer::Metal1, Rect(0, 0, 500, 100));
+    EXPECT_EQ(tracks, 3u);
+}
+
+TEST(DesignRules, FreeTracksZeroWhenPacked)
+{
+    // Reproduces Fig. 13: bitlines at minimum pitch leave no track.
+    DesignRules rules;
+    rules.rule(Layer::Metal1) = {21.5, 10.5};
+    Cell cell("mat");
+    for (int i = 0; i < 8; ++i) {
+        const double y = 10.0 + i * 32.0;
+        cell.addShape(Rect(0, y, 2000, y + 21.5), Layer::Metal1,
+                      "BL" + std::to_string(i));
+    }
+    const common::Rect region = cell.boundingBox();
+    EXPECT_EQ(rules.freeTracks(cell, Layer::Metal1, region), 0u);
+}
+
+TEST(DesignRules, FreeTracksAppearAfterRemovingAWire)
+{
+    DesignRules rules;
+    rules.rule(Layer::Metal1) = {21.5, 10.5};
+    Cell cell("mat");
+    for (int i = 0; i < 8; ++i) {
+        if (i == 4)
+            continue; // one wire removed
+        const double y = 10.0 + i * 32.0;
+        cell.addShape(Rect(0, y, 2000, y + 21.5), Layer::Metal1,
+                      "BL" + std::to_string(i));
+    }
+    const Rect region(0, 0, 2000, 10.0 + 8 * 32.0);
+    EXPECT_GE(rules.freeTracks(cell, Layer::Metal1, region), 1u);
+}
+
+// ---- GDSII -----------------------------------------------------------
+
+TEST(Gdsii, RealEncodingRoundTrip)
+{
+    using layout::detail::decodeGdsReal;
+    using layout::detail::encodeGdsReal;
+    for (double v : {0.0, 1.0, -1.0, 0.001, 1e-9, 1e-3, 123456.0,
+                     -0.5, 3.14159265}) {
+        EXPECT_NEAR(decodeGdsReal(encodeGdsReal(v)), v,
+                    std::abs(v) * 1e-12 + 1e-30)
+            << v;
+    }
+}
+
+TEST(Gdsii, KnownEncodings)
+{
+    using layout::detail::encodeGdsReal;
+    // 1.0 = 0x4110000000000000 in GDSII excess-64 format.
+    EXPECT_EQ(encodeGdsReal(1.0), 0x4110000000000000ull);
+    // 0.0 encodes as all zero.
+    EXPECT_EQ(encodeGdsReal(0.0), 0ull);
+    // Sign bit set for negatives.
+    EXPECT_EQ(encodeGdsReal(-1.0) >> 63, 1ull);
+}
+
+TEST(Gdsii, StreamRoundTrip)
+{
+    Cell cell("TESTCELL");
+    cell.addShape(Rect(0, 0, 100, 50), Layer::Metal1, "BL0");
+    cell.addShape(Rect(10, 60, 35, 90), Layer::Gate, "WL");
+    cell.addShape(Rect(-20, -30, -5, -10), Layer::Active);
+
+    std::stringstream ss;
+    layout::writeGds(ss, cell);
+
+    const Cell back = layout::readGds(ss);
+    EXPECT_EQ(back.name(), "TESTCELL");
+    ASSERT_EQ(back.shapes().size(), 3u);
+    EXPECT_EQ(back.shapes()[0].rect, Rect(0, 0, 100, 50));
+    EXPECT_EQ(back.shapes()[0].layer, Layer::Metal1);
+    EXPECT_EQ(back.shapes()[1].layer, Layer::Gate);
+    EXPECT_EQ(back.shapes()[2].rect, Rect(-20, -30, -5, -10));
+}
+
+TEST(Gdsii, RoundTripFlattensHierarchy)
+{
+    auto child = std::make_shared<Cell>("sub");
+    child->addShape(Rect(0, 0, 5, 5), Layer::Via1);
+    Cell parent("TOP");
+    parent.addInstance(child, {100, 200});
+
+    std::stringstream ss;
+    layout::writeGds(ss, parent);
+    const Cell back = layout::readGds(ss);
+    ASSERT_EQ(back.shapes().size(), 1u);
+    EXPECT_EQ(back.shapes()[0].rect, Rect(100, 200, 105, 205));
+}
+
+TEST(Gdsii, HierarchicalRoundTripPreservesStructure)
+{
+    auto leaf = std::make_shared<Cell>("LEAF");
+    leaf->addShape(Rect(0, 0, 10, 10), Layer::Contact);
+
+    auto mid = std::make_shared<Cell>("MID");
+    mid->addShape(Rect(0, 0, 100, 20), Layer::Metal1);
+    mid->addInstance(leaf, {40, 5});
+
+    Cell top("TOP");
+    top.addShape(Rect(-50, -50, 400, 300), Layer::Active);
+    top.addInstance(mid, {0, 0});
+    top.addInstance(mid, {0, 100});
+    top.addInstance(leaf, {300, 200});
+
+    layout::GdsOptions opts;
+    opts.flatten = false;
+    std::stringstream ss;
+    layout::writeGds(ss, top, opts);
+
+    const Cell back = layout::readGds(ss);
+    EXPECT_EQ(back.name(), "TOP");
+    EXPECT_EQ(back.shapes().size(), 1u);     // own shapes only
+    EXPECT_EQ(back.instances().size(), 3u);  // hierarchy preserved
+
+    // Flattened geometry identical to the original.
+    const auto a = top.flatten();
+    const auto b = back.flatten();
+    ASSERT_EQ(a.size(), b.size());
+    double area_a = 0.0, area_b = 0.0;
+    for (const auto &sh : a)
+        area_a += sh.rect.area();
+    for (const auto &sh : b)
+        area_b += sh.rect.area();
+    EXPECT_DOUBLE_EQ(area_a, area_b);
+    EXPECT_EQ(top.boundingBox(), back.boundingBox());
+}
+
+TEST(Gdsii, SharedChildEmittedOnce)
+{
+    auto leaf = std::make_shared<Cell>("LEAF");
+    leaf->addShape(Rect(0, 0, 5, 5), Layer::Via1);
+    Cell top("TOP");
+    for (int i = 0; i < 10; ++i)
+        top.addInstance(leaf, {i * 20.0, 0.0});
+
+    layout::GdsOptions opts;
+    opts.flatten = false;
+    std::stringstream ss;
+    layout::writeGds(ss, top, opts);
+    const std::string bytes = ss.str();
+
+    // "LEAF" appears once as STRNAME and ten times as SNAME = 11.
+    size_t count = 0;
+    for (size_t pos = bytes.find("LEAF"); pos != std::string::npos;
+         pos = bytes.find("LEAF", pos + 1))
+        ++count;
+    EXPECT_EQ(count, 11u);
+
+    const Cell back = layout::readGds(ss);
+    EXPECT_EQ(back.instances().size(), 10u);
+    EXPECT_EQ(back.flatten().size(), 10u);
+}
+
+TEST(Gdsii, SrefToUnknownStructureThrows)
+{
+    // Hand-build a library with an SREF to a missing structure by
+    // writing a hierarchy and truncating the child: simplest is a
+    // reader-level check through a crafted stream.
+    auto leaf = std::make_shared<Cell>("GOOD");
+    leaf->addShape(Rect(0, 0, 5, 5), Layer::Via1);
+    Cell top("TOP");
+    top.addInstance(leaf, {0, 0});
+    layout::GdsOptions opts;
+    opts.flatten = false;
+    std::stringstream ss;
+    layout::writeGds(ss, top, opts);
+    std::string bytes = ss.str();
+    // Corrupt the SNAME reference so it no longer matches.
+    const size_t pos = bytes.rfind("GOOD");
+    bytes[pos] = 'B';
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(layout::readGds(corrupted), std::runtime_error);
+}
+
+TEST(Gdsii, FileRoundTrip)
+{
+    Cell cell("FILECELL");
+    cell.addShape(Rect(1, 2, 30, 40), Layer::Contact);
+    const std::string path = "/tmp/hifi_test.gds";
+    layout::writeGdsFile(path, cell);
+    const Cell back = layout::readGdsFile(path);
+    EXPECT_EQ(back.name(), "FILECELL");
+    ASSERT_EQ(back.shapes().size(), 1u);
+    EXPECT_EQ(back.shapes()[0].layer, Layer::Contact);
+}
+
+class GdsiiFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GdsiiFuzz, RandomRectSetsRoundTripExactly)
+{
+    hifi::common::Rng rng(GetParam());
+    Cell cell("FUZZ");
+    const size_t n = 20 + rng.below(60);
+    for (size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(-5e4, 5e4);
+        const double y0 = rng.uniform(-5e4, 5e4);
+        const double w = rng.uniform(1.0, 3e3);
+        const double h = rng.uniform(1.0, 3e3);
+        const auto layer = static_cast<Layer>(
+            rng.below(layout::kNumLayers));
+        cell.addShape(Rect(std::round(x0), std::round(y0),
+                           std::round(x0 + w), std::round(y0 + h)),
+                      layer);
+    }
+    std::stringstream ss;
+    layout::writeGds(ss, cell);
+    const Cell back = layout::readGds(ss);
+    ASSERT_EQ(back.shapes().size(), n);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(back.shapes()[i].rect, cell.shapes()[i].rect) << i;
+        EXPECT_EQ(back.shapes()[i].layer, cell.shapes()[i].layer);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GdsiiFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Gdsii, RejectsTruncatedStream)
+{
+    std::stringstream ss;
+    ss.write("\x00\x06\x00\x02\x02", 5); // truncated header record
+    EXPECT_THROW(layout::readGds(ss), std::runtime_error);
+}
+
+TEST(Gdsii, RejectsMissingFile)
+{
+    EXPECT_THROW(layout::readGdsFile("/nonexistent/x.gds"),
+                 std::runtime_error);
+    Cell cell("c");
+    EXPECT_THROW(layout::writeGdsFile("/nonexistent/x.gds", cell),
+                 std::runtime_error);
+}
+
+} // namespace
