@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_a_bitlines.dir/bench_appendix_a_bitlines.cc.o"
+  "CMakeFiles/bench_appendix_a_bitlines.dir/bench_appendix_a_bitlines.cc.o.d"
+  "bench_appendix_a_bitlines"
+  "bench_appendix_a_bitlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_a_bitlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

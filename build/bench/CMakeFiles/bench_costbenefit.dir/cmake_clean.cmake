@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costbenefit.dir/bench_costbenefit.cc.o"
+  "CMakeFiles/bench_costbenefit.dir/bench_costbenefit.cc.o.d"
+  "bench_costbenefit"
+  "bench_costbenefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costbenefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_model_inaccuracy.dir/bench_fig12_model_inaccuracy.cc.o"
+  "CMakeFiles/bench_fig12_model_inaccuracy.dir/bench_fig12_model_inaccuracy.cc.o.d"
+  "bench_fig12_model_inaccuracy"
+  "bench_fig12_model_inaccuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_model_inaccuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_per_vendor.dir/bench_fig14_per_vendor.cc.o"
+  "CMakeFiles/bench_fig14_per_vendor.dir/bench_fig14_per_vendor.cc.o.d"
+  "bench_fig14_per_vendor"
+  "bench_fig14_per_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_per_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

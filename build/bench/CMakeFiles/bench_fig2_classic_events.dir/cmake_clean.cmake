@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_classic_events.dir/bench_fig2_classic_events.cc.o"
+  "CMakeFiles/bench_fig2_classic_events.dir/bench_fig2_classic_events.cc.o.d"
+  "bench_fig2_classic_events"
+  "bench_fig2_classic_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_classic_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

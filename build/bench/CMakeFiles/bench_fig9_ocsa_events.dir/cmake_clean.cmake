@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ocsa_events.dir/bench_fig9_ocsa_events.cc.o"
+  "CMakeFiles/bench_fig9_ocsa_events.dir/bench_fig9_ocsa_events.cc.o.d"
+  "bench_fig9_ocsa_events"
+  "bench_fig9_ocsa_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ocsa_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

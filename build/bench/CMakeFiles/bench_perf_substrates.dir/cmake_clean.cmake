@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_substrates.dir/bench_perf_substrates.cc.o"
+  "CMakeFiles/bench_perf_substrates.dir/bench_perf_substrates.cc.o.d"
+  "bench_perf_substrates"
+  "bench_perf_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

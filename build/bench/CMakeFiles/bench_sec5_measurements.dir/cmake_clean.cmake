@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_measurements.dir/bench_sec5_measurements.cc.o"
+  "CMakeFiles/bench_sec5_measurements.dir/bench_sec5_measurements.cc.o.d"
+  "bench_sec5_measurements"
+  "bench_sec5_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

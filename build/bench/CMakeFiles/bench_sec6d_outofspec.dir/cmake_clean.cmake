@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6d_outofspec.dir/bench_sec6d_outofspec.cc.o"
+  "CMakeFiles/bench_sec6d_outofspec.dir/bench_sec6d_outofspec.cc.o.d"
+  "bench_sec6d_outofspec"
+  "bench_sec6d_outofspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6d_outofspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6e_recommendations.dir/bench_sec6e_recommendations.cc.o"
+  "CMakeFiles/bench_sec6e_recommendations.dir/bench_sec6e_recommendations.cc.o.d"
+  "bench_sec6e_recommendations"
+  "bench_sec6e_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6e_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

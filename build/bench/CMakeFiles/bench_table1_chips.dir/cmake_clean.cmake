@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_chips.dir/bench_table1_chips.cc.o"
+  "CMakeFiles/bench_table1_chips.dir/bench_table1_chips.cc.o.d"
+  "bench_table1_chips"
+  "bench_table1_chips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_chips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_functional.dir/dram_functional.cpp.o"
+  "CMakeFiles/dram_functional.dir/dram_functional.cpp.o.d"
+  "dram_functional"
+  "dram_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammer_study.dir/hammer_study.cpp.o"
+  "CMakeFiles/hammer_study.dir/hammer_study.cpp.o.d"
+  "hammer_study"
+  "hammer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_study.dir/imaging_study.cpp.o"
+  "CMakeFiles/imaging_study.dir/imaging_study.cpp.o.d"
+  "imaging_study"
+  "imaging_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planar_views.dir/planar_views.cpp.o"
+  "CMakeFiles/planar_views.dir/planar_views.cpp.o.d"
+  "planar_views"
+  "planar_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planar_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_waveforms.dir/sa_waveforms.cpp.o"
+  "CMakeFiles/sa_waveforms.dir/sa_waveforms.cpp.o.d"
+  "sa_waveforms"
+  "sa_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

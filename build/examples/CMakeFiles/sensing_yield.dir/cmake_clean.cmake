@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensing_yield.dir/sensing_yield.cpp.o"
+  "CMakeFiles/sensing_yield.dir/sensing_yield.cpp.o.d"
+  "sensing_yield"
+  "sensing_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensing_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/latency_model.cc" "src/CMakeFiles/hifi.dir/arch/latency_model.cc.o" "gcc" "src/CMakeFiles/hifi.dir/arch/latency_model.cc.o.d"
+  "/root/repo/src/circuit/dual_sa.cc" "src/CMakeFiles/hifi.dir/circuit/dual_sa.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/dual_sa.cc.o.d"
+  "/root/repo/src/circuit/mismatch.cc" "src/CMakeFiles/hifi.dir/circuit/mismatch.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/mismatch.cc.o.d"
+  "/root/repo/src/circuit/netlist.cc" "src/CMakeFiles/hifi.dir/circuit/netlist.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/netlist.cc.o.d"
+  "/root/repo/src/circuit/sense_amp.cc" "src/CMakeFiles/hifi.dir/circuit/sense_amp.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/sense_amp.cc.o.d"
+  "/root/repo/src/circuit/solver.cc" "src/CMakeFiles/hifi.dir/circuit/solver.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/solver.cc.o.d"
+  "/root/repo/src/circuit/spice.cc" "src/CMakeFiles/hifi.dir/circuit/spice.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/spice.cc.o.d"
+  "/root/repo/src/circuit/vcd.cc" "src/CMakeFiles/hifi.dir/circuit/vcd.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/vcd.cc.o.d"
+  "/root/repo/src/circuit/waveform.cc" "src/CMakeFiles/hifi.dir/circuit/waveform.cc.o" "gcc" "src/CMakeFiles/hifi.dir/circuit/waveform.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/hifi.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/hifi.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/geometry.cc" "src/CMakeFiles/hifi.dir/common/geometry.cc.o" "gcc" "src/CMakeFiles/hifi.dir/common/geometry.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/hifi.dir/common/log.cc.o" "gcc" "src/CMakeFiles/hifi.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hifi.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hifi.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/hifi.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/hifi.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/hifi.dir/common/table.cc.o" "gcc" "src/CMakeFiles/hifi.dir/common/table.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/hifi.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/hifi.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/CMakeFiles/hifi.dir/core/study.cc.o" "gcc" "src/CMakeFiles/hifi.dir/core/study.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/hifi.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/hifi.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/CMakeFiles/hifi.dir/dram/device.cc.o" "gcc" "src/CMakeFiles/hifi.dir/dram/device.cc.o.d"
+  "/root/repo/src/dram/timings.cc" "src/CMakeFiles/hifi.dir/dram/timings.cc.o" "gcc" "src/CMakeFiles/hifi.dir/dram/timings.cc.o.d"
+  "/root/repo/src/eval/bitline_ext.cc" "src/CMakeFiles/hifi.dir/eval/bitline_ext.cc.o" "gcc" "src/CMakeFiles/hifi.dir/eval/bitline_ext.cc.o.d"
+  "/root/repo/src/eval/model_accuracy.cc" "src/CMakeFiles/hifi.dir/eval/model_accuracy.cc.o" "gcc" "src/CMakeFiles/hifi.dir/eval/model_accuracy.cc.o.d"
+  "/root/repo/src/eval/overheads.cc" "src/CMakeFiles/hifi.dir/eval/overheads.cc.o" "gcc" "src/CMakeFiles/hifi.dir/eval/overheads.cc.o.d"
+  "/root/repo/src/eval/recommendations.cc" "src/CMakeFiles/hifi.dir/eval/recommendations.cc.o" "gcc" "src/CMakeFiles/hifi.dir/eval/recommendations.cc.o.d"
+  "/root/repo/src/eval/sensitivity.cc" "src/CMakeFiles/hifi.dir/eval/sensitivity.cc.o" "gcc" "src/CMakeFiles/hifi.dir/eval/sensitivity.cc.o.d"
+  "/root/repo/src/fab/mat.cc" "src/CMakeFiles/hifi.dir/fab/mat.cc.o" "gcc" "src/CMakeFiles/hifi.dir/fab/mat.cc.o.d"
+  "/root/repo/src/fab/materials.cc" "src/CMakeFiles/hifi.dir/fab/materials.cc.o" "gcc" "src/CMakeFiles/hifi.dir/fab/materials.cc.o.d"
+  "/root/repo/src/fab/sa_region.cc" "src/CMakeFiles/hifi.dir/fab/sa_region.cc.o" "gcc" "src/CMakeFiles/hifi.dir/fab/sa_region.cc.o.d"
+  "/root/repo/src/fab/voxelizer.cc" "src/CMakeFiles/hifi.dir/fab/voxelizer.cc.o" "gcc" "src/CMakeFiles/hifi.dir/fab/voxelizer.cc.o.d"
+  "/root/repo/src/image/denoise.cc" "src/CMakeFiles/hifi.dir/image/denoise.cc.o" "gcc" "src/CMakeFiles/hifi.dir/image/denoise.cc.o.d"
+  "/root/repo/src/image/image2d.cc" "src/CMakeFiles/hifi.dir/image/image2d.cc.o" "gcc" "src/CMakeFiles/hifi.dir/image/image2d.cc.o.d"
+  "/root/repo/src/image/noise.cc" "src/CMakeFiles/hifi.dir/image/noise.cc.o" "gcc" "src/CMakeFiles/hifi.dir/image/noise.cc.o.d"
+  "/root/repo/src/image/pgm.cc" "src/CMakeFiles/hifi.dir/image/pgm.cc.o" "gcc" "src/CMakeFiles/hifi.dir/image/pgm.cc.o.d"
+  "/root/repo/src/image/registration.cc" "src/CMakeFiles/hifi.dir/image/registration.cc.o" "gcc" "src/CMakeFiles/hifi.dir/image/registration.cc.o.d"
+  "/root/repo/src/image/volume3d.cc" "src/CMakeFiles/hifi.dir/image/volume3d.cc.o" "gcc" "src/CMakeFiles/hifi.dir/image/volume3d.cc.o.d"
+  "/root/repo/src/layout/cell.cc" "src/CMakeFiles/hifi.dir/layout/cell.cc.o" "gcc" "src/CMakeFiles/hifi.dir/layout/cell.cc.o.d"
+  "/root/repo/src/layout/design_rules.cc" "src/CMakeFiles/hifi.dir/layout/design_rules.cc.o" "gcc" "src/CMakeFiles/hifi.dir/layout/design_rules.cc.o.d"
+  "/root/repo/src/layout/gdsii.cc" "src/CMakeFiles/hifi.dir/layout/gdsii.cc.o" "gcc" "src/CMakeFiles/hifi.dir/layout/gdsii.cc.o.d"
+  "/root/repo/src/layout/layer.cc" "src/CMakeFiles/hifi.dir/layout/layer.cc.o" "gcc" "src/CMakeFiles/hifi.dir/layout/layer.cc.o.d"
+  "/root/repo/src/models/chip_data.cc" "src/CMakeFiles/hifi.dir/models/chip_data.cc.o" "gcc" "src/CMakeFiles/hifi.dir/models/chip_data.cc.o.d"
+  "/root/repo/src/models/export.cc" "src/CMakeFiles/hifi.dir/models/export.cc.o" "gcc" "src/CMakeFiles/hifi.dir/models/export.cc.o.d"
+  "/root/repo/src/models/papers.cc" "src/CMakeFiles/hifi.dir/models/papers.cc.o" "gcc" "src/CMakeFiles/hifi.dir/models/papers.cc.o.d"
+  "/root/repo/src/models/process.cc" "src/CMakeFiles/hifi.dir/models/process.cc.o" "gcc" "src/CMakeFiles/hifi.dir/models/process.cc.o.d"
+  "/root/repo/src/models/public_models.cc" "src/CMakeFiles/hifi.dir/models/public_models.cc.o" "gcc" "src/CMakeFiles/hifi.dir/models/public_models.cc.o.d"
+  "/root/repo/src/re/analyze.cc" "src/CMakeFiles/hifi.dir/re/analyze.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/analyze.cc.o.d"
+  "/root/repo/src/re/gds_pipeline.cc" "src/CMakeFiles/hifi.dir/re/gds_pipeline.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/gds_pipeline.cc.o.d"
+  "/root/repo/src/re/layout_export.cc" "src/CMakeFiles/hifi.dir/re/layout_export.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/layout_export.cc.o.d"
+  "/root/repo/src/re/mat_analyze.cc" "src/CMakeFiles/hifi.dir/re/mat_analyze.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/mat_analyze.cc.o.d"
+  "/root/repo/src/re/measure.cc" "src/CMakeFiles/hifi.dir/re/measure.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/measure.cc.o.d"
+  "/root/repo/src/re/netlist_build.cc" "src/CMakeFiles/hifi.dir/re/netlist_build.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/netlist_build.cc.o.d"
+  "/root/repo/src/re/segmentation.cc" "src/CMakeFiles/hifi.dir/re/segmentation.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/segmentation.cc.o.d"
+  "/root/repo/src/re/topology_match.cc" "src/CMakeFiles/hifi.dir/re/topology_match.cc.o" "gcc" "src/CMakeFiles/hifi.dir/re/topology_match.cc.o.d"
+  "/root/repo/src/scope/fib.cc" "src/CMakeFiles/hifi.dir/scope/fib.cc.o" "gcc" "src/CMakeFiles/hifi.dir/scope/fib.cc.o.d"
+  "/root/repo/src/scope/postprocess.cc" "src/CMakeFiles/hifi.dir/scope/postprocess.cc.o" "gcc" "src/CMakeFiles/hifi.dir/scope/postprocess.cc.o.d"
+  "/root/repo/src/scope/prep.cc" "src/CMakeFiles/hifi.dir/scope/prep.cc.o" "gcc" "src/CMakeFiles/hifi.dir/scope/prep.cc.o.d"
+  "/root/repo/src/scope/roi_search.cc" "src/CMakeFiles/hifi.dir/scope/roi_search.cc.o" "gcc" "src/CMakeFiles/hifi.dir/scope/roi_search.cc.o.d"
+  "/root/repo/src/scope/sem.cc" "src/CMakeFiles/hifi.dir/scope/sem.cc.o" "gcc" "src/CMakeFiles/hifi.dir/scope/sem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fab_scope.dir/test_fab_scope.cc.o"
+  "CMakeFiles/test_fab_scope.dir/test_fab_scope.cc.o.d"
+  "test_fab_scope"
+  "test_fab_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fab_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

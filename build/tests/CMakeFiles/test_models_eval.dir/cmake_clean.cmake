@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_eval.dir/test_models_eval.cc.o"
+  "CMakeFiles/test_models_eval.dir/test_models_eval.cc.o.d"
+  "test_models_eval"
+  "test_models_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

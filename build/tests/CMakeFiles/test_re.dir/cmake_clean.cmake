@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_re.dir/test_re.cc.o"
+  "CMakeFiles/test_re.dir/test_re.cc.o.d"
+  "test_re"
+  "test_re.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_re.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
