@@ -7,7 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "circuit/mismatch.hh"
 #include "circuit/sense_amp.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "dram/device.hh"
 #include "eval/overheads.hh"
@@ -92,6 +94,72 @@ BM_VoxelizeSaRegion(benchmark::State &state)
     }
 }
 BENCHMARK(BM_VoxelizeSaRegion)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- Thread-count scaling of the hot kernels -----------------------
+// Results are bitwise-identical across thread counts (deterministic
+// fixed partitions — common/parallel.hh), so these pairs measure pure
+// speedup, not a numerics trade.
+
+void
+BM_DenoiseChambolleThreads(benchmark::State &state)
+{
+    common::ScopedThreads scoped(
+        static_cast<size_t>(state.range(1)));
+    const auto img = noisyPattern(
+        static_cast<size_t>(state.range(0)),
+        static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image::denoiseChambolle(img, {0.05, 30}));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            state.range(0) * state.range(0));
+}
+BENCHMARK(BM_DenoiseChambolleThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+void
+BM_MiRegistrationThreads(benchmark::State &state)
+{
+    common::ScopedThreads scoped(
+        static_cast<size_t>(state.range(1)));
+    const auto fixed = noisyPattern(
+        static_cast<size_t>(state.range(0)),
+        static_cast<size_t>(state.range(0)));
+    const auto moving = fixed.shifted(2, -1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            image::registerShiftMi(fixed, moving, {16, 6}));
+    }
+}
+BENCHMARK(BM_MiRegistrationThreads)
+    ->Args({96, 1})
+    ->Args({96, 4});
+
+void
+BM_SensingYieldThreads(benchmark::State &state)
+{
+    common::ScopedThreads scoped(
+        static_cast<size_t>(state.range(1)));
+    circuit::SaParams base;
+    base.topology = circuit::SaTopology::Classic;
+    circuit::MismatchParams mc;
+    mc.trials = static_cast<size_t>(state.range(0));
+    mc.avtVnm = 9.0;
+    circuit::TranParams tp = circuit::defaultSaTran();
+    tp.dt = 50e-12;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            circuit::sensingYield(base, mc, tp));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SensingYieldThreads)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4});
 
 void
 BM_TransientActivation(benchmark::State &state)

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hh"
+
 namespace hifi
 {
 namespace circuit
@@ -20,36 +22,57 @@ YieldResult
 sensingYield(const SaParams &base, const MismatchParams &params,
              const TranParams &tran)
 {
-    common::Rng rng(params.seed);
+    // Each trial owns the counter-seeded stream (seed, trial), so the
+    // sampled offsets — and therefore the yield — are a pure function
+    // of the seed, independent of trial scheduling.  Partials combine
+    // in chunk-index order, keeping the double sum deterministic too.
+    struct Accum
+    {
+        size_t failures = 0;
+        double signal = 0.0;
+    };
+
+    const Accum total = common::parallelReduce(
+        0, params.trials, 1, Accum{},
+        [&](size_t t0, size_t t1) {
+            Accum acc;
+            for (size_t trial = t0; trial < t1; ++trial) {
+                common::Rng rng(params.seed, trial);
+                SaSchedule schedule;
+                Netlist net = buildSaTestbench(base, schedule);
+
+                for (auto &fet : net.mosfets()) {
+                    if (fet.name == "Mn1" || fet.name == "Mn2" ||
+                        fet.name == "Mp1" || fet.name == "Mp2") {
+                        const double sigma = vthSigma(
+                            fet.widthNm, fet.lengthNm, params.avtVnm);
+                        fet.vthDelta = rng.gaussian(0.0, sigma);
+                    }
+                }
+
+                TranParams tp = tran;
+                tp.tstop = schedule.tEnd;
+                Simulator sim(net);
+                const SaRun run = analyzeActivation(
+                    base, schedule, sim.run(tp), tp.dt);
+
+                if (!run.latchedCorrectly)
+                    ++acc.failures;
+                acc.signal += std::abs(run.signalBeforeLatch);
+            }
+            return acc;
+        },
+        [](Accum a, Accum b) {
+            a.failures += b.failures;
+            a.signal += b.signal;
+            return a;
+        });
+
     YieldResult result;
     result.trials = params.trials;
-
-    double signal_sum = 0.0;
-    for (size_t trial = 0; trial < params.trials; ++trial) {
-        SaSchedule schedule;
-        Netlist net = buildSaTestbench(base, schedule);
-
-        for (auto &fet : net.mosfets()) {
-            if (fet.name == "Mn1" || fet.name == "Mn2" ||
-                fet.name == "Mp1" || fet.name == "Mp2") {
-                const double sigma = vthSigma(
-                    fet.widthNm, fet.lengthNm, params.avtVnm);
-                fet.vthDelta = rng.gaussian(0.0, sigma);
-            }
-        }
-
-        TranParams tp = tran;
-        tp.tstop = schedule.tEnd;
-        Simulator sim(net);
-        const SaRun run =
-            analyzeActivation(base, schedule, sim.run(tp), tp.dt);
-
-        if (!run.latchedCorrectly)
-            ++result.failures;
-        signal_sum += std::abs(run.signalBeforeLatch);
-    }
+    result.failures = total.failures;
     result.meanSignal = params.trials
-        ? signal_sum / static_cast<double>(params.trials) : 0.0;
+        ? total.signal / static_cast<double>(params.trials) : 0.0;
     return result;
 }
 

@@ -32,6 +32,12 @@ struct MismatchParams
     double avtVnm = 3.0;
 
     size_t trials = 100;
+
+    /**
+     * Trial t samples its offsets from the counter-seeded stream
+     * (seed, t), so the yield is a pure function of this seed — the
+     * trial loop parallelizes without changing any result.
+     */
     uint64_t seed = 12345;
 };
 

@@ -36,6 +36,17 @@ Rng::Rng(uint64_t seed)
         word = splitMix64(s);
 }
 
+Rng::Rng(uint64_t seed, uint64_t stream)
+{
+    // Hash (seed, stream) into one 64-bit value through two
+    // independent SplitMix64 walks so adjacent stream ids decorrelate.
+    uint64_t a = seed;
+    uint64_t b = stream ^ 0xD2B74407B1CE6E93ull;
+    uint64_t s = splitMix64(a) ^ splitMix64(b);
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
 uint64_t
 Rng::next()
 {

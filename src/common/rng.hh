@@ -24,6 +24,15 @@ class Rng
     /// Seed deterministically; the same seed yields the same stream.
     explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+    /**
+     * Counter-seeded substream `stream` of `seed`: (seed, 0),
+     * (seed, 1), ... are decorrelated generators that depend only on
+     * the two values.  The parallel kernels give each pixel row /
+     * Monte-Carlo trial its own substream, which makes their noise
+     * independent of how chunks are scheduled across threads.
+     */
+    Rng(uint64_t seed, uint64_t stream);
+
     /// Next raw 64-bit value.
     uint64_t next();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "fab/voxelizer.hh"
 #include "re/topology_match.hh"
@@ -19,6 +20,7 @@ using models::Role;
 PipelineReport
 runPipeline(const PipelineConfig &config)
 {
+    const common::ScopedThreads threads(config.threads);
     const models::ChipSpec &chip = models::chip(config.chipId);
 
     PipelineReport report;

@@ -58,6 +58,14 @@ struct PipelineConfig
      * switch those chips to BSE.
      */
     int detectorOverride = -1;
+
+    /**
+     * Worker threads for the hot kernels (denoise, registration, SEM
+     * imaging, voxelization); 0 inherits the process-wide setting
+     * (common::setNumThreads / HIFI_THREADS).  The report is
+     * bitwise-identical for any value — see common/parallel.hh.
+     */
+    size_t threads = 0;
 };
 
 /** Per-role dimension recovery. */

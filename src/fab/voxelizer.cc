@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
 
 namespace hifi
 {
@@ -29,32 +32,48 @@ voxelize(const layout::Cell &cell, const common::Rect &bounds,
     image::Volume3D vol(nx, ny, nz,
                         static_cast<float>(Material::Oxide));
 
+    // Clip every drawn shape to voxel index boxes once, serially.
+    struct VoxelBox
+    {
+        size_t x0, x1, y0, y1, z0, z1;
+        float mat;
+    };
+    std::vector<VoxelBox> boxes;
     for (const auto &shape : cell.flatten()) {
         const common::Rect r = shape.rect.intersect(bounds);
         if (r.empty())
             continue;
         const layout::LayerZ z = layout::layerZ(shape.layer);
-        const auto mat = static_cast<float>(
-            materialForLayer(shape.layer));
 
-        const auto x0 = static_cast<size_t>(
+        VoxelBox box;
+        box.mat = static_cast<float>(materialForLayer(shape.layer));
+        box.x0 = static_cast<size_t>(
             std::max(0.0, (r.x0 - bounds.x0) / v));
-        const auto y0 = static_cast<size_t>(
+        box.y0 = static_cast<size_t>(
             std::max(0.0, (r.y0 - bounds.y0) / v));
-        const auto z0 = static_cast<size_t>(
-            std::max(0.0, z.z0 / v));
-        const auto x1 = std::min(
+        box.z0 = static_cast<size_t>(std::max(0.0, z.z0 / v));
+        box.x1 = std::min(
             nx, static_cast<size_t>(std::ceil((r.x1 - bounds.x0) / v)));
-        const auto y1 = std::min(
+        box.y1 = std::min(
             ny, static_cast<size_t>(std::ceil((r.y1 - bounds.y0) / v)));
-        const auto z1 = std::min(
+        box.z1 = std::min(
             nz, static_cast<size_t>(std::ceil(z.z1 / v)));
-
-        for (size_t zz = z0; zz < z1; ++zz)
-            for (size_t yy = y0; yy < y1; ++yy)
-                for (size_t xx = x0; xx < x1; ++xx)
-                    vol.at(xx, yy, zz) = mat;
+        boxes.push_back(box);
     }
+
+    // Rasterize z-slab parallel: each slab owns its voxels and paints
+    // every shape in drawing order, so the per-voxel last writer (and
+    // therefore the volume) is identical at any thread count.
+    common::parallelFor(0, nz, 8, [&](size_t slab0, size_t slab1) {
+        for (const auto &box : boxes) {
+            const size_t zb = std::max(box.z0, slab0);
+            const size_t ze = std::min(box.z1, slab1);
+            for (size_t zz = zb; zz < ze; ++zz)
+                for (size_t yy = box.y0; yy < box.y1; ++yy)
+                    for (size_t xx = box.x0; xx < box.x1; ++xx)
+                        vol.at(xx, yy, zz) = box.mat;
+        }
+    });
     return vol;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/parallel.hh"
+
 namespace hifi
 {
 namespace image
@@ -12,6 +14,10 @@ namespace image
 
 namespace
 {
+
+/// Rows per parallel chunk; fixed so partitioning (and therefore the
+/// output bits) never depends on the thread count.
+constexpr size_t kRowGrain = 16;
 
 /// Forward difference along x with Neumann boundary (0 at the edge).
 inline float
@@ -25,6 +31,20 @@ inline float
 dyp(const Image2D &u, size_t x, size_t y)
 {
     return y + 1 < u.height() ? u.at(x, y + 1) - u.at(x, y) : 0.0f;
+}
+
+/// Backward-difference divergence of the dual field (px, py) at (x, y).
+inline float
+divergence(const Image2D &px, const Image2D &py, size_t x, size_t y,
+           size_t w, size_t h)
+{
+    float d = px.at(x, y) - (x > 0 ? px.at(x - 1, y) : 0.0f);
+    if (x + 1 == w)
+        d = -(x > 0 ? px.at(x - 1, y) : 0.0f);
+    float dy = py.at(x, y) - (y > 0 ? py.at(x, y - 1) : 0.0f);
+    if (y + 1 == h)
+        dy = -(y > 0 ? py.at(x, y - 1) : 0.0f);
+    return d + dy;
 }
 
 } // namespace
@@ -41,57 +61,46 @@ denoiseChambolle(const Image2D &input, const TvParams &params)
 
     // Dual field p = (px, py).
     Image2D px(w, h, 0.0f), py(w, h, 0.0f);
-    Image2D div_p(w, h, 0.0f);
     Image2D g(w, h, 0.0f);
 
+    // Each pass writes only its own rows and reads fields that are
+    // constant for the duration of the pass, so row-band parallelism
+    // is bitwise equal to the serial sweep.
     for (size_t it = 0; it < params.iterations; ++it) {
-        // div p with backward differences (adjoint of forward gradient).
-        for (size_t y = 0; y < h; ++y) {
-            for (size_t x = 0; x < w; ++x) {
-                float d = 0.0f;
-                d += px.at(x, y) - (x > 0 ? px.at(x - 1, y) : 0.0f);
-                if (x + 1 == w)
-                    d = -(x > 0 ? px.at(x - 1, y) : 0.0f);
-                float dy = py.at(x, y) - (y > 0 ? py.at(x, y - 1) : 0.0f);
-                if (y + 1 == h)
-                    dy = -(y > 0 ? py.at(x, y - 1) : 0.0f);
-                div_p.at(x, y) = d + dy;
-            }
-        }
         // g = div p - f / lambda
-        for (size_t i = 0; i < g.size(); ++i)
-            g.data()[i] = div_p.data()[i] -
-                input.data()[i] / static_cast<float>(lambda);
+        common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
+            for (size_t y = y0; y < y1; ++y)
+                for (size_t x = 0; x < w; ++x)
+                    g.at(x, y) = divergence(px, py, x, y, w, h) -
+                        input.at(x, y) / static_cast<float>(lambda);
+        });
         // p = (p + tau grad g) / (1 + tau |grad g|)
-        for (size_t y = 0; y < h; ++y) {
-            for (size_t x = 0; x < w; ++x) {
-                const float gx = dxp(g, x, y);
-                const float gy = dyp(g, x, y);
-                const float mag = std::sqrt(gx * gx + gy * gy);
-                const float denom =
-                    1.0f + static_cast<float>(tau) * mag;
-                px.at(x, y) = (px.at(x, y) +
-                               static_cast<float>(tau) * gx) / denom;
-                py.at(x, y) = (py.at(x, y) +
-                               static_cast<float>(tau) * gy) / denom;
+        common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
+            for (size_t y = y0; y < y1; ++y) {
+                for (size_t x = 0; x < w; ++x) {
+                    const float gx = dxp(g, x, y);
+                    const float gy = dyp(g, x, y);
+                    const float mag = std::sqrt(gx * gx + gy * gy);
+                    const float denom =
+                        1.0f + static_cast<float>(tau) * mag;
+                    px.at(x, y) = (px.at(x, y) +
+                                   static_cast<float>(tau) * gx) / denom;
+                    py.at(x, y) = (py.at(x, y) +
+                                   static_cast<float>(tau) * gy) / denom;
+                }
             }
-        }
+        });
     }
 
     // u = f - lambda div p (recompute div with the final p).
     Image2D out(w, h);
-    for (size_t y = 0; y < h; ++y) {
-        for (size_t x = 0; x < w; ++x) {
-            float d = px.at(x, y) - (x > 0 ? px.at(x - 1, y) : 0.0f);
-            if (x + 1 == w)
-                d = -(x > 0 ? px.at(x - 1, y) : 0.0f);
-            float dy = py.at(x, y) - (y > 0 ? py.at(x, y - 1) : 0.0f);
-            if (y + 1 == h)
-                dy = -(y > 0 ? py.at(x, y - 1) : 0.0f);
-            out.at(x, y) = input.at(x, y) -
-                static_cast<float>(lambda) * (d + dy);
-        }
-    }
+    common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
+        for (size_t y = y0; y < y1; ++y)
+            for (size_t x = 0; x < w; ++x)
+                out.at(x, y) = input.at(x, y) -
+                    static_cast<float>(lambda) *
+                        divergence(px, py, x, y, w, h);
+    });
     return out;
 }
 
@@ -122,47 +131,63 @@ denoiseSplitBregman(const Image2D &input, const TvParams &params)
 
     // Several Gauss-Seidel sweeps per outer iteration: the u-step must
     // approximately solve its linear system before the shrinkage step,
-    // otherwise the lagged div(d - b) feedback oscillates.
+    // otherwise the lagged div(d - b) feedback oscillates.  The sweeps
+    // use red-black ordering: within one half-sweep a pixel reads only
+    // opposite-colour neighbours, which are frozen, so each colour
+    // pass is row-parallel and scheduling-independent.
     constexpr int kInnerSweeps = 4;
 
+    auto relaxColor = [&](int color) {
+        common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
+            for (size_t y = y0; y < y1; ++y) {
+                const size_t x_start =
+                    (static_cast<size_t>(color) + y) % 2;
+                for (size_t x = x_start; x < w; x += 2) {
+                    float sum = 0.0f;
+                    int nbrs = 0;
+                    if (x > 0) { sum += u.at(x - 1, y); ++nbrs; }
+                    if (x + 1 < w) { sum += u.at(x + 1, y); ++nbrs; }
+                    if (y > 0) { sum += u.at(x, y - 1); ++nbrs; }
+                    if (y + 1 < h) { sum += u.at(x, y + 1); ++nbrs; }
+
+                    // div(d - b) with backward differences.
+                    float div = 0.0f;
+                    div += (dx.at(x, y) - bx.at(x, y)) -
+                        (x > 0 ? (dx.at(x - 1, y) - bx.at(x - 1, y))
+                               : 0.0f);
+                    div += (dy.at(x, y) - by.at(x, y)) -
+                        (y > 0 ? (dy.at(x, y - 1) - by.at(x, y - 1))
+                               : 0.0f);
+
+                    // Normal equation: (mu - lam Laplacian) u =
+                    // mu f - lam div(d - b).
+                    const float rhs = mu * input.at(x, y) - lam * div;
+                    u.at(x, y) = (rhs + lam * sum) /
+                        (mu + lam * static_cast<float>(nbrs));
+                }
+            }
+        });
+    };
+
     for (size_t it = 0; it < params.iterations; ++it) {
-        for (int sweep = 0; sweep < kInnerSweeps; ++sweep)
-        for (size_t y = 0; y < h; ++y) {
-            for (size_t x = 0; x < w; ++x) {
-                float sum = 0.0f;
-                int nbrs = 0;
-                if (x > 0) { sum += u.at(x - 1, y); ++nbrs; }
-                if (x + 1 < w) { sum += u.at(x + 1, y); ++nbrs; }
-                if (y > 0) { sum += u.at(x, y - 1); ++nbrs; }
-                if (y + 1 < h) { sum += u.at(x, y + 1); ++nbrs; }
-
-                // div(d - b) with backward differences.
-                float div = 0.0f;
-                div += (dx.at(x, y) - bx.at(x, y)) -
-                    (x > 0 ? (dx.at(x - 1, y) - bx.at(x - 1, y))
-                           : 0.0f);
-                div += (dy.at(x, y) - by.at(x, y)) -
-                    (y > 0 ? (dy.at(x, y - 1) - by.at(x, y - 1))
-                           : 0.0f);
-
-                // Normal equation: (mu - lam Laplacian) u =
-                // mu f - lam div(d - b).
-                const float rhs = mu * input.at(x, y) - lam * div;
-                u.at(x, y) = (rhs + lam * sum) /
-                    (mu + lam * static_cast<float>(nbrs));
-            }
+        for (int sweep = 0; sweep < kInnerSweeps; ++sweep) {
+            relaxColor(0);
+            relaxColor(1);
         }
-        // Shrinkage step on d, then Bregman update on b.
-        for (size_t y = 0; y < h; ++y) {
-            for (size_t x = 0; x < w; ++x) {
-                const float gx = dxp(u, x, y);
-                const float gy = dyp(u, x, y);
-                dx.at(x, y) = shrink(gx + bx.at(x, y), 1.0f / lam);
-                dy.at(x, y) = shrink(gy + by.at(x, y), 1.0f / lam);
-                bx.at(x, y) += gx - dx.at(x, y);
-                by.at(x, y) += gy - dy.at(x, y);
+        // Shrinkage step on d, then Bregman update on b.  u is frozen
+        // here and every pixel writes only itself: row-parallel.
+        common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
+            for (size_t y = y0; y < y1; ++y) {
+                for (size_t x = 0; x < w; ++x) {
+                    const float gx = dxp(u, x, y);
+                    const float gy = dyp(u, x, y);
+                    dx.at(x, y) = shrink(gx + bx.at(x, y), 1.0f / lam);
+                    dy.at(x, y) = shrink(gy + by.at(x, y), 1.0f / lam);
+                    bx.at(x, y) += gx - dx.at(x, y);
+                    by.at(x, y) += gy - dy.at(x, y);
+                }
             }
-        }
+        });
     }
     return u;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hh"
+
 namespace hifi
 {
 namespace image
@@ -29,6 +31,32 @@ addGaussianNoise(Image2D &img, double sigma, common::Rng &rng)
         throw std::invalid_argument("addGaussianNoise: sigma < 0");
     for (float &v : img.data())
         v += static_cast<float>(rng.gaussian(0.0, sigma));
+}
+
+void
+addSensorNoise(Image2D &img, double electrons, double sigma,
+               uint64_t seed)
+{
+    if (sigma < 0.0)
+        throw std::invalid_argument("addSensorNoise: sigma < 0");
+    const size_t w = img.width();
+    common::parallelFor(0, img.height(), 4, [&](size_t y0, size_t y1) {
+        for (size_t y = y0; y < y1; ++y) {
+            common::Rng rng(seed, y);
+            for (size_t x = 0; x < w; ++x) {
+                float &v = img.at(x, y);
+                if (electrons > 0.0) {
+                    const double mean =
+                        std::max(0.0, static_cast<double>(v)) *
+                        electrons;
+                    v = static_cast<float>(
+                        static_cast<double>(rng.poisson(mean)) /
+                        electrons);
+                }
+                v += static_cast<float>(rng.gaussian(0.0, sigma));
+            }
+        }
+    });
 }
 
 double

@@ -31,6 +31,21 @@ void addShotNoise(Image2D &img, double electrons, common::Rng &rng);
 void addGaussianNoise(Image2D &img, double sigma, common::Rng &rng);
 
 /**
+ * Shot + detector noise in one pass with a counter-seeded RNG stream
+ * per pixel row: row y draws from Rng(seed, y), so the noise field is
+ * a pure function of (seed, image shape) and identical at any thread
+ * count.  This is the parallel-safe path the SEM imager uses;
+ * addShotNoise/addGaussianNoise remain for callers that thread one
+ * sequential generator through several images.
+ *
+ * @param electrons  mean detected electrons for a full-scale pixel
+ *                   (<= 0 skips the shot-noise term)
+ * @param sigma      Gaussian detector-noise sigma (< 0 invalid)
+ */
+void addSensorNoise(Image2D &img, double electrons, double sigma,
+                    uint64_t seed);
+
+/**
  * Estimate the signal-to-noise ratio of a noisy image given its clean
  * reference: SNR = var(clean) / mse(noisy, clean), as a linear ratio.
  */

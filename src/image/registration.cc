@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hh"
+
 namespace hifi
 {
 namespace image
@@ -11,6 +13,9 @@ namespace image
 
 namespace
 {
+
+/// Candidate offsets per parallel chunk in the MI shift search.
+constexpr size_t kCandidateGrain = 4;
 
 /// Quantize an intensity into [0, bins).
 inline size_t
@@ -21,22 +26,36 @@ quantize(float v, float lo, float inv_range, size_t bins)
     return static_cast<size_t>(t * static_cast<double>(bins));
 }
 
+/// Intensity ranges of both images, hoisted out of the shift search.
+struct MiRanges
+{
+    float alo, ainv, blo, binv;
+};
+
+MiRanges
+miRanges(const Image2D &a, const Image2D &b)
+{
+    MiRanges r;
+    r.alo = a.minValue();
+    const float ahi = a.maxValue();
+    r.blo = b.minValue();
+    const float bhi = b.maxValue();
+    r.ainv = (ahi > r.alo) ? 1.0f / (ahi - r.alo) : 0.0f;
+    r.binv = (bhi > r.blo) ? 1.0f / (bhi - r.blo) : 0.0f;
+    return r;
+}
+
 /**
  * MI over the overlap of `a` and `b` when b is conceptually translated
  * by (dx, dy).  Pixels outside the overlap are ignored, which avoids the
  * edge-replication bias of shifting first.
  */
 double
-miAtShift(const Image2D &a, const Image2D &b, long dx, long dy,
-          size_t bins)
+miAtShift(const Image2D &a, const Image2D &b, const MiRanges &r,
+          long dx, long dy, size_t bins)
 {
     const long w = static_cast<long>(a.width());
     const long h = static_cast<long>(a.height());
-
-    const float alo = a.minValue(), ahi = a.maxValue();
-    const float blo = b.minValue(), bhi = b.maxValue();
-    const float ainv = (ahi > alo) ? 1.0f / (ahi - alo) : 0.0f;
-    const float binv = (bhi > blo) ? 1.0f / (bhi - blo) : 0.0f;
 
     std::vector<double> joint(bins * bins, 0.0);
     std::vector<double> pa(bins, 0.0), pb(bins, 0.0);
@@ -48,11 +67,11 @@ miAtShift(const Image2D &a, const Image2D &b, long dx, long dy,
         for (long x = x0; x < x1; ++x) {
             const size_t ia = quantize(
                 a.at(static_cast<size_t>(x), static_cast<size_t>(y)),
-                alo, ainv, bins);
+                r.alo, r.ainv, bins);
             const size_t ib = quantize(
                 b.at(static_cast<size_t>(x - dx),
                      static_cast<size_t>(y - dy)),
-                blo, binv, bins);
+                r.blo, r.binv, bins);
             joint[ia * bins + ib] += 1.0;
             ++n;
         }
@@ -90,7 +109,7 @@ mutualInformation(const Image2D &a, const Image2D &b, size_t bins)
         throw std::invalid_argument("mutualInformation: shape mismatch");
     if (bins < 2)
         throw std::invalid_argument("mutualInformation: bins < 2");
-    return miAtShift(a, b, 0, 0, bins);
+    return miAtShift(a, b, miRanges(a, b), 0, 0, bins);
 }
 
 std::pair<long, long>
@@ -101,17 +120,35 @@ registerShiftMi(const Image2D &fixed, const Image2D &moving,
         fixed.height() != moving.height()) {
         throw std::invalid_argument("registerShiftMi: shape mismatch");
     }
+    const MiRanges ranges = miRanges(fixed, moving);
+
+    // Every candidate offset is independent: score them all in
+    // parallel, then pick the winner with the exact serial scan order
+    // (smaller shifts win ties), so the result never depends on the
+    // thread count.
+    const long span = 2 * params.maxShift + 1;
+    const size_t n = static_cast<size_t>(span * span);
+    std::vector<double> score(n);
+    common::parallelFor(0, n, kCandidateGrain,
+                        [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            const long dy = static_cast<long>(i) / span -
+                params.maxShift;
+            const long dx = static_cast<long>(i) % span -
+                params.maxShift;
+            score[i] = miAtShift(fixed, moving, ranges, dx, dy,
+                                 params.bins);
+        }
+    });
+
     double best = -1.0;
     std::pair<long, long> best_shift{0, 0};
-    for (long dy = -params.maxShift; dy <= params.maxShift; ++dy) {
-        for (long dx = -params.maxShift; dx <= params.maxShift; ++dx) {
-            const double mi = miAtShift(fixed, moving, dx, dy,
-                                        params.bins);
-            // Prefer smaller shifts on ties for stability.
-            if (mi > best + 1e-12) {
-                best = mi;
-                best_shift = {dx, dy};
-            }
+    for (size_t i = 0; i < n; ++i) {
+        // Prefer smaller shifts on ties for stability.
+        if (score[i] > best + 1e-12) {
+            best = score[i];
+            best_shift = {static_cast<long>(i) % span - params.maxShift,
+                          static_cast<long>(i) / span - params.maxShift};
         }
     }
     return best_shift;
@@ -122,9 +159,10 @@ registerShiftMiSubpixel(const Image2D &fixed, const Image2D &moving,
                         const MiParams &params)
 {
     const auto best = registerShiftMi(fixed, moving, params);
+    const MiRanges ranges = miRanges(fixed, moving);
 
     auto mi_at = [&](long dx, long dy) {
-        return miAtShift(fixed, moving, dx, dy, params.bins);
+        return miAtShift(fixed, moving, ranges, dx, dy, params.bins);
     };
     auto refine = [&](double m_minus, double m_0, double m_plus) {
         const double denom = m_minus - 2.0 * m_0 + m_plus;
@@ -148,16 +186,26 @@ alignStack(const std::vector<Image2D> &slices, const MiParams &params)
 {
     if (slices.empty())
         throw std::invalid_argument("alignStack: no slices");
+
+    // Each neighbouring pair registers independently; only the prefix
+    // accumulation into slice-0 coordinates is sequential.
+    std::vector<std::pair<long, long>> pairwise(slices.size(),
+                                                {0, 0});
+    common::parallelFor(1, slices.size(), 1, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            pairwise[i] =
+                registerShiftMi(slices[i - 1], slices[i], params);
+    });
+
     std::vector<std::pair<long, long>> shifts;
     shifts.reserve(slices.size());
     shifts.emplace_back(0, 0);
     long acc_x = 0, acc_y = 0;
     for (size_t i = 1; i < slices.size(); ++i) {
-        const auto s = registerShiftMi(slices[i - 1], slices[i], params);
         // registerShiftMi returns the offset of slice i relative to
         // slice i-1; accumulate to express it relative to slice 0.
-        acc_x += -s.first;
-        acc_y += -s.second;
+        acc_x += -pairwise[i].first;
+        acc_y += -pairwise[i].second;
         shifts.emplace_back(acc_x, acc_y);
     }
     return shifts;

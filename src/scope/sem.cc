@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hh"
+
 #include "fab/voxelizer.hh"
 
 #include "image/noise.hh"
@@ -94,19 +96,24 @@ semImageClean(const image::Volume3D &materials, size_t x0,
 
     const size_t x1 = std::min(materials.nx(), x0 + slice_voxels);
     image::Image2D img(materials.ny(), materials.nz());
-    for (size_t z = 0; z < materials.nz(); ++z) {
-        for (size_t y = 0; y < materials.ny(); ++y) {
-            double sum = 0.0;
-            for (size_t x = x0; x < x1; ++x) {
-                const double c = materialContrast(
-                    fab::voxelMaterial(materials.at(x, y, z)),
-                    params.detector);
-                sum += pivot + (c - pivot) * q;
+    // Each output row (one z) only reads the material volume and
+    // writes its own pixels: row-band parallel, scheduling-invariant.
+    common::parallelFor(0, materials.nz(), 4,
+                        [&](size_t z0, size_t z1) {
+        for (size_t z = z0; z < z1; ++z) {
+            for (size_t y = 0; y < materials.ny(); ++y) {
+                double sum = 0.0;
+                for (size_t x = x0; x < x1; ++x) {
+                    const double c = materialContrast(
+                        fab::voxelMaterial(materials.at(x, y, z)),
+                        params.detector);
+                    sum += pivot + (c - pivot) * q;
+                }
+                img.at(y, z) = static_cast<float>(
+                    sum / static_cast<double>(x1 - x0));
             }
-            img.at(y, z) = static_cast<float>(
-                sum / static_cast<double>(x1 - x0));
         }
-    }
+    });
     return img;
 }
 
@@ -118,8 +125,11 @@ semImage(const image::Volume3D &materials, size_t x0,
     image::Image2D img =
         semImageClean(materials, x0, slice_voxels, params);
     const double electrons = params.electronsPerUs * params.dwellUs;
-    image::addShotNoise(img, electrons, rng);
-    image::addGaussianNoise(img, params.readNoise, rng);
+    // One draw from the caller's generator seeds the whole frame; the
+    // per-row counter-seeded streams inside addSensorNoise make the
+    // noise field independent of thread scheduling.
+    image::addSensorNoise(img, electrons, params.readNoise,
+                          rng.next());
     return img;
 }
 

@@ -18,6 +18,7 @@
 #include "circuit/spice.hh"
 #include "circuit/vcd.hh"
 #include "circuit/waveform.hh"
+#include "common/parallel.hh"
 
 namespace
 {
@@ -777,6 +778,64 @@ TEST(Mismatch, LargerDevicesFailLess)
 
     EXPECT_LE(relaxed.failures, tight.failures);
 }
+
+/**
+ * The yield must be a pure function of the Monte-Carlo seed: each
+ * trial samples the counter-seeded stream (seed, trial), so neither
+ * the trial count chunking nor the worker thread count may leak into
+ * the result.  Sweep all three knobs and compare against a 1-thread
+ * reference at the same {trials, seed}.
+ */
+class SensingYieldSweep
+    : public ::testing::TestWithParam<
+          std::tuple<size_t, size_t, uint64_t>>
+{
+};
+
+TEST_P(SensingYieldSweep, YieldIsPureFunctionOfSeed)
+{
+    const auto [trials, threads, seed] = GetParam();
+
+    SaParams base;
+    base.topology = SaTopology::Classic;
+    MismatchParams mc;
+    mc.trials = trials;
+    mc.seed = seed;
+    mc.avtVnm = 9.0;
+    TranParams tp = defaultSaTran();
+    tp.dt = 50e-12;
+
+    YieldResult reference;
+    {
+        hifi::common::ScopedThreads serial(1);
+        reference = sensingYield(base, mc, tp);
+    }
+    EXPECT_EQ(reference.trials, trials);
+
+    hifi::common::ScopedThreads scoped(threads);
+    const YieldResult run = sensingYield(base, mc, tp);
+    EXPECT_EQ(run.trials, reference.trials);
+    EXPECT_EQ(run.failures, reference.failures);
+    // Exact: partials combine in chunk-index order.
+    EXPECT_EQ(run.meanSignal, reference.meanSignal);
+
+    // Prefix property of counter seeding: the first `trials` trials
+    // of a longer run are the same trials, so failures cannot shrink
+    // when trials grow at the same seed.  (Checked once per
+    // {trials, seed}; it is thread-count independent by the above.)
+    if (threads == 1) {
+        MismatchParams more = mc;
+        more.trials = trials + 3;
+        const YieldResult extended = sensingYield(base, more, tp);
+        EXPECT_GE(extended.failures, run.failures);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SensingYieldSweep,
+    ::testing::Combine(::testing::Values<size_t>(6, 11),
+                       ::testing::Values<size_t>(1, 2, 8),
+                       ::testing::Values<uint64_t>(7, 99)));
 
 TEST(Vcd, ExportsRealVariables)
 {

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden-number regression tests pinning the paper's headline
+ * aggregates (Fig. 12, Appendix A).  These guard the evaluation layer
+ * against silent drift: any change to the chip tables, the public
+ * model tables, or the error arithmetic that moves a headline number
+ * fails loudly here.
+ *
+ * Each golden constant below is the value the current tables produce,
+ * with the corresponding paper headline noted alongside.  Tolerances
+ * are tight (the computation is deterministic); they exist only to
+ * absorb benign FP reassociation across compilers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "eval/bitline_ext.hh"
+#include "eval/model_accuracy.hh"
+#include "models/chip_data.hh"
+
+namespace
+{
+
+using namespace hifi;
+
+constexpr double kTol = 1e-4;
+
+/// Fig. 12 aggregates keyed by "MODEL/ddrN".
+std::map<std::string, eval::ModelAccuracy>
+fig12ByKey()
+{
+    std::map<std::string, eval::ModelAccuracy> out;
+    for (const auto &acc : eval::fig12Summary())
+        out[acc.model + "/ddr" + std::to_string(acc.ddr)] = acc;
+    return out;
+}
+
+TEST(Golden, Fig12CrowDdr4Aggregates)
+{
+    const auto fig12 = fig12ByKey();
+    ASSERT_TRUE(fig12.count("CROW/ddr4"));
+    const auto &crow = fig12.at("CROW/ddr4");
+
+    // Paper: CROW's average W/L error on DDR4 is ~236%.
+    EXPECT_NEAR(crow.avgWl, 2.381211, kTol);
+    // Paper: CROW overestimates one width by ~9x (938%).
+    EXPECT_NEAR(crow.maxW, 9.362694, kTol);
+    EXPECT_EQ(crow.maxWAt, "C4.precharge");
+    // Paper: worst W/L error ~562%.
+    EXPECT_NEAR(crow.maxWl, 5.678181, kTol);
+    EXPECT_EQ(crow.maxWlAt, "C4.precharge");
+    // Paper: CROW's average width error ~271%.
+    EXPECT_NEAR(crow.avgW, 2.611720, kTol);
+}
+
+TEST(Golden, Fig12RemDdr4Aggregates)
+{
+    const auto fig12 = fig12ByKey();
+    ASSERT_TRUE(fig12.count("REM/ddr4"));
+    const auto &rem = fig12.at("REM/ddr4");
+
+    // Paper: REM's average length error on DDR4 is ~31%.
+    EXPECT_NEAR(rem.avgL, 0.292305, kTol);
+    // Paper: REM's worst length error ~101% (here exactly 100%).
+    EXPECT_NEAR(rem.maxL, 1.0, kTol);
+    EXPECT_EQ(rem.maxLAt, "C4.equalizer");
+    EXPECT_NEAR(rem.avgWl, 0.226717, kTol);
+}
+
+TEST(Golden, Fig12RemBeatsCrowOnWl)
+{
+    // Section VI-A: REM is closer to silicon than CROW on W/L for
+    // both generations.
+    const auto fig12 = fig12ByKey();
+    for (const int ddr : {4, 5}) {
+        const std::string gen = "/ddr" + std::to_string(ddr);
+        ASSERT_TRUE(fig12.count("CROW" + gen));
+        ASSERT_TRUE(fig12.count("REM" + gen));
+        EXPECT_LT(fig12.at("REM" + gen).avgWl,
+                  fig12.at("CROW" + gen).avgWl)
+            << "ddr" << ddr;
+    }
+}
+
+TEST(Golden, Fig12PortabilityWorsensOnDdr5)
+{
+    // Both DDR4-era models degrade when applied to the DDR5 chips —
+    // the portability caveat of Section VI-A.
+    const auto fig12 = fig12ByKey();
+    EXPECT_GT(fig12.at("CROW/ddr5").avgWl,
+              fig12.at("CROW/ddr4").avgWl);
+    EXPECT_GT(fig12.at("REM/ddr5").avgWl,
+              fig12.at("REM/ddr4").avgWl);
+    EXPECT_NEAR(fig12.at("CROW/ddr5").avgWl, 3.506720, kTol);
+    EXPECT_NEAR(fig12.at("REM/ddr5").avgWl, 0.337463, kTol);
+}
+
+TEST(Golden, AppendixAEq1Extension)
+{
+    // Eq. 1 nominal case (B_w = 2 d): doubling the bitlines extends
+    // the SA region by exactly 1/3 — the paper's "33%".
+    EXPECT_DOUBLE_EQ(eval::bitlineDoublingExtension(), 1.0 / 3.0);
+    EXPECT_NEAR(eval::bitlineDoublingExtension(), 0.333333, kTol);
+}
+
+TEST(Golden, AppendixAChipOverheadOnB5)
+{
+    // Paper: chip-level overhead of the extension is ~21% on B5.
+    const double overhead =
+        eval::bitlineDoublingChipOverhead(models::chip("B5"));
+    EXPECT_NEAR(overhead, 0.221482, kTol);
+    EXPECT_GT(overhead, 0.20);
+    EXPECT_LT(overhead, 0.25);
+}
+
+} // namespace
