@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "circuit/dual_sa.hh"
 #include "circuit/mismatch.hh"
 #include "circuit/sense_amp.hh"
 #include "common/parallel.hh"
@@ -173,6 +174,68 @@ BM_TransientActivation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TransientActivation)->Arg(0)->Arg(1);
+
+// ---- Linear-solve engine comparison --------------------------------
+// Same activation, dense vs cached-symbolic sparse LU, on the three
+// system sizes that matter: classic SA (~16 unknowns), OCSA (~20),
+// and the shared-control dual-SA region (~30).  Results are identical
+// to 1e-9 across engines (see test_circuit); the pairs measure pure
+// linear-algebra cost.
+
+void
+BM_SolverActivation(benchmark::State &state)
+{
+    circuit::SaParams params;
+    params.topology = state.range(0) == 0
+        ? circuit::SaTopology::Classic
+        : circuit::SaTopology::OffsetCancellation;
+    circuit::TranParams tp = circuit::defaultSaTran();
+    tp.solver = state.range(1) == 0 ? circuit::LinearSolver::Dense
+                                    : circuit::LinearSolver::Sparse;
+    circuit::SaTestbench testbench(params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(testbench.simulate(tp));
+}
+BENCHMARK(BM_SolverActivation)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+void
+BM_SolverDualSa(benchmark::State &state)
+{
+    circuit::DualSaParams params;
+    circuit::TranParams tp = circuit::defaultSaTran();
+    tp.solver = state.range(0) == 0 ? circuit::LinearSolver::Dense
+                                    : circuit::LinearSolver::Sparse;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            circuit::simulateSharedControl(params, tp));
+}
+BENCHMARK(BM_SolverDualSa)->Arg(0)->Arg(1);
+
+void
+BM_SensingYieldTrials(benchmark::State &state)
+{
+    // Single-threaded Monte-Carlo sweep: isolates the per-chunk
+    // testbench reuse + per-trial vthDelta patching from the
+    // thread-scaling already covered by BM_SensingYieldThreads.
+    common::ScopedThreads scoped(1);
+    circuit::SaParams base;
+    base.topology = circuit::SaTopology::Classic;
+    circuit::MismatchParams mc;
+    mc.trials = static_cast<size_t>(state.range(0));
+    mc.avtVnm = 9.0;
+    circuit::TranParams tp = circuit::defaultSaTran();
+    tp.dt = 50e-12;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            circuit::sensingYield(base, mc, tp));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SensingYieldTrials)->Arg(256)->Arg(1024);
 
 void
 BM_DramCommandThroughput(benchmark::State &state)

@@ -32,30 +32,43 @@ sensingYield(const SaParams &base, const MismatchParams &params,
         double signal = 0.0;
     };
 
+    // Chunk grain: the testbench netlist, schedule, and simulator
+    // (with its cached matrix structure and symbolic factorization)
+    // are built once per chunk; each trial only patches the four
+    // latch vthDelta fields in place.  The grain is a fixed constant,
+    // so the chunk boundaries — and with them the reduction order —
+    // stay independent of the worker thread count.
+    constexpr size_t kTrialsPerChunk = 16;
+
     const Accum total = common::parallelReduce(
-        0, params.trials, 1, Accum{},
+        0, params.trials, kTrialsPerChunk, Accum{},
         [&](size_t t0, size_t t1) {
             Accum acc;
+            SaTestbench testbench(base);
+            Netlist &net = testbench.netlist();
+
+            // The four latch devices, in netlist order (which is also
+            // the per-trial RNG sampling order).
+            std::vector<size_t> latch;
+            std::vector<double> sigma;
+            for (size_t i = 0; i < net.mosfets().size(); ++i) {
+                const auto &fet = net.mosfets()[i];
+                if (fet.name == "Mn1" || fet.name == "Mn2" ||
+                    fet.name == "Mp1" || fet.name == "Mp2") {
+                    latch.push_back(i);
+                    sigma.push_back(vthSigma(fet.widthNm,
+                                             fet.lengthNm,
+                                             params.avtVnm));
+                }
+            }
+
             for (size_t trial = t0; trial < t1; ++trial) {
                 common::Rng rng(params.seed, trial);
-                SaSchedule schedule;
-                Netlist net = buildSaTestbench(base, schedule);
+                for (size_t k = 0; k < latch.size(); ++k)
+                    net.mosfet(latch[k]).vthDelta =
+                        rng.gaussian(0.0, sigma[k]);
 
-                for (auto &fet : net.mosfets()) {
-                    if (fet.name == "Mn1" || fet.name == "Mn2" ||
-                        fet.name == "Mp1" || fet.name == "Mp2") {
-                        const double sigma = vthSigma(
-                            fet.widthNm, fet.lengthNm, params.avtVnm);
-                        fet.vthDelta = rng.gaussian(0.0, sigma);
-                    }
-                }
-
-                TranParams tp = tran;
-                tp.tstop = schedule.tEnd;
-                Simulator sim(net);
-                const SaRun run = analyzeActivation(
-                    base, schedule, sim.run(tp), tp.dt);
-
+                const SaRun run = testbench.simulate(tran);
                 if (!run.latchedCorrectly)
                     ++acc.failures;
                 acc.signal += std::abs(run.signalBeforeLatch);

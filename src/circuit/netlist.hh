@@ -118,6 +118,13 @@ class Netlist
     /// Adds a MOSFET and returns its index (for later mismatch edits).
     size_t addMosfet(Mosfet mosfet);
 
+    /**
+     * Mutable access to one MOSFET for value patches between solver
+     * runs (e.g. Monte-Carlo vthDelta edits); the index is the one
+     * addMosfet returned.  Throws std::out_of_range on a bad index.
+     */
+    Mosfet &mosfet(size_t index) { return mosfets_.at(index); }
+
     const std::vector<Resistor> &resistors() const { return resistors_; }
     const std::vector<Capacitor> &capacitors() const
     {

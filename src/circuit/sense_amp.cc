@@ -275,17 +275,25 @@ buildSaTestbench(const SaParams &p, SaSchedule &schedule)
     return net;
 }
 
+SaTestbench::SaTestbench(const SaParams &params)
+    : params_(params), net_(buildSaTestbench(params_, schedule_)),
+      sim_(net_)
+{
+}
+
+SaRun
+SaTestbench::simulate(const TranParams &tran)
+{
+    TranParams tp = tran;
+    tp.tstop = schedule_.tEnd;
+    return analyzeActivation(params_, schedule_, sim_.run(tp), tp.dt);
+}
+
 SaRun
 simulateActivation(const SaParams &params, const TranParams &tran)
 {
-    SaSchedule schedule;
-    Netlist net = buildSaTestbench(params, schedule);
-
-    TranParams tp = tran;
-    tp.tstop = schedule.tEnd;
-
-    Simulator sim(net);
-    return analyzeActivation(params, schedule, sim.run(tp), tp.dt);
+    SaTestbench testbench(params);
+    return testbench.simulate(tran);
 }
 
 SaRun

@@ -176,6 +176,36 @@ struct SaRun
 /// Default transient settings sized for the SA testbench.
 TranParams defaultSaTran();
 
+/**
+ * Reusable activation testbench: the netlist, schedule, and a
+ * simulator with its cached matrix structure, built once and reused
+ * across many runs.  Monte-Carlo drivers patch device values through
+ * netlist() (e.g. the latch vthDelta fields) between simulate()
+ * calls; the cached structure stays valid because only values, not
+ * topology, change.  Non-copyable (the simulator references the
+ * owned netlist).
+ */
+class SaTestbench
+{
+  public:
+    explicit SaTestbench(const SaParams &params);
+    SaTestbench(const SaTestbench &) = delete;
+    SaTestbench &operator=(const SaTestbench &) = delete;
+
+    /// Simulate one activation of the (possibly patched) netlist and
+    /// analyze it.  `tran.tstop` is overridden by the schedule.
+    SaRun simulate(const TranParams &tran = defaultSaTran());
+
+    Netlist &netlist() { return net_; }
+    const SaSchedule &schedule() const { return schedule_; }
+
+  private:
+    SaParams params_;
+    SaSchedule schedule_;
+    Netlist net_;
+    Simulator sim_;
+};
+
 /// Simulate one activation and analyze the result.
 SaRun simulateActivation(const SaParams &params,
                          const TranParams &tran = defaultSaTran());

@@ -3,12 +3,34 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace hifi
 {
 namespace circuit
 {
+
+namespace
+{
+
+/// Below this dimension LinearSolver::Auto picks the dense engine.
+constexpr size_t kSparseCutoff = 8;
+
+/// Pivot magnitude below which a factorization is treated as singular.
+constexpr double kPivotTiny = 1e-18;
+
+std::string
+upperCased(std::string text)
+{
+    for (auto &ch : text)
+        ch = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(ch)));
+    return text;
+}
+
+} // namespace
 
 const Trace &
 TranResult::trace(const std::string &node) const
@@ -23,34 +45,23 @@ double
 TranResult::sourceEnergy(const std::string &source_name) const
 {
     const Trace &i = trace("I(" + source_name + ")");
-    // The source's positive node carries its voltage relative to the
-    // negative node; for the testbenches all sources are referenced
-    // to ground, so the positive-node trace is the source voltage.
-    // Find it by matching times with the current trace is not needed:
-    // traces share the time base.
-    auto upper = [](std::string text) {
-        for (auto &ch : text)
-            ch = static_cast<char>(std::toupper(
-                static_cast<unsigned char>(ch)));
-        return text;
-    };
+
+    // Resolve the source's voltage trace through the upper-cased name
+    // index ("Vpre" drives node "VPRE"; "Vsan" drives node "SAN" via
+    // the name without its leading 'V').  Built once per result; both
+    // the index build and the old per-call scan iterate the trace map
+    // in the same order, so the first case-insensitive match wins
+    // either way.
+    if (upperIndex_.empty())
+        for (const auto &[name, tr] : traces)
+            upperIndex_.emplace(upperCased(name), &tr);
+
     const Trace *v = nullptr;
-    // Case-insensitive match of the source name itself ("Vpre" drives
-    // node "VPRE"), then of the name without its leading 'V' ("Vsan"
-    // drives node "SAN").
-    for (const auto &candidate :
-         {upper(source_name), source_name.size() > 1
-              ? upper(source_name.substr(1))
-              : std::string()}) {
-        if (v || candidate.empty())
-            break;
-        for (const auto &[name, tr] : traces) {
-            if (upper(name) == candidate) {
-                v = &tr;
-                break;
-            }
-        }
-    }
+    auto it = upperIndex_.find(upperCased(source_name));
+    if (it == upperIndex_.end() && source_name.size() > 1)
+        it = upperIndex_.find(upperCased(source_name.substr(1)));
+    if (it != upperIndex_.end())
+        v = it->second;
     if (!v)
         throw std::out_of_range(
             "sourceEnergy: cannot locate the voltage trace for " +
@@ -83,7 +94,7 @@ solveDense(std::vector<std::vector<double>> &a, std::vector<double> &b)
                 pivot = row;
             }
         }
-        if (best < 1e-18)
+        if (best < kPivotTiny)
             throw std::runtime_error("solveDense: singular matrix");
         if (pivot != col) {
             std::swap(a[pivot], a[col]);
@@ -109,6 +120,236 @@ solveDense(std::vector<std::vector<double>> &a, std::vector<double> &b)
     }
     return x;
 }
+
+// --- SparseLu --------------------------------------------------------
+
+void
+SparseLu::analyze(size_t dim,
+                  const std::vector<std::pair<int, int>> &entries)
+{
+    if (dim == 0)
+        throw std::invalid_argument("SparseLu: empty system");
+    dim_ = dim;
+    const int n = static_cast<int>(dim);
+
+    // Dense boolean working pattern: fine for the tens-of-nodes MNA
+    // systems this targets, and only touched here (once per structure).
+    std::vector<uint8_t> pat(dim * dim, 0);
+    for (const auto &[r, c] : entries) {
+        if (r < 0 || c < 0 || r >= n || c >= n)
+            throw std::invalid_argument("SparseLu: entry out of range");
+        pat[static_cast<size_t>(r) * dim + static_cast<size_t>(c)] = 1;
+    }
+    auto at = [&](int r, int c) -> uint8_t & {
+        return pat[static_cast<size_t>(r) * dim +
+                   static_cast<size_t>(c)];
+    };
+
+    // Symbolic Markowitz with a static pivot order.  Pivots prefer
+    // diagonal or structurally symmetric entries: on MNA matrices the
+    // dangerous numerically-vanishing entries (MOSFET gate couplings
+    // in cutoff) are exactly the structurally one-sided ones.
+    std::vector<uint8_t> rowActive(dim, 1), colActive(dim, 1);
+    std::vector<int> pivRow(dim, -1), pivCol(dim, -1);
+    std::vector<int> rowCount(dim), colCount(dim);
+    for (int k = 0; k < n; ++k) {
+        std::fill(rowCount.begin(), rowCount.end(), 0);
+        std::fill(colCount.begin(), colCount.end(), 0);
+        for (int r = 0; r < n; ++r) {
+            if (!rowActive[r])
+                continue;
+            for (int c = 0; c < n; ++c) {
+                if (!colActive[c] || !at(r, c))
+                    continue;
+                ++rowCount[r];
+                ++colCount[c];
+            }
+        }
+        long best = std::numeric_limits<long>::max();
+        int bi = -1, bj = -1;
+        bool bestDiag = false;
+        for (int pass = 0; pass < 2 && bi < 0; ++pass) {
+            for (int r = 0; r < n; ++r) {
+                if (!rowActive[r])
+                    continue;
+                for (int c = 0; c < n; ++c) {
+                    if (!colActive[c] || !at(r, c))
+                        continue;
+                    const bool diag = r == c;
+                    if (pass == 0 && !diag && !at(c, r))
+                        continue; // pass 0: diagonal/symmetric only
+                    const long cost =
+                        static_cast<long>(rowCount[r] - 1) *
+                        static_cast<long>(colCount[c] - 1);
+                    if (cost < best ||
+                        (cost == best && diag && !bestDiag)) {
+                        best = cost;
+                        bi = r;
+                        bj = c;
+                        bestDiag = diag;
+                    }
+                }
+            }
+        }
+        if (bi < 0)
+            throw std::invalid_argument(
+                "SparseLu: structurally singular pattern");
+        pivRow[k] = bi;
+        pivCol[k] = bj;
+
+        // Fill-in of this elimination step.
+        for (int r = 0; r < n; ++r) {
+            if (!rowActive[r] || r == bi || !at(r, bj))
+                continue;
+            for (int c = 0; c < n; ++c) {
+                if (!colActive[c] || c == bj || !at(bi, c))
+                    continue;
+                at(r, c) = 1;
+            }
+        }
+        rowActive[bi] = 0;
+        colActive[bj] = 0;
+    }
+
+    // CSR layout of the full (post-fill) pattern.
+    rowPtr_.assign(dim + 1, 0);
+    colIdx_.clear();
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c)
+            if (at(r, c))
+                colIdx_.push_back(c);
+        rowPtr_[static_cast<size_t>(r) + 1] =
+            static_cast<int>(colIdx_.size());
+    }
+
+    // Compile the elimination into flat index programs.  The final
+    // pattern restricted to the rows/cols still active at step k is
+    // exactly the evolving pattern at step k (fill never touches
+    // eliminated rows or columns), so replaying over it is consistent.
+    std::vector<int> stepOfCol(dim, -1);
+    for (int k = 0; k < n; ++k)
+        stepOfCol[pivCol[k]] = k;
+
+    steps_.clear();
+    rowOps_.clear();
+    pairTarget_.clear();
+    pairSrc_.clear();
+    uSlots_.clear();
+    uVars_.clear();
+    rowActive.assign(dim, 1);
+    colActive.assign(dim, 1);
+    std::vector<int> prSlots, prCols;
+    for (int k = 0; k < n; ++k) {
+        const int i = pivRow[k], j = pivCol[k];
+        Step st;
+        st.pivotSlot = slot(i, j);
+        st.pivotRow = i;
+        st.pivotCol = j;
+
+        prSlots.clear();
+        prCols.clear();
+        for (int idx = rowPtr_[i]; idx < rowPtr_[i + 1]; ++idx) {
+            const int c = colIdx_[idx];
+            if (colActive[c] && c != j) {
+                prSlots.push_back(idx);
+                prCols.push_back(c);
+            }
+        }
+
+        st.rowOpBegin = static_cast<int>(rowOps_.size());
+        for (int r = 0; r < n; ++r) {
+            if (!rowActive[r] || r == i)
+                continue;
+            const int fs = slot(r, j);
+            if (fs < 0)
+                continue;
+            RowOp op;
+            op.factorSlot = fs;
+            op.row = r;
+            op.pairBegin = static_cast<int>(pairTarget_.size());
+            for (size_t q = 0; q < prSlots.size(); ++q) {
+                pairTarget_.push_back(slot(r, prCols[q]));
+                pairSrc_.push_back(prSlots[q]);
+            }
+            op.pairEnd = static_cast<int>(pairTarget_.size());
+            rowOps_.push_back(op);
+        }
+        st.rowOpEnd = static_cast<int>(rowOps_.size());
+
+        st.uBegin = static_cast<int>(uSlots_.size());
+        for (int idx = rowPtr_[i]; idx < rowPtr_[i + 1]; ++idx) {
+            const int c = colIdx_[idx];
+            if (c != j && stepOfCol[c] > k) {
+                uSlots_.push_back(idx);
+                uVars_.push_back(c);
+            }
+        }
+        st.uEnd = static_cast<int>(uSlots_.size());
+        steps_.push_back(st);
+
+        rowActive[i] = 0;
+        colActive[j] = 0;
+    }
+    scratch_.assign(dim, 0.0);
+}
+
+int
+SparseLu::slot(int row, int col) const
+{
+    if (row < 0 || col < 0 || row >= static_cast<int>(dim_) ||
+        col >= static_cast<int>(dim_))
+        return -1;
+    const auto begin = colIdx_.begin() + rowPtr_[row];
+    const auto end = colIdx_.begin() + rowPtr_[row + 1];
+    const auto it = std::lower_bound(begin, end, col);
+    if (it == end || *it != col)
+        return -1;
+    return static_cast<int>(it - colIdx_.begin());
+}
+
+bool
+SparseLu::factor(double *values)
+{
+    for (const Step &st : steps_) {
+        const double p = values[st.pivotSlot];
+        if (std::abs(p) < kPivotTiny)
+            return false;
+        const double inv = 1.0 / p;
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            const double f = values[op.factorSlot] * inv;
+            values[op.factorSlot] = f;
+            for (int q = op.pairBegin; q < op.pairEnd; ++q)
+                values[pairTarget_[q]] -= f * values[pairSrc_[q]];
+        }
+    }
+    return true;
+}
+
+void
+SparseLu::solve(const double *values, const double *b, double *x)
+{
+    double *y = scratch_.data();
+    std::copy(b, b + dim_, y);
+    // Forward: replay the row operations on the RHS.
+    for (const Step &st : steps_) {
+        const double piv = y[st.pivotRow];
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            y[op.row] -= values[op.factorSlot] * piv;
+        }
+    }
+    // Backward: eliminate unknowns in reverse pivot order.
+    for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+        const Step &st = *it;
+        double sum = y[st.pivotRow];
+        for (int q = st.uBegin; q < st.uEnd; ++q)
+            sum -= values[uSlots_[q]] * x[uVars_[q]];
+        x[st.pivotCol] = sum / values[st.pivotSlot];
+    }
+}
+
+// --- MOSFET model ----------------------------------------------------
 
 MosEval
 evalMosfet(const Mosfet &m, double vd, double vg, double vs)
@@ -164,171 +405,375 @@ evalMosfet(const Mosfet &m, double vd, double vg, double vs)
     return ev;
 }
 
-Simulator::Simulator(const Netlist &netlist) : netlist_(netlist) {}
+// --- Simulator -------------------------------------------------------
 
-TranResult
-Simulator::run(const TranParams &params) const
+namespace
+{
+
+long
+rowOf(NodeId n)
+{
+    return n == kGround ? -1 : static_cast<long>(n - 1);
+}
+
+} // namespace
+
+Simulator::Simulator(const Netlist &netlist) : netlist_(netlist)
 {
     const size_t num_nodes = netlist_.numNodes(); // includes ground
-    const size_t nv = num_nodes - 1;              // unknown voltages
-    const size_t ns = netlist_.vsources().size(); // branch currents
-    const size_t dim = nv + ns;
-    if (dim == 0)
+    nv_ = num_nodes - 1;
+    ns_ = netlist_.vsources().size();
+    dim_ = nv_ + ns_;
+    if (dim_ == 0)
         throw std::invalid_argument("Simulator: empty netlist");
 
-    auto row_of = [&](NodeId n) -> long {
-        return n == kGround ? -1 : static_cast<long>(n - 1);
+    // Structural pattern, mirroring the stamping below.
+    std::vector<std::pair<int, int>> entries;
+    auto add = [&](long r, long c) {
+        if (r >= 0 && c >= 0)
+            entries.emplace_back(static_cast<int>(r),
+                                 static_cast<int>(c));
     };
-
-    // State.
-    std::vector<double> v(num_nodes, 0.0); // node voltages (gnd = 0)
-    std::vector<double> cap_prev;          // capacitor voltages at t-h
-    std::vector<double> cap_iprev;         // capacitor currents at t-h
-    cap_prev.reserve(netlist_.capacitors().size());
-    cap_iprev.assign(netlist_.capacitors().size(), 0.0);
-    for (const auto &c : netlist_.capacitors())
-        cap_prev.push_back(c.initialVolts);
-    const bool trap =
-        params.integrator == Integrator::Trapezoidal;
-
-    TranResult result;
-    for (size_t n = 1; n < num_nodes; ++n) {
-        Trace t;
-        t.name = netlist_.nodeName(static_cast<NodeId>(n));
-        result.traces.emplace(t.name, std::move(t));
+    for (size_t n = 0; n < nv_; ++n)
+        add(static_cast<long>(n), static_cast<long>(n));
+    for (const auto &r : netlist_.resistors()) {
+        const long ra = rowOf(r.a), rb = rowOf(r.b);
+        add(ra, ra);
+        add(rb, rb);
+        add(ra, rb);
+        add(rb, ra);
     }
-    for (const auto &src : netlist_.vsources()) {
-        Trace t;
-        t.name = "I(" + src.name + ")";
-        result.traces.emplace(t.name, std::move(t));
+    for (const auto &c : netlist_.capacitors()) {
+        const long ra = rowOf(c.a), rb = rowOf(c.b);
+        add(ra, ra);
+        add(rb, rb);
+        add(ra, rb);
+        add(rb, ra);
     }
-    std::vector<double> branch_currents(ns, 0.0);
+    for (const auto &m : netlist_.mosfets()) {
+        const long rd = rowOf(m.drain), rg = rowOf(m.gate),
+                   rs = rowOf(m.source);
+        for (const long row : {rd, rs})
+            for (const long col : {rd, rg, rs})
+                add(row, col);
+    }
+    for (size_t si = 0; si < ns_; ++si) {
+        const auto &src = netlist_.vsources()[si];
+        const long brow = static_cast<long>(nv_ + si);
+        const long rp = rowOf(src.pos), rn = rowOf(src.neg);
+        add(rp, brow);
+        add(brow, rp);
+        add(rn, brow);
+        add(brow, rn);
+    }
+    lu_.analyze(dim_, entries);
+
+    // Stamp slot tables over the analyzed pattern.
+    auto slot = [&](long r, long c) -> int {
+        return (r >= 0 && c >= 0)
+            ? lu_.slot(static_cast<int>(r), static_cast<int>(c))
+            : -1;
+    };
+    gminSlots_.resize(nv_);
+    for (size_t n = 0; n < nv_; ++n)
+        gminSlots_[n] = slot(static_cast<long>(n), static_cast<long>(n));
+    resistorSlots_.clear();
+    for (const auto &r : netlist_.resistors()) {
+        const long ra = rowOf(r.a), rb = rowOf(r.b);
+        resistorSlots_.push_back({slot(ra, ra), slot(rb, rb),
+                                  slot(ra, rb), slot(rb, ra)});
+    }
+    capacitorSlots_.clear();
+    for (const auto &c : netlist_.capacitors()) {
+        const long ra = rowOf(c.a), rb = rowOf(c.b);
+        capacitorSlots_.push_back({slot(ra, ra), slot(rb, rb),
+                                   slot(ra, rb), slot(rb, ra), ra, rb});
+    }
+    mosfetSlots_.clear();
+    for (const auto &m : netlist_.mosfets()) {
+        const long rows[2] = {rowOf(m.drain), rowOf(m.source)};
+        const long cols[3] = {rowOf(m.drain), rowOf(m.gate),
+                              rowOf(m.source)};
+        MosfetSlots ms;
+        for (int r = 0; r < 2; ++r) {
+            ms.rhs[r] = rows[r];
+            for (int c = 0; c < 3; ++c)
+                ms.m[r][c] = slot(rows[r], cols[c]);
+        }
+        mosfetSlots_.push_back(ms);
+    }
+    sourceSlots_.clear();
+    for (size_t si = 0; si < ns_; ++si) {
+        const auto &src = netlist_.vsources()[si];
+        const long brow = static_cast<long>(nv_ + si);
+        const long rp = rowOf(src.pos), rn = rowOf(src.neg);
+        sourceSlots_.push_back({slot(rp, brow), slot(brow, rp),
+                                slot(rn, brow), slot(brow, rn),
+                                nv_ + si});
+    }
+
+    // Workspace.
+    baseVals_.assign(lu_.slots(), 0.0);
+    baseValsStep0_.assign(lu_.slots(), 0.0);
+    workVals_.assign(lu_.slots(), 0.0);
+    rhsStep_.assign(dim_, 0.0);
+    rhsWork_.assign(dim_, 0.0);
+    x_.assign(dim_, 0.0);
+    v_.assign(num_nodes, 0.0);
+    capPrev_.assign(netlist_.capacitors().size(), 0.0);
+    capIPrev_.assign(netlist_.capacitors().size(), 0.0);
+    capGeq_.assign(netlist_.capacitors().size(), 0.0);
+    branchCurrents_.assign(ns_, 0.0);
+    denseA_.assign(dim_ * dim_, 0.0);
+    denseB_.assign(dim_, 0.0);
+}
+
+void
+Simulator::assembleBase(const TranParams &params, bool step0,
+                        std::vector<double> &base) const
+{
+    std::fill(base.begin(), base.end(), 0.0);
+
+    // gmin to ground on every node.
+    for (size_t n = 0; n < nv_; ++n)
+        base[gminSlots_[n]] += params.gmin;
+
+    // Resistors.
+    for (size_t ri = 0; ri < resistorSlots_.size(); ++ri) {
+        const auto &sl = resistorSlots_[ri];
+        const double g = 1.0 / netlist_.resistors()[ri].ohms;
+        if (sl.aa >= 0)
+            base[sl.aa] += g;
+        if (sl.bb >= 0)
+            base[sl.bb] += g;
+        if (sl.ab >= 0)
+            base[sl.ab] -= g;
+        if (sl.ba >= 0)
+            base[sl.ba] -= g;
+    }
+
+    // Capacitor companion conductances (the companion *current* is
+    // per-step state and lives in the RHS, not here).  At step 0 the
+    // conductance is scaled up to pin the initial condition.
+    const double k =
+        params.integrator == Integrator::Trapezoidal ? 2.0 : 1.0;
+    const double scale = step0 ? 1e3 : 1.0;
+    for (size_t ci = 0; ci < capacitorSlots_.size(); ++ci) {
+        const auto &sl = capacitorSlots_[ci];
+        const double geq =
+            scale * k * netlist_.capacitors()[ci].farads / params.dt;
+        if (sl.aa >= 0)
+            base[sl.aa] += geq;
+        if (sl.bb >= 0)
+            base[sl.bb] += geq;
+        if (sl.ab >= 0)
+            base[sl.ab] -= geq;
+        if (sl.ba >= 0)
+            base[sl.ba] -= geq;
+    }
+
+    // Voltage-source incidence.
+    for (const auto &sl : sourceSlots_) {
+        if (sl.pb >= 0) {
+            base[sl.pb] += 1.0;
+            base[sl.bp] += 1.0;
+        }
+        if (sl.nb >= 0) {
+            base[sl.nb] -= 1.0;
+            base[sl.bn] -= 1.0;
+        }
+    }
+}
+
+void
+Simulator::solveDenseFallback(const std::vector<double> &vals)
+{
+    const size_t n = dim_;
+    std::fill(denseA_.begin(), denseA_.end(), 0.0);
+    for (size_t row = 0; row < n; ++row) {
+        // Scatter the CSR row into the dense scratch.
+        // (lu_ keeps the pattern; fill slots hold zeros.)
+        for (int idx = lu_.rowPtr()[row]; idx < lu_.rowPtr()[row + 1];
+             ++idx)
+            denseA_[row * n + static_cast<size_t>(lu_.colIdx()[idx])] =
+                vals[static_cast<size_t>(idx)];
+    }
+    std::copy(rhsWork_.begin(), rhsWork_.end(), denseB_.begin());
+
+    double *a = denseA_.data();
+    double *b = denseB_.data();
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        double best = std::abs(a[col * n + col]);
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row * n + col]) > best) {
+                best = std::abs(a[row * n + col]);
+                pivot = row;
+            }
+        }
+        if (best < kPivotTiny)
+            throw std::runtime_error("solveDense: singular matrix");
+        if (pivot != col) {
+            std::swap_ranges(a + pivot * n, a + (pivot + 1) * n,
+                             a + col * n);
+            std::swap(b[pivot], b[col]);
+        }
+        for (size_t row = col + 1; row < n; ++row) {
+            const double f = a[row * n + col] / a[col * n + col];
+            if (f == 0.0)
+                continue;
+            for (size_t k = col; k < n; ++k)
+                a[row * n + k] -= f * a[col * n + k];
+            b[row] -= f * b[col];
+        }
+    }
+    for (size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (size_t k = i + 1; k < n; ++k)
+            sum -= a[i * n + k] * x_[k];
+        x_[i] = sum / a[i * n + i];
+    }
+}
+
+TranResult
+Simulator::run(const TranParams &params)
+{
+    const size_t num_nodes = netlist_.numNodes();
+    const bool trap = params.integrator == Integrator::Trapezoidal;
+    const bool sparse = params.solver == LinearSolver::Sparse ||
+        (params.solver == LinearSolver::Auto && dim_ >= kSparseCutoff);
+
+    // Reset the reusable state.
+    std::fill(v_.begin(), v_.end(), 0.0);
+    const auto &caps = netlist_.capacitors();
+    for (size_t ci = 0; ci < caps.size(); ++ci) {
+        capPrev_[ci] = caps[ci].initialVolts;
+        capIPrev_[ci] = 0.0;
+        capGeq_[ci] = (trap ? 2.0 : 1.0) * caps[ci].farads / params.dt;
+    }
+    assembleBase(params, true, baseValsStep0_);
+    assembleBase(params, false, baseVals_);
 
     const size_t steps =
         static_cast<size_t>(std::ceil(params.tstop / params.dt));
 
-    std::vector<std::vector<double>> a(dim, std::vector<double>(dim));
-    std::vector<double> rhs(dim);
+    // Traces with the name lookups hoisted out of the time loop:
+    // record through precomputed slots (std::map nodes are stable, so
+    // the pointers survive later insertions).
+    TranResult result;
+    std::vector<Trace *> nodeTrace(num_nodes, nullptr);
+    std::vector<Trace *> srcTrace(ns_, nullptr);
+    for (size_t n = 1; n < num_nodes; ++n) {
+        Trace t;
+        t.name = netlist_.nodeName(static_cast<NodeId>(n));
+        auto [it, inserted] =
+            result.traces.emplace(t.name, std::move(t));
+        nodeTrace[n] = &it->second;
+    }
+    for (size_t si = 0; si < ns_; ++si) {
+        Trace t;
+        t.name = "I(" + netlist_.vsources()[si].name + ")";
+        auto [it, inserted] =
+            result.traces.emplace(t.name, std::move(t));
+        srcTrace[si] = &it->second;
+    }
+    for (auto &[name, tr] : result.traces) {
+        tr.times.reserve(steps + 1);
+        tr.values.reserve(steps + 1);
+    }
+
+    const auto &mosfets = netlist_.mosfets();
+
+    // Restamp the MOSFET linearizations (and their RHS contributions)
+    // on top of the memcpy-restored static stamp.
+    auto restamp = [&]() {
+        std::copy(rhsStep_.begin(), rhsStep_.end(), rhsWork_.begin());
+        for (size_t mi = 0; mi < mosfets.size(); ++mi) {
+            const auto &m = mosfets[mi];
+            const auto &sl = mosfetSlots_[mi];
+            const double vd = v_[static_cast<size_t>(m.drain)];
+            const double vg = v_[static_cast<size_t>(m.gate)];
+            const double vs = v_[static_cast<size_t>(m.source)];
+            const MosEval ev = evalMosfet(m, vd, vg, vs);
+
+            // Residual current with the Jacobian offset folded in:
+            // I(v) ~ I0 + J (v - v0)  =>  rhs -= I0 - J v0.
+            const double i0 = ev.id - ev.dIdVd * vd - ev.dIdVg * vg -
+                ev.dIdVs * vs;
+            const double der[3] = {ev.dIdVd, ev.dIdVg, ev.dIdVs};
+            for (int r = 0; r < 2; ++r) {
+                if (sl.rhs[r] < 0)
+                    continue;
+                const double dir = r == 0 ? 1.0 : -1.0;
+                for (int c = 0; c < 3; ++c)
+                    if (sl.m[r][c] >= 0)
+                        workVals_[sl.m[r][c]] += dir * der[c];
+                rhsWork_[static_cast<size_t>(sl.rhs[r])] -= dir * i0;
+            }
+        }
+    };
 
     for (size_t step = 0; step <= steps; ++step) {
         const double t = static_cast<double>(step) * params.dt;
         const double geq_scale = (step == 0) ? 1e3 : 1.0;
+        const std::vector<double> &base =
+            (step == 0) ? baseValsStep0_ : baseVals_;
+
+        // Per-step RHS: capacitor companion currents and source values.
+        std::fill(rhsStep_.begin(), rhsStep_.end(), 0.0);
+        for (size_t ci = 0; ci < caps.size(); ++ci) {
+            const auto &sl = capacitorSlots_[ci];
+            const double geq = geq_scale * capGeq_[ci];
+            const double ieq = geq * capPrev_[ci] +
+                (trap && step > 0 ? capIPrev_[ci] : 0.0);
+            if (sl.ra >= 0)
+                rhsStep_[static_cast<size_t>(sl.ra)] += ieq;
+            if (sl.rb >= 0)
+                rhsStep_[static_cast<size_t>(sl.rb)] -= ieq;
+        }
+        for (size_t si = 0; si < ns_; ++si)
+            rhsStep_[nv_ + si] +=
+                netlist_.vsources()[si].waveform.value(t);
 
         bool converged = false;
         for (int it = 0; it < params.maxNewton; ++it) {
             ++result.totalNewtonIterations;
-            for (auto &rowvec : a)
-                std::fill(rowvec.begin(), rowvec.end(), 0.0);
-            std::fill(rhs.begin(), rhs.end(), 0.0);
 
-            // gmin to ground on every node.
-            for (size_t n = 0; n < nv; ++n)
-                a[n][n] += params.gmin;
+            std::copy(base.begin(), base.end(), workVals_.begin());
+            restamp();
 
-            // Resistors.
-            for (const auto &r : netlist_.resistors()) {
-                const double g = 1.0 / r.ohms;
-                const long ra = row_of(r.a), rb = row_of(r.b);
-                if (ra >= 0)
-                    a[ra][ra] += g;
-                if (rb >= 0)
-                    a[rb][rb] += g;
-                if (ra >= 0 && rb >= 0) {
-                    a[ra][rb] -= g;
-                    a[rb][ra] -= g;
+            if (sparse) {
+                if (lu_.factor(workVals_.data())) {
+                    lu_.solve(workVals_.data(), rhsWork_.data(),
+                              x_.data());
+                } else {
+                    // Numerically bad static pivot: re-stamp (factor
+                    // ran in place) and fall back to dense with
+                    // partial pivoting for this iteration.
+                    std::copy(base.begin(), base.end(),
+                              workVals_.begin());
+                    restamp();
+                    solveDenseFallback(workVals_);
                 }
+            } else {
+                solveDenseFallback(workVals_);
             }
-
-            // Capacitors: backward-Euler or trapezoidal companion.
-            // At step 0 the companion conductance is scaled up to pin
-            // the initial condition (equivalent to a tiny pre-step).
-            for (size_t ci = 0; ci < netlist_.capacitors().size();
-                 ++ci) {
-                const auto &c = netlist_.capacitors()[ci];
-                const double k = trap ? 2.0 : 1.0;
-                const double geq =
-                    geq_scale * k * c.farads / params.dt;
-                const double ieq = geq * cap_prev[ci] +
-                    (trap && step > 0 ? cap_iprev[ci] : 0.0);
-                const long ra = row_of(c.a), rb = row_of(c.b);
-                if (ra >= 0) {
-                    a[ra][ra] += geq;
-                    rhs[ra] += ieq;
-                }
-                if (rb >= 0) {
-                    a[rb][rb] += geq;
-                    rhs[rb] -= ieq;
-                }
-                if (ra >= 0 && rb >= 0) {
-                    a[ra][rb] -= geq;
-                    a[rb][ra] -= geq;
-                }
-            }
-
-            // MOSFETs: linearize around the current iterate.
-            for (const auto &m : netlist_.mosfets()) {
-                const double vd = v[static_cast<size_t>(m.drain)];
-                const double vg = v[static_cast<size_t>(m.gate)];
-                const double vs = v[static_cast<size_t>(m.source)];
-                const MosEval ev = evalMosfet(m, vd, vg, vs);
-                const long rd = row_of(m.drain);
-                const long rg = row_of(m.gate);
-                const long rs = row_of(m.source);
-
-                // Residual current with the Jacobian offset folded in:
-                // I(v) ~ I0 + J (v - v0)  =>  rhs -= I0 - J v0.
-                const double i0 = ev.id - ev.dIdVd * vd -
-                    ev.dIdVg * vg - ev.dIdVs * vs;
-                auto stamp_row = [&](long row, double dir) {
-                    if (row < 0)
-                        return;
-                    if (rd >= 0)
-                        a[row][rd] += dir * ev.dIdVd;
-                    if (rg >= 0)
-                        a[row][rg] += dir * ev.dIdVg;
-                    if (rs >= 0)
-                        a[row][rs] += dir * ev.dIdVs;
-                    rhs[row] -= dir * i0;
-                };
-                stamp_row(rd, +1.0); // current leaves node into drain
-                stamp_row(rs, -1.0); // and returns out of the source
-            }
-
-            // Voltage sources: branch-current rows.
-            for (size_t si = 0; si < netlist_.vsources().size(); ++si) {
-                const auto &src = netlist_.vsources()[si];
-                const size_t brow = nv + si;
-                const long rp = row_of(src.pos), rn = row_of(src.neg);
-                if (rp >= 0) {
-                    a[rp][brow] += 1.0;
-                    a[brow][rp] += 1.0;
-                }
-                if (rn >= 0) {
-                    a[rn][brow] -= 1.0;
-                    a[brow][rn] -= 1.0;
-                }
-                rhs[brow] += src.waveform.value(t);
-            }
-
-            auto a_copy = a;
-            auto rhs_copy = rhs;
-            const std::vector<double> x = solveDense(a_copy, rhs_copy);
 
             // Branch currents of the voltage sources.  The MNA branch
             // variable is the current flowing from + through the
             // source to -, i.e. INTO the positive node; the delivered
             // current is its negation.
-            for (size_t si = 0; si < ns; ++si)
-                branch_currents[si] = -x[nv + si];
+            for (size_t si = 0; si < ns_; ++si)
+                branchCurrents_[si] = -x_[nv_ + si];
 
             // Damped update and convergence check.
             double max_delta = 0.0;
-            for (size_t n = 0; n < nv; ++n) {
-                double delta = x[n] - v[n + 1];
+            for (size_t n = 0; n < nv_; ++n) {
+                double delta = x_[n] - v_[n + 1];
                 max_delta = std::max(max_delta, std::abs(delta));
                 delta = std::clamp(delta, -params.maxStepVolts,
                                    params.maxStepVolts);
-                v[n + 1] += delta;
+                v_[n + 1] += delta;
             }
             if (max_delta < params.tolVolts) {
                 converged = true;
@@ -339,30 +784,25 @@ Simulator::run(const TranParams &params) const
             ++result.nonConvergedSteps;
 
         // Accept the step: update capacitor memory and record traces.
-        for (size_t ci = 0; ci < netlist_.capacitors().size(); ++ci) {
-            const auto &c = netlist_.capacitors()[ci];
-            const double v_now = v[static_cast<size_t>(c.a)] -
-                v[static_cast<size_t>(c.b)];
+        for (size_t ci = 0; ci < caps.size(); ++ci) {
+            const auto &c = caps[ci];
+            const double v_now = v_[static_cast<size_t>(c.a)] -
+                v_[static_cast<size_t>(c.b)];
             if (trap) {
                 // i = geq (v_now - v_prev) - i_prev (trapezoidal).
-                const double geq =
-                    geq_scale * 2.0 * c.farads / params.dt;
-                const double i_prev = step > 0 ? cap_iprev[ci] : 0.0;
-                cap_iprev[ci] = geq * (v_now - cap_prev[ci]) - i_prev;
+                const double geq = geq_scale * capGeq_[ci];
+                const double i_prev = step > 0 ? capIPrev_[ci] : 0.0;
+                capIPrev_[ci] = geq * (v_now - capPrev_[ci]) - i_prev;
             }
-            cap_prev[ci] = v_now;
+            capPrev_[ci] = v_now;
         }
         for (size_t n = 1; n < num_nodes; ++n) {
-            auto &tr = result.traces.at(
-                netlist_.nodeName(static_cast<NodeId>(n)));
-            tr.times.push_back(t);
-            tr.values.push_back(v[n]);
+            nodeTrace[n]->times.push_back(t);
+            nodeTrace[n]->values.push_back(v_[n]);
         }
-        for (size_t si = 0; si < ns; ++si) {
-            auto &tr = result.traces.at(
-                "I(" + netlist_.vsources()[si].name + ")");
-            tr.times.push_back(t);
-            tr.values.push_back(branch_currents[si]);
+        for (size_t si = 0; si < ns_; ++si) {
+            srcTrace[si]->times.push_back(t);
+            srcTrace[si]->values.push_back(branchCurrents_[si]);
         }
     }
     return result;

@@ -1,11 +1,27 @@
 /**
  * @file
  * Transient analog solver: Modified Nodal Analysis with backward-Euler
- * integration and Newton-Raphson iteration per timestep.
+ * or trapezoidal integration and Newton-Raphson iteration per timestep.
  *
- * Sized for sense-amplifier testbenches (tens of nodes), it uses a dense
- * Gaussian-elimination solve.  MOSFETs are linearized analytically each
- * Newton iteration; capacitors use backward-Euler companion models.
+ * The engine caches everything the netlist topology determines once per
+ * Simulator and reuses it across timesteps, Newton iterations, and
+ * repeated run() calls (Monte-Carlo trials):
+ *
+ *  - a **static stamp** holding the device contributions that never
+ *    change within a run (gmin, resistors, capacitor companion
+ *    conductances, voltage-source incidence), memcpy-restored at the
+ *    start of every Newton iteration; only the MOSFET linearizations
+ *    and the RHS are restamped;
+ *  - a **sparse LU factorization with a cached symbolic phase**: the
+ *    fill-in pattern, pivot order, and flattened elimination program
+ *    are computed once from the matrix structure, and each Newton
+ *    iteration only re-runs the numeric factorization;
+ *  - a reusable **workspace** (matrix values, RHS, solution, Newton
+ *    iterate, capacitor memory) so the inner loop allocates nothing.
+ *
+ * Small systems fall back to an in-place dense solve with partial
+ * pivoting over the same stamped values (see TranParams::solver).
+ * MOSFETs are linearized analytically each Newton iteration.
  */
 
 #ifndef HIFI_CIRCUIT_SOLVER_HH
@@ -13,6 +29,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/netlist.hh"
@@ -30,6 +47,14 @@ enum class Integrator
     Trapezoidal,   ///< second order, less numerical damping
 };
 
+/// Linear-solve engine for the Newton inner loop.
+enum class LinearSolver
+{
+    Auto,   ///< sparse above a small dimension cutoff, dense below
+    Dense,  ///< in-place Gaussian elimination with partial pivoting
+    Sparse, ///< cached-symbolic sparse LU (static pivot order)
+};
+
 /** Transient analysis parameters. */
 struct TranParams
 {
@@ -40,6 +65,9 @@ struct TranParams
     double dt = 10e-12;
 
     Integrator integrator = Integrator::BackwardEuler;
+
+    /// Linear-solve engine (Auto: sparse for dim >= 8).
+    LinearSolver solver = LinearSolver::Auto;
 
     /// Conductance from every node to ground, for convergence.
     double gmin = 1e-9;
@@ -68,6 +96,12 @@ struct TranResult
     /**
      * Energy delivered by a source over the run (J): the integral of
      * v(t) * i(t) dt using the recorded branch current.
+     *
+     * The source's voltage trace is resolved case-insensitively from
+     * its name ("Vpre" drives node "VPRE") or its name without the
+     * leading 'V' ("Vsan" drives node "SAN"), via an upper-cased name
+     * index built once per result.  Do not rename traces after the
+     * first call.
      */
     double sourceEnergy(const std::string &source_name) const;
 
@@ -76,6 +110,10 @@ struct TranResult
 
     /// Steps on which Newton failed to converge within the limit.
     size_t nonConvergedSteps = 0;
+
+  private:
+    /// Lazy upper-cased-name -> trace index (see sourceEnergy).
+    mutable std::map<std::string, const Trace *> upperIndex_;
 };
 
 /**
@@ -85,17 +123,166 @@ struct TranResult
 std::vector<double> solveDense(std::vector<std::vector<double>> &a,
                                std::vector<double> &b);
 
-/** Transient simulator over a fixed netlist. */
+/**
+ * Sparse LU with a cached symbolic factorization.
+ *
+ * analyze() runs once per matrix structure: it picks a static pivot
+ * order (symbolic Markowitz restricted to diagonal or structurally
+ * symmetric entries, for numerical safety on MNA matrices), computes
+ * the fill-in pattern, and compiles the elimination into flat index
+ * programs.  factor() then re-runs only the numeric elimination
+ * in-place over a caller-owned value array, and solve() performs the
+ * permuted forward/backward substitution.  No allocation happens after
+ * analyze().
+ */
+class SparseLu
+{
+  public:
+    /**
+     * Analyze a dim x dim structure given its structural (row, col)
+     * entries (duplicates allowed).  Throws std::invalid_argument on
+     * an empty/structurally singular pattern.
+     */
+    void analyze(size_t dim, const std::vector<std::pair<int, int>> &entries);
+
+    size_t dim() const { return dim_; }
+
+    /// Total slots (structural + fill) of the analyzed pattern.
+    size_t slots() const { return colIdx_.size(); }
+
+    /**
+     * Slot index of entry (row, col) in the value array, or -1 when
+     * the entry is outside the analyzed pattern.
+     */
+    int slot(int row, int col) const;
+
+    /**
+     * Numerically factor `values` (size slots(), fill slots zeroed by
+     * the caller) in place following the cached pivot order.  Returns
+     * false when a pivot is numerically negligible; the values array
+     * is then partially overwritten and the caller should fall back
+     * to a dense solve of the original matrix.
+     */
+    bool factor(double *values);
+
+    /**
+     * Solve with the last successful factor(): reads `b` (size dim),
+     * writes `x` (size dim).  `values` must be the array factor()
+     * ran over.
+     */
+    void solve(const double *values, const double *b, double *x);
+
+    /// CSR layout of the analyzed (post-fill) pattern.
+    const std::vector<int> &rowPtr() const { return rowPtr_; }
+    const std::vector<int> &colIdx() const { return colIdx_; }
+
+  private:
+    size_t dim_ = 0;
+
+    // Full (post-fill) pattern in CSR form.
+    std::vector<int> rowPtr_;
+    std::vector<int> colIdx_;
+
+    // Elimination program (one Step per pivot, in elimination order).
+    struct Step
+    {
+        int pivotSlot;   ///< slot of (pivotRow, pivotCol)
+        int pivotRow;    ///< RHS row the pivot equation lives in
+        int pivotCol;    ///< unknown eliminated by this step
+        int rowOpBegin;  ///< range into rowOps_
+        int rowOpEnd;
+        int uBegin;      ///< range into uSlots_/uVars_ (U row entries)
+        int uEnd;
+    };
+    struct RowOp
+    {
+        int factorSlot; ///< slot of (row, pivotCol): holds L after factor
+        int row;        ///< RHS row this op updates
+        int pairBegin;  ///< range into pairTarget_/pairSrc_
+        int pairEnd;
+    };
+    std::vector<Step> steps_;
+    std::vector<RowOp> rowOps_;
+    std::vector<int> pairTarget_;
+    std::vector<int> pairSrc_;
+    std::vector<int> uSlots_;
+    std::vector<int> uVars_;
+
+    std::vector<double> scratch_; ///< permuted RHS during solve()
+};
+
+/**
+ * Transient simulator over a fixed netlist.
+ *
+ * Construction caches the matrix structure, the symbolic LU, the
+ * stamp slot tables, and the workspace; run() only fills in numbers.
+ * The referenced netlist must outlive the simulator.  Between run()
+ * calls the caller may patch device *values* in place (MOSFET
+ * vthDelta, source waveforms); adding or removing devices or nodes
+ * invalidates the cached structure and requires a new Simulator.
+ */
 class Simulator
 {
   public:
     explicit Simulator(const Netlist &netlist);
 
     /// Run a transient analysis and record every node voltage.
-    TranResult run(const TranParams &params) const;
+    TranResult run(const TranParams &params);
 
   private:
+    void assembleBase(const TranParams &params, bool step0,
+                      std::vector<double> &base) const;
+    /// Dense fallback: scatter `vals` + solve; writes x_. Throws when
+    /// singular.
+    void solveDenseFallback(const std::vector<double> &vals);
+
     const Netlist &netlist_;
+    size_t nv_ = 0;  ///< unknown node voltages
+    size_t ns_ = 0;  ///< voltage-source branch currents
+    size_t dim_ = 0; ///< nv_ + ns_
+
+    SparseLu lu_;
+
+    // Stamp slot tables (indices into the value array; -1 = ground).
+    std::vector<int> gminSlots_;
+    struct ResistorSlots
+    {
+        int aa, bb, ab, ba;
+    };
+    struct CapacitorSlots
+    {
+        int aa, bb, ab, ba;
+        long ra, rb; ///< RHS rows (-1 = ground)
+    };
+    struct MosfetSlots
+    {
+        int m[2][3];   ///< [drain row, source row] x [vd, vg, vs] slots
+        long rhs[2];   ///< RHS rows for the drain/source stamp
+    };
+    struct SourceSlots
+    {
+        int pb, bp, nb, bn;
+        size_t brow; ///< branch row index
+    };
+    std::vector<ResistorSlots> resistorSlots_;
+    std::vector<CapacitorSlots> capacitorSlots_;
+    std::vector<MosfetSlots> mosfetSlots_;
+    std::vector<SourceSlots> sourceSlots_;
+
+    // Reusable workspace (sized at construction, reused across runs).
+    std::vector<double> baseVals_;     ///< static stamp, steady steps
+    std::vector<double> baseValsStep0_; ///< static stamp, IC-pinned step
+    std::vector<double> workVals_;
+    std::vector<double> rhsStep_;
+    std::vector<double> rhsWork_;
+    std::vector<double> x_;
+    std::vector<double> v_;
+    std::vector<double> capPrev_;
+    std::vector<double> capIPrev_;
+    std::vector<double> capGeq_;
+    std::vector<double> branchCurrents_;
+    std::vector<double> denseA_; ///< dim x dim row-major scratch
+    std::vector<double> denseB_;
 };
 
 /**

@@ -19,13 +19,12 @@ BankConfig::fromChip(const models::ChipSpec &chip)
         chip.matHeightNm / (1.5 * chip.blPitchNm));
     config.columns = 128;
 
-    // Timings per topology, derived once from the circuit simulation.
-    static const Timings classic =
-        Timings::forTopology(circuit::SaTopology::Classic);
-    static const Timings ocsa =
-        Timings::forTopology(circuit::SaTopology::OffsetCancellation);
-    config.timings =
-        chip.topology == models::Topology::Ocsa ? ocsa : classic;
+    // Timings per topology, derived from the circuit simulation
+    // (memoized inside forTopology).
+    config.timings = Timings::forTopology(
+        chip.topology == models::Topology::Ocsa
+            ? circuit::SaTopology::OffsetCancellation
+            : circuit::SaTopology::Classic);
     return config;
 }
 

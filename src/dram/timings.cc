@@ -48,9 +48,22 @@ Timings::fromSimulation(const circuit::SaParams &params,
 Timings
 Timings::forTopology(circuit::SaTopology topology)
 {
-    circuit::SaParams params;
-    params.topology = topology;
-    return fromSimulation(params);
+    // Memoized per topology: the defaults are fixed and the transient
+    // simulation behind them is deterministic, so every caller (bank
+    // construction, cost-benefit audits, benches) shares one run.
+    auto derive = [](circuit::SaTopology topo) {
+        circuit::SaParams params;
+        params.topology = topo;
+        return fromSimulation(params);
+    };
+    if (topology == circuit::SaTopology::Classic) {
+        static const Timings classic =
+            derive(circuit::SaTopology::Classic);
+        return classic;
+    }
+    static const Timings ocsa =
+        derive(circuit::SaTopology::OffsetCancellation);
+    return ocsa;
 }
 
 } // namespace dram

@@ -94,6 +94,60 @@ TEST(SolveDense, ThrowsOnSingular)
     EXPECT_THROW(solveDense(a, b), std::runtime_error);
 }
 
+TEST(SparseLu, MatchesDenseOnKnownSystem)
+{
+    // Same system as SolveDense.SolvesKnownSystem, through the cached
+    // symbolic path: analyze once, factor + solve over a value array.
+    SparseLu lu;
+    lu.analyze(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+    ASSERT_EQ(lu.dim(), 2u);
+    std::vector<double> vals(lu.slots(), 0.0);
+    vals[static_cast<size_t>(lu.slot(0, 0))] = 2.0;
+    vals[static_cast<size_t>(lu.slot(0, 1))] = 1.0;
+    vals[static_cast<size_t>(lu.slot(1, 0))] = 1.0;
+    vals[static_cast<size_t>(lu.slot(1, 1))] = 3.0;
+    ASSERT_TRUE(lu.factor(vals.data()));
+    const std::vector<double> b = {5.0, 10.0};
+    std::vector<double> x(2, 0.0);
+    lu.solve(vals.data(), b.data(), x.data());
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+    EXPECT_EQ(lu.slot(5, 5), -1); // outside the pattern
+}
+
+TEST(SparseLu, PivotsStructurallySymmetricOffDiagonal)
+{
+    // {{0,1},{1,0}}-shaped permutation matrix: no diagonal entries
+    // exist, so the static pivot order must fall back to the
+    // structurally symmetric off-diagonal pair.
+    SparseLu lu;
+    lu.analyze(2, {{0, 1}, {1, 0}});
+    std::vector<double> vals(lu.slots(), 0.0);
+    vals[static_cast<size_t>(lu.slot(0, 1))] = 1.0;
+    vals[static_cast<size_t>(lu.slot(1, 0))] = 1.0;
+    ASSERT_TRUE(lu.factor(vals.data()));
+    const std::vector<double> b = {2.0, 3.0};
+    std::vector<double> x(2, 0.0);
+    lu.solve(vals.data(), b.data(), x.data());
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, ReportsNumericallySingularMatrix)
+{
+    // Structurally fine, numerically rank-1: factor() must refuse so
+    // the simulator can fall back to the pivoting dense solve.
+    SparseLu lu;
+    lu.analyze(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+    std::vector<double> vals(lu.slots(), 0.0);
+    vals[static_cast<size_t>(lu.slot(0, 0))] = 1.0;
+    vals[static_cast<size_t>(lu.slot(0, 1))] = 1.0;
+    vals[static_cast<size_t>(lu.slot(1, 0))] = 2.0;
+    vals[static_cast<size_t>(lu.slot(1, 1))] = 2.0;
+    EXPECT_FALSE(lu.factor(vals.data()));
+    EXPECT_THROW(lu.analyze(0, {}), std::invalid_argument);
+}
+
 TEST(Netlist, NodeBookkeeping)
 {
     Netlist net;
@@ -322,6 +376,37 @@ TEST(Transient, SourceEnergyMatchesRcTheory)
     EXPECT_NEAR(e, 1e-12, 0.1e-12); // C V^2 = 1 pJ
 }
 
+TEST(Transient, SourceEnergyResolvesCaseInsensitiveNames)
+{
+    // The two resolution rules the SA testbenches rely on: "Vpre"
+    // matches node "VPRE" by the full upper-cased name, and "Vsan"
+    // matches node "SAN" by the name without its leading 'V'.
+    Netlist net;
+    NodeId vpre = net.addNode("VPRE");
+    NodeId san = net.addNode("SAN");
+    NodeId orphan = net.addNode("A");
+    net.addVSource("Vpre", vpre, kGround, Pwl(1.0));
+    net.addVSource("Vsan", san, kGround, Pwl(0.5));
+    net.addVSource("Vzz", orphan, kGround, Pwl(0.0));
+    net.addResistor("R1", vpre, kGround, 1e3);
+    net.addResistor("R2", san, kGround, 1e3);
+
+    TranParams tp;
+    tp.tstop = 1e-9;
+    tp.dt = 1e-10;
+    const auto res = Simulator(net).run(tp);
+
+    // Purely resistive: E = (V^2 / R) * tstop.
+    EXPECT_NEAR(res.sourceEnergy("Vpre"), 1e-12, 1e-14);
+    EXPECT_NEAR(res.sourceEnergy("Vsan"), 0.25e-12, 1e-14);
+
+    // "Vzz" has a current trace but no node named "VZZ" or "ZZ": the
+    // voltage-trace resolution must fail loudly, and an unknown source
+    // has no current trace at all.
+    EXPECT_THROW(res.sourceEnergy("Vzz"), std::out_of_range);
+    EXPECT_THROW(res.sourceEnergy("Vmissing"), std::out_of_range);
+}
+
 TEST(SenseAmp, OcsaActivationCostsMoreEnergy)
 {
     // The OCSA's extra phases draw extra charge from the rails; its
@@ -446,6 +531,168 @@ TEST(Transient, EnergyDissipationIsNonNegative)
     }
     // And it actually discharges: ~5 tau gone.
     EXPECT_LT(v.final(), 0.01);
+}
+
+// --- Dense vs sparse engine agreement ------------------------------
+
+/**
+ * Random mixed R/C/V/MOSFET netlist: two rails (a DC VDD and a ramp),
+ * a connected resistive mesh with grounded caps carrying random
+ * initial conditions, and a handful of inverter-style transistors of
+ * both polarities.  Every topology decision comes from the seeded
+ * counter RNG, so each seed is one reproducible circuit.
+ */
+Netlist
+randomMixedNetlist(uint64_t seed)
+{
+    hifi::common::Rng rng(seed);
+    Netlist net;
+    const NodeId vdd = net.addNode("VDD");
+    const NodeId in = net.addNode("IN");
+    net.addVSource("Vdd", vdd, kGround, Pwl(1.1));
+    Pwl ramp;
+    ramp.point(0.0, 0.0).point(4e-9, 1.1);
+    net.addVSource("Vin", in, kGround, std::move(ramp));
+
+    std::vector<NodeId> nodes = {vdd, in};
+    const int n = 6 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < n; ++i) {
+        const NodeId node = net.addNode("N" + std::to_string(i));
+        const NodeId peer = nodes[rng.below(nodes.size())];
+        net.addResistor("Rp" + std::to_string(i), node, peer,
+                        rng.uniform(1e3, 2e4));
+        if (rng.below(2) == 0)
+            net.addCapacitor("C" + std::to_string(i), node, kGround,
+                             rng.uniform(1e-14, 1e-13),
+                             rng.uniform(0.0, 1.1));
+        else
+            net.addResistor("Rg" + std::to_string(i), node, kGround,
+                            rng.uniform(1e3, 2e4));
+        nodes.push_back(node);
+    }
+
+    const size_t internal = nodes.size() - 2;
+    const int fets = 2 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < fets; ++i) {
+        Mosfet m;
+        m.name = "M" + std::to_string(i);
+        m.drain = nodes[2 + rng.below(internal)];
+        m.gate = rng.below(2) == 0 ? in : nodes[2 + rng.below(internal)];
+        if (rng.below(2) == 0) {
+            m.model.type = MosType::Nmos;
+            m.source = kGround;
+        } else {
+            m.model.type = MosType::Pmos;
+            m.source = vdd;
+        }
+        m.widthNm = rng.uniform(80.0, 240.0);
+        m.lengthNm = 40.0;
+        net.addMosfet(m);
+    }
+    return net;
+}
+
+TEST(Transient, SparseAndDenseEnginesAgreeOnRandomNetlists)
+{
+    // The cached-symbolic sparse LU and the pivoting dense solve are
+    // different factorizations of the same stamped matrix: with a
+    // tight Newton tolerance every node voltage and branch current
+    // must match to 1e-9 at every step, for both integrators.
+    for (uint64_t seed : {11u, 23u, 42u}) {
+        const Netlist net = randomMixedNetlist(seed);
+        for (auto integ : {Integrator::BackwardEuler,
+                           Integrator::Trapezoidal}) {
+            TranParams tp;
+            tp.tstop = 4e-9;
+            tp.dt = 20e-12;
+            tp.tolVolts = 1e-9;
+            tp.integrator = integ;
+
+            tp.solver = LinearSolver::Dense;
+            const auto dense = Simulator(net).run(tp);
+            tp.solver = LinearSolver::Sparse;
+            const auto sparse = Simulator(net).run(tp);
+
+            EXPECT_EQ(dense.nonConvergedSteps, 0u);
+            EXPECT_EQ(sparse.nonConvergedSteps, 0u);
+            ASSERT_EQ(dense.traces.size(), sparse.traces.size());
+            for (const auto &[name, dtr] : dense.traces) {
+                const Trace &str = sparse.trace(name);
+                ASSERT_EQ(dtr.values.size(), str.values.size());
+                for (size_t k = 0; k < dtr.values.size(); ++k)
+                    ASSERT_NEAR(dtr.values[k], str.values[k], 1e-9)
+                        << name << " seed " << seed << " step " << k;
+            }
+        }
+    }
+}
+
+TEST(Transient, NonConvergedStepsMatchAcrossEngines)
+{
+    // An NMOS inverter switching under an absurdly small Newton
+    // budget: some steps must fail to converge, and both engines must
+    // report the same count (the per-step iteration schedule is then
+    // pinned by maxNewton, keeping them in lockstep) while still
+    // agreeing on the voltages.
+    Netlist net;
+    NodeId vdd = net.addNode("VDD");
+    NodeId g = net.addNode("G");
+    NodeId d = net.addNode("D");
+    net.addVSource("Vdd", vdd, kGround, Pwl(1.1));
+    Pwl gate(0.0);
+    gate.step(1e-9, 1.1, 2e-10);
+    net.addVSource("Vg", g, kGround, std::move(gate));
+    net.addResistor("Rload", vdd, d, 50e3);
+    net.addCapacitor("Cload", d, kGround, 1e-15, 1.1);
+    Mosfet m;
+    m.name = "M1";
+    m.drain = d;
+    m.gate = g;
+    m.source = kGround;
+    m.widthNm = 200;
+    m.lengthNm = 40;
+    net.addMosfet(m);
+
+    TranParams tp;
+    tp.tstop = 5e-9;
+    tp.dt = 5e-12;
+    tp.maxNewton = 2;
+
+    tp.solver = LinearSolver::Dense;
+    const auto dense = Simulator(net).run(tp);
+    tp.solver = LinearSolver::Sparse;
+    const auto sparse = Simulator(net).run(tp);
+
+    EXPECT_GT(dense.nonConvergedSteps, 0u);
+    EXPECT_EQ(dense.nonConvergedSteps, sparse.nonConvergedSteps);
+    EXPECT_EQ(dense.totalNewtonIterations,
+              sparse.totalNewtonIterations);
+    for (const auto &[name, dtr] : dense.traces) {
+        const Trace &str = sparse.trace(name);
+        for (size_t k = 0; k < dtr.values.size(); ++k)
+            ASSERT_NEAR(dtr.values[k], str.values[k], 1e-9)
+                << name << " step " << k;
+    }
+}
+
+TEST(Transient, RepeatedRunsOnOneSimulatorAreBitwiseIdentical)
+{
+    // The reusable workspace must be fully re-initialized by run():
+    // back-to-back runs of one Simulator are bitwise identical.
+    SaParams p;
+    SaTestbench testbench(p);
+    const SaRun a = testbench.simulate();
+    const SaRun b = testbench.simulate();
+    EXPECT_EQ(a.tran.totalNewtonIterations,
+              b.tran.totalNewtonIterations);
+    ASSERT_EQ(a.tran.traces.size(), b.tran.traces.size());
+    for (const auto &[name, tra] : a.tran.traces) {
+        const Trace &trb = b.tran.trace(name);
+        ASSERT_EQ(tra.values.size(), trb.values.size());
+        for (size_t k = 0; k < tra.values.size(); ++k)
+            ASSERT_EQ(tra.values[k], trb.values[k])
+                << name << " step " << k;
+    }
 }
 
 // --- Sense amplifier behaviour -------------------------------------
