@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Typed error handling for the library's validated entry points.
+ *
+ * The pipeline's robustness contract (ISSUE 3) is that bad inputs and
+ * degraded acquisitions produce *typed* outcomes, never crashes or
+ * silent garbage.  `Result<T>` is a minimal success-or-error sum type:
+ * callers that want exceptions can keep using the throwing wrappers,
+ * while production callers branch on `ok()` and inspect the `Error`.
+ */
+
+#ifndef HIFI_COMMON_RESULT_HH
+#define HIFI_COMMON_RESULT_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hifi
+{
+namespace common
+{
+
+/// Coarse error classification, stable across message rewording.
+enum class ErrorCode
+{
+    InvalidArgument, ///< a parameter is out of its documented domain
+    NotFound,        ///< a named entity (e.g. chip id) does not exist
+    FailedPrecondition, ///< inputs are individually valid but inconsistent
+    DataLoss,        ///< an acquisition lost data beyond recovery
+    Internal,        ///< unexpected failure inside the pipeline
+};
+
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::NotFound:
+        return "not-found";
+      case ErrorCode::FailedPrecondition:
+        return "failed-precondition";
+      case ErrorCode::DataLoss:
+        return "data-loss";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+/** One typed error: a code plus a human-readable message. */
+struct Error
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+/**
+ * Success-or-error sum type.  Holds either a `T` or an `Error`; the
+ * accessors assert the active alternative (`value()` on an error
+ * throws std::logic_error so misuse fails loudly, not silently).
+ */
+template <typename T> class Result
+{
+  public:
+    Result(T value) : state_(std::move(value)) {}
+    Result(Error error) : state_(std::move(error)) {}
+
+    static Result
+    failure(ErrorCode code, std::string message)
+    {
+        return Result(Error{code, std::move(message)});
+    }
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw std::logic_error("Result::value on error: " +
+                                   std::get<Error>(state_).message);
+        return std::get<T>(state_);
+    }
+
+    T &
+    value()
+    {
+        if (!ok())
+            throw std::logic_error("Result::value on error: " +
+                                   std::get<Error>(state_).message);
+        return std::get<T>(state_);
+    }
+
+    /// Move the value out (for expensive payloads like reports).
+    T
+    takeValue()
+    {
+        return std::move(value());
+    }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            throw std::logic_error("Result::error on success");
+        return std::get<Error>(state_);
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+} // namespace common
+} // namespace hifi
+
+#endif // HIFI_COMMON_RESULT_HH

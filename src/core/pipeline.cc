@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "common/log.hh"
 #include "common/parallel.hh"
@@ -17,8 +19,43 @@ namespace core
 
 using models::Role;
 
+std::optional<common::Error>
+validateConfig(const PipelineConfig &config)
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (models::findChip(config.chipId) == nullptr)
+        return Error{ErrorCode::NotFound,
+                     "PipelineConfig: unknown chipId '" +
+                         config.chipId + "'"};
+    if (config.pairs == 0)
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: pairs must be > 0"};
+    if (config.stackedSas == 0)
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: stackedSas must be > 0"};
+    if (!(config.driftProbability >= 0.0) ||
+        !(config.driftProbability <= 1.0))
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: driftProbability outside "
+                     "[0, 1]"};
+    if (config.detectorOverride < -1 || config.detectorOverride > 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: detectorOverride must be "
+                     "-1, 0 or 1"};
+    if (const auto err = scope::validate(config.faults))
+        return err;
+    if (const auto err = scope::validate(config.recovery))
+        return err;
+    return std::nullopt;
+}
+
+namespace
+{
+
+/// Pipeline body; assumes the configuration already validated.
 PipelineReport
-runPipeline(const PipelineConfig &config)
+runValidatedPipeline(const PipelineConfig &config)
 {
     const common::ScopedThreads threads(config.threads);
     const models::ChipSpec &chip = models::chip(config.chipId);
@@ -67,12 +104,45 @@ runPipeline(const PipelineConfig &config)
     common::inform("pipeline " + chip.id + ": acquiring " +
                    std::to_string(materials.nx() / fib.sliceVoxels) +
                    " slices");
-    common::Rng rng(config.seed);
-    image::SliceStack stack = scope::acquire(materials, fib, rng);
+    image::SliceStack stack;
+    if (config.faults.enabled) {
+        // Production path: fault injection, per-slice QC, bounded
+        // re-imaging, neighbour interpolation.  Counter-seeded, so
+        // the whole recovery log is a pure function of the seed.
+        scope::RobustAcquisition robust = scope::acquireRobust(
+            materials, fib, config.faults, config.recovery,
+            config.seed);
+        stack = std::move(robust.stack);
+        report.slicesRetried = robust.slicesRetried;
+        report.retries = robust.retries;
+        report.slicesInterpolated = robust.slicesInterpolated;
+        report.interpolatedSlices =
+            std::move(robust.interpolatedSlices);
+        report.slicesUnrecoverable = robust.slicesUnrecoverable;
+        report.faultsInjected = robust.faultsInjected;
+        report.faultsDetected = robust.faultsDetected;
+        report.qcConfidence = robust.qcConfidence;
+        report.degraded = robust.slicesInterpolated > 0 ||
+            robust.slicesUnrecoverable > 0;
+        if (report.degraded)
+            common::warn("pipeline " + chip.id + ": degraded (" +
+                         std::to_string(robust.slicesInterpolated) +
+                         " interpolated, " +
+                         std::to_string(robust.slicesUnrecoverable) +
+                         " unrecoverable slices)");
+    } else {
+        // Legacy fault-free path, bit-identical to the pre-robustness
+        // pipeline: one sequential generator threads drift and frame
+        // seeds exactly as before.
+        common::Rng rng(config.seed);
+        stack = scope::acquire(materials, fib, rng);
+    }
     stack.sliceThicknessNm =
         static_cast<double>(fib.sliceVoxels) * voxel;
     stack.pixelResolutionNm = voxel;
     report.slices = stack.slices.size();
+    report.campaign = scope::campaignCost(chip);
+    scope::chargeRetries(report.campaign, report.retries);
 
     // ---- 3. Post-processing ----------------------------------------
     scope::PostprocessParams post;
@@ -147,6 +217,36 @@ runPipeline(const PipelineConfig &config)
         report.roles[role] = rec;
     }
     return report;
+}
+
+} // namespace
+
+PipelineReport
+runPipeline(const PipelineConfig &config)
+{
+    if (const auto err = validateConfig(config)) {
+        // Preserve the legacy exception taxonomy: unknown chip ids
+        // used to surface as std::out_of_range from models::chip.
+        if (err->code == common::ErrorCode::NotFound)
+            throw std::out_of_range(err->message);
+        throw std::invalid_argument(err->message);
+    }
+    return runValidatedPipeline(config);
+}
+
+common::Result<PipelineReport>
+runPipelineChecked(const PipelineConfig &config)
+{
+    if (const auto err = validateConfig(config))
+        return common::Result<PipelineReport>(*err);
+    try {
+        return common::Result<PipelineReport>(
+            runValidatedPipeline(config));
+    } catch (const std::exception &e) {
+        return common::Result<PipelineReport>::failure(
+            common::ErrorCode::Internal,
+            std::string("pipeline failed: ") + e.what());
+    }
 }
 
 } // namespace core

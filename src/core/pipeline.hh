@@ -12,12 +12,16 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "common/result.hh"
 #include "common/stats.hh"
 #include "fab/sa_region.hh"
 #include "models/chip_data.hh"
 #include "re/analyze.hh"
+#include "scope/fib.hh"
 #include "scope/postprocess.hh"
 
 namespace hifi
@@ -66,7 +70,29 @@ struct PipelineConfig
      * bitwise-identical for any value — see common/parallel.hh.
      */
     size_t threads = 0;
+
+    /**
+     * Acquisition fault model (scope/faults.hh).  Disabled by default:
+     * the fault-free path takes the legacy acquisition code path and
+     * stays bitwise identical to the pre-robustness pipeline.  With
+     * faults enabled the pipeline switches to scope::acquireRobust —
+     * QC-checked slices, bounded re-imaging, neighbour interpolation —
+     * and the degradation fields of the report become meaningful.
+     */
+    scope::FaultParams faults;
+
+    /// Retry/interpolation policy and QC thresholds for the robust
+    /// acquisition (only used when faults.enabled).
+    scope::RecoveryParams recovery;
 };
+
+/**
+ * Domain validation of a pipeline configuration: unknown chip ids,
+ * zero pairs/stacked sets, out-of-range probabilities, inconsistent
+ * fault/recovery parameters.  nullopt when the config is runnable.
+ */
+std::optional<common::Error>
+validateConfig(const PipelineConfig &config);
 
 /** Per-role dimension recovery. */
 struct RoleRecovery
@@ -111,12 +137,58 @@ struct PipelineReport
     /// Worst absolute dimension error across recovered roles (nm).
     double maxDimErrorNm = 0.0;
 
+    // ---- Robustness / degradation accounting ----------------------
+    // All zero / 1.0 / false on the fault-free legacy path.
+
+    /// Slices that needed more than one imaging attempt.
+    size_t slicesRetried = 0;
+
+    /// Total re-imaged frames (charged to the campaign cost).
+    size_t retries = 0;
+
+    /// Slices replaced by neighbour interpolation after the retry
+    /// budget ran out, and their indices (seed-deterministic).
+    size_t slicesInterpolated = 0;
+    std::vector<size_t> interpolatedSlices;
+
+    /// Slices no attempt nor interpolation could recover.
+    size_t slicesUnrecoverable = 0;
+
+    /// Injected-fault ground truth vs QC detection (simulator-only).
+    size_t faultsInjected = 0;
+    size_t faultsDetected = 0;
+
+    /// Aggregate acquisition trust in [0, 1] (see RobustAcquisition).
+    double qcConfidence = 1.0;
+
+    /// True when any slice was interpolated or unrecoverable: the
+    /// report is best-effort and downstream numbers deserve scrutiny.
+    bool degraded = false;
+
+    /// Table-I campaign cost for this chip, with re-imaging charged.
+    scope::CampaignCost campaign;
+
     /// Full analysis, for further inspection.
     re::RegionAnalysis analysis;
 };
 
-/// Run the full pipeline on one chip configuration.
+/**
+ * Run the full pipeline on one chip configuration.
+ *
+ * Throws on invalid configurations (std::out_of_range for unknown
+ * chip ids, std::invalid_argument otherwise) — use runPipelineChecked
+ * for typed errors instead of exceptions.
+ */
 PipelineReport runPipeline(const PipelineConfig &config);
+
+/**
+ * Exception-free pipeline entry point: validates the configuration up
+ * front and converts any internal failure into a typed error, so
+ * production callers always get either a report (possibly with
+ * `degraded` set) or an Error — never a crash.
+ */
+common::Result<PipelineReport>
+runPipelineChecked(const PipelineConfig &config);
 
 /** Repeatability over independent acquisitions (different seeds). */
 struct Repeatability

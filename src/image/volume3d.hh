@@ -66,6 +66,41 @@ class Volume3D
 };
 
 /**
+ * Ground-truth fault/recovery provenance of one acquired slice, stamped
+ * by the simulator so tests can score the QC detector against the
+ * injected truth.  Fault kinds are scope::FaultKind values stored as
+ * ints to keep the image layer free of scope dependencies; 0 is clean.
+ */
+struct SliceProvenance
+{
+    /// Fault injected into the *first* acquisition attempt (0 = none).
+    int injectedFault = 0;
+
+    /// Whether QC flagged the first attempt (the detection the tests
+    /// score against injectedFault).
+    bool firstAttemptFlagged = false;
+
+    /// image::QcFlag bitmask of the first attempt (which checks fired).
+    unsigned firstAttemptFlags = 0;
+
+    /// Total imaging attempts spent on this slice (1 = no retry).
+    size_t attempts = 1;
+
+    /// Fault present on the finally accepted attempt (residual,
+    /// undetected corruption; 0 if the accepted frame was clean).
+    int acceptedFault = 0;
+
+    /// Some attempt passed QC (false => interpolated or unrecoverable).
+    bool accepted = true;
+
+    /// Slice was replaced by neighbour interpolation.
+    bool interpolated = false;
+
+    /// No attempt passed QC and no neighbour was available.
+    bool unrecoverable = false;
+};
+
+/**
  * Stack of cross-section images plus per-slice alignment shifts.
  *
  * This is the raw product of a FIB/SEM acquisition: slice i is the SEM
@@ -78,6 +113,10 @@ struct SliceStack
 
     /// Ground-truth drift of each slice (known only to the simulator).
     std::vector<std::pair<long, long>> trueDrift;
+
+    /// Fault/recovery provenance per slice.  Empty for the plain
+    /// `scope::acquire` path; filled by `scope::acquireRobust`.
+    std::vector<SliceProvenance> provenance;
 
     /// nm of material removed per slice (10 or 20 in the paper).
     double sliceThicknessNm = 20.0;

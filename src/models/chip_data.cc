@@ -317,10 +317,18 @@ allChips()
 const ChipSpec &
 chip(const std::string &id)
 {
+    if (const ChipSpec *c = findChip(id))
+        return *c;
+    throw std::out_of_range("chip: unknown id " + id);
+}
+
+const ChipSpec *
+findChip(const std::string &id)
+{
     for (const auto &c : allChips())
         if (c.id == id)
-            return c;
-    throw std::out_of_range("chip: unknown id " + id);
+            return &c;
+    return nullptr;
 }
 
 std::vector<const ChipSpec *>

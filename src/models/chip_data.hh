@@ -150,6 +150,9 @@ const std::vector<ChipSpec> &allChips();
 /// Lookup by id; throws std::out_of_range for unknown ids.
 const ChipSpec &chip(const std::string &id);
 
+/// Non-throwing lookup: nullptr for unknown ids (validation paths).
+const ChipSpec *findChip(const std::string &id);
+
 /// The chips of one DDR generation.
 std::vector<const ChipSpec *> chipsOfGeneration(int ddr);
 

@@ -1,0 +1,269 @@
+#include "scope/faults.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hifi
+{
+namespace scope
+{
+
+const char *
+faultName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::Curtaining:
+        return "curtaining";
+      case FaultKind::Charging:
+        return "charging";
+      case FaultKind::FocusLoss:
+        return "focus-loss";
+      case FaultKind::DetectorDropout:
+        return "detector-dropout";
+      case FaultKind::SliceSkip:
+        return "slice-skip";
+      case FaultKind::DriftExcursion:
+        return "drift-excursion";
+    }
+    return "unknown";
+}
+
+double
+FaultParams::totalProbability() const
+{
+    return curtainingProbability + chargingProbability +
+        focusLossProbability + dropoutProbability +
+        sliceSkipProbability + driftExcursionProbability;
+}
+
+FaultParams
+FaultParams::scaled(double factor) const
+{
+    FaultParams s = *this;
+    s.curtainingProbability *= factor;
+    s.chargingProbability *= factor;
+    s.focusLossProbability *= factor;
+    s.dropoutProbability *= factor;
+    s.sliceSkipProbability *= factor;
+    s.driftExcursionProbability *= factor;
+    return s;
+}
+
+std::optional<common::Error>
+validate(const FaultParams &params)
+{
+    using common::Error;
+    using common::ErrorCode;
+    const double probs[] = {
+        params.curtainingProbability, params.chargingProbability,
+        params.focusLossProbability, params.dropoutProbability,
+        params.sliceSkipProbability,
+        params.driftExcursionProbability,
+    };
+    for (double p : probs) {
+        if (!(p >= 0.0) || !(p <= 1.0))
+            return Error{ErrorCode::InvalidArgument,
+                         "FaultParams: fault probability outside "
+                         "[0, 1]"};
+    }
+    if (params.totalProbability() > 1.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: fault probabilities sum above 1"};
+    if (!(params.curtainDepth >= 0.0) || params.curtainDepth > 1.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: curtainDepth outside [0, 1]"};
+    if (!(params.curtainPeriodFrac > 0.0))
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: curtainPeriodFrac must be > 0"};
+    if (!(params.chargeAreaFrac > 0.0) || params.chargeAreaFrac > 1.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: chargeAreaFrac outside (0, 1]"};
+    if (!(params.dropoutRowFraction > 0.0) ||
+        params.dropoutRowFraction > 1.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: dropoutRowFraction outside "
+                     "(0, 1]"};
+    if (!(params.blankFrameFraction >= 0.0) ||
+        params.blankFrameFraction > 1.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: blankFrameFraction outside "
+                     "[0, 1]"};
+    if (params.excursionPx < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: excursionPx must be >= 1"};
+    if (params.skipOvershootSlices < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "FaultParams: skipOvershootSlices must be >= 1"};
+    return std::nullopt;
+}
+
+FaultKind
+sampleFaultKind(const FaultParams &params, common::Rng &rng)
+{
+    if (!params.enabled)
+        return FaultKind::None;
+    const double u = rng.uniform();
+    double acc = params.curtainingProbability;
+    if (u < acc)
+        return FaultKind::Curtaining;
+    acc += params.chargingProbability;
+    if (u < acc)
+        return FaultKind::Charging;
+    acc += params.focusLossProbability;
+    if (u < acc)
+        return FaultKind::FocusLoss;
+    acc += params.dropoutProbability;
+    if (u < acc)
+        return FaultKind::DetectorDropout;
+    acc += params.sliceSkipProbability;
+    if (u < acc)
+        return FaultKind::SliceSkip;
+    acc += params.driftExcursionProbability;
+    if (u < acc)
+        return FaultKind::DriftExcursion;
+    return FaultKind::None;
+}
+
+void
+applyCurtaining(image::Image2D &img, const FaultParams &params,
+                common::Rng &rng)
+{
+    if (img.empty())
+        return;
+    const double period = std::max(
+        8.0, params.curtainPeriodFrac *
+            static_cast<double>(img.width()));
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    std::vector<float> factor(img.width());
+    for (size_t x = 0; x < img.width(); ++x) {
+        const double band = 0.5 *
+            (1.0 + std::sin(2.0 * M_PI *
+                                static_cast<double>(x) / period +
+                            phase));
+        factor[x] = static_cast<float>(
+            1.0 - params.curtainDepth * band);
+    }
+    for (size_t y = 0; y < img.height(); ++y)
+        for (size_t x = 0; x < img.width(); ++x)
+            img.at(x, y) *= factor[x];
+}
+
+void
+applyCharging(image::Image2D &img, const FaultParams &params,
+              common::Rng &rng)
+{
+    if (img.empty())
+        return;
+    const double side = std::sqrt(params.chargeAreaFrac);
+    const size_t rw = std::max<size_t>(
+        1, static_cast<size_t>(
+               side * static_cast<double>(img.width())));
+    const size_t rh = std::max<size_t>(
+        1, static_cast<size_t>(
+               side * static_cast<double>(img.height())));
+    const size_t x0 = static_cast<size_t>(
+        rng.below(img.width() - rw + 1));
+    const size_t y0 = static_cast<size_t>(
+        rng.below(img.height() - rh + 1));
+    img.fillRect(static_cast<long>(x0), static_cast<long>(y0),
+                 static_cast<long>(x0 + rw),
+                 static_cast<long>(y0 + rh),
+                 static_cast<float>(params.chargeValue));
+}
+
+void
+applyFocusLoss(image::Image2D &img, const FaultParams &params)
+{
+    const long r = static_cast<long>(params.blurRadius);
+    if (r <= 0 || img.empty())
+        return;
+    const double inv = 1.0 / static_cast<double>(2 * r + 1);
+
+    // Separable edge-clamped box blur: horizontal then vertical.
+    image::Image2D tmp(img.width(), img.height());
+    for (size_t y = 0; y < img.height(); ++y) {
+        for (size_t x = 0; x < img.width(); ++x) {
+            double sum = 0.0;
+            for (long d = -r; d <= r; ++d)
+                sum += img.clampedAt(static_cast<long>(x) + d,
+                                     static_cast<long>(y));
+            tmp.at(x, y) = static_cast<float>(sum * inv);
+        }
+    }
+    for (size_t y = 0; y < img.height(); ++y) {
+        for (size_t x = 0; x < img.width(); ++x) {
+            double sum = 0.0;
+            for (long d = -r; d <= r; ++d)
+                sum += tmp.clampedAt(static_cast<long>(x),
+                                     static_cast<long>(y) + d);
+            img.at(x, y) = static_cast<float>(sum * inv);
+        }
+    }
+}
+
+void
+applyDetectorDropout(image::Image2D &img, const FaultParams &params,
+                     common::Rng &rng)
+{
+    if (img.empty())
+        return;
+    if (rng.uniform() < params.blankFrameFraction) {
+        img.fill(0.0f);
+        return;
+    }
+    const size_t rows = std::max<size_t>(
+        1, static_cast<size_t>(
+               params.dropoutRowFraction *
+               static_cast<double>(img.height())));
+    const size_t y0 = static_cast<size_t>(
+        rng.below(img.height() - std::min(rows, img.height()) + 1));
+    img.fillRect(0, static_cast<long>(y0),
+                 static_cast<long>(img.width()),
+                 static_cast<long>(y0 + rows), 0.0f);
+}
+
+void
+applyImagingFault(image::Image2D &img, FaultKind kind,
+                  const FaultParams &params, common::Rng &rng)
+{
+    switch (kind) {
+      case FaultKind::Curtaining:
+        applyCurtaining(img, params, rng);
+        break;
+      case FaultKind::Charging:
+        applyCharging(img, params, rng);
+        break;
+      case FaultKind::FocusLoss:
+        applyFocusLoss(img, params);
+        break;
+      case FaultKind::DetectorDropout:
+        applyDetectorDropout(img, params, rng);
+        break;
+      case FaultKind::None:
+      case FaultKind::SliceSkip:
+      case FaultKind::DriftExcursion:
+        break;
+    }
+}
+
+std::pair<long, long>
+sampleExcursion(const FaultParams &params, long max_drift_px,
+                common::Rng &rng)
+{
+    const long mag = max_drift_px + params.excursionPx +
+        static_cast<long>(rng.below(3));
+    // Put the jump on one axis (FIB stage slips are axis-aligned);
+    // the other axis gets a small spill of 0 or 1.
+    const long spill = static_cast<long>(rng.below(2));
+    const long sy = rng.uniform() < 0.5 ? -1 : 1;
+    const long sz = rng.uniform() < 0.5 ? -1 : 1;
+    if (rng.uniform() < 0.5)
+        return {sy * mag, sz * spill};
+    return {sy * spill, sz * mag};
+}
+
+} // namespace scope
+} // namespace hifi

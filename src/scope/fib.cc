@@ -4,10 +4,100 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "image/noise.hh"
+#include "image/registration.hh"
+
 namespace hifi
 {
 namespace scope
 {
+
+namespace
+{
+
+/// Dedicated RNG substream for the stage-drift walk (far away from
+/// the per-slice attempt streams, which start at 0).
+constexpr uint64_t kDriftStream = ~0ull;
+
+/// Substreams per slice: kMaxAttemptsPerSlice attempts, each with a
+/// fault stream (even) and a frame-noise stream (odd).
+constexpr uint64_t kSliceStreamStride = 2 * kMaxAttemptsPerSlice;
+
+/// One mean-reverting bounded drift step shared by both acquirers.
+long
+driftStep(long drift, double probability, long max_px,
+          common::Rng &rng)
+{
+    if (rng.uniform() >= probability)
+        return drift;
+    // Mean reversion: more likely to step back toward zero the
+    // further out the stage has wandered.
+    const double p_out = 0.5 /
+        (1.0 + std::abs(static_cast<double>(drift)) /
+             static_cast<double>(max_px));
+    const long delta = (rng.uniform() < p_out) ? 1 : -1;
+    const long next = drift + (drift >= 0 ? delta : -delta);
+    return std::clamp(next, -max_px, max_px);
+}
+
+} // namespace
+
+std::optional<common::Error>
+validate(const FibSemParams &params)
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (params.sliceVoxels == 0)
+        return Error{ErrorCode::InvalidArgument,
+                     "FibSemParams: sliceVoxels must be > 0"};
+    if (!(params.driftProbability >= 0.0) ||
+        !(params.driftProbability <= 1.0))
+        return Error{ErrorCode::InvalidArgument,
+                     "FibSemParams: driftProbability outside [0, 1]"};
+    if (params.maxDriftPx < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "FibSemParams: maxDriftPx must be >= 1"};
+    if (!(params.sem.dwellUs > 0.0))
+        return Error{ErrorCode::InvalidArgument,
+                     "SemParams: dwellUs must be > 0"};
+    if (!(params.sem.electronsPerUs > 0.0))
+        return Error{ErrorCode::InvalidArgument,
+                     "SemParams: electronsPerUs must be > 0"};
+    if (params.sem.readNoise < 0.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "SemParams: readNoise must be >= 0"};
+    if (!(params.sem.seQuality > 0.0) || params.sem.seQuality > 1.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "SemParams: seQuality outside (0, 1]"};
+    return std::nullopt;
+}
+
+std::optional<common::Error>
+validate(const RecoveryParams &params)
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (params.maxRetries + 1 > kMaxAttemptsPerSlice)
+        return Error{ErrorCode::InvalidArgument,
+                     "RecoveryParams: maxRetries must be < " +
+                         std::to_string(kMaxAttemptsPerSlice)};
+    const image::QcThresholds &qc = params.qc;
+    if (qc.miBins < 2)
+        return Error{ErrorCode::InvalidArgument,
+                     "QcThresholds: miBins must be >= 2"};
+    if (qc.history < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "QcThresholds: history must be >= 1"};
+    if (qc.maxNeighborShiftPx < 0 || qc.shiftSearchPx < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "QcThresholds: shift bounds must be >= 0 / >= 1"};
+    if (qc.shiftSearchPx <= qc.maxNeighborShiftPx)
+        return Error{ErrorCode::FailedPrecondition,
+                     "QcThresholds: shiftSearchPx must exceed "
+                     "maxNeighborShiftPx or excursions are "
+                     "undetectable"};
+    return std::nullopt;
+}
 
 image::SliceStack
 acquire(const image::Volume3D &materials, const FibSemParams &params,
@@ -20,23 +110,13 @@ acquire(const image::Volume3D &materials, const FibSemParams &params,
     stack.sliceThicknessNm = 0.0; // caller-level metadata; see below
 
     long drift_y = 0, drift_z = 0;
-    auto step = [&](long drift) {
-        if (rng.uniform() >= params.driftProbability)
-            return drift;
-        // Mean reversion: more likely to step back toward zero the
-        // further out the stage has wandered.
-        const double p_out = 0.5 /
-            (1.0 + std::abs(static_cast<double>(drift)) /
-                 static_cast<double>(params.maxDriftPx));
-        const long delta = (rng.uniform() < p_out) ? 1 : -1;
-        const long next = drift + (drift >= 0 ? delta : -delta);
-        return std::clamp(next, -params.maxDriftPx, params.maxDriftPx);
-    };
     for (size_t x = 0; x + params.sliceVoxels <= materials.nx();
          x += params.sliceVoxels) {
         if (x > 0) {
-            drift_y = step(drift_y);
-            drift_z = step(drift_z);
+            drift_y = driftStep(drift_y, params.driftProbability,
+                                params.maxDriftPx, rng);
+            drift_z = driftStep(drift_z, params.driftProbability,
+                                params.maxDriftPx, rng);
         }
         image::Image2D img =
             semImage(materials, x, params.sliceVoxels, params.sem, rng);
@@ -44,6 +124,242 @@ acquire(const image::Volume3D &materials, const FibSemParams &params,
         stack.trueDrift.emplace_back(drift_y, drift_z);
     }
     return stack;
+}
+
+RobustAcquisition
+acquireRobust(const image::Volume3D &materials,
+              const FibSemParams &params, const FaultParams &faults,
+              const RecoveryParams &recovery, uint64_t seed)
+{
+    if (const auto err = validate(params))
+        throw std::invalid_argument("acquireRobust: " + err->message);
+    if (const auto err = validate(faults))
+        throw std::invalid_argument("acquireRobust: " + err->message);
+    if (const auto err = validate(recovery))
+        throw std::invalid_argument("acquireRobust: " + err->message);
+
+    RobustAcquisition out;
+    image::SliceStack &stack = out.stack;
+    stack.sliceThicknessNm = 0.0; // caller-level metadata
+
+    std::vector<size_t> positions;
+    for (size_t x = 0; x + params.sliceVoxels <= materials.nx();
+         x += params.sliceVoxels)
+        positions.push_back(x);
+    if (positions.empty())
+        return out;
+
+    // The drift walk is drawn from its own substream up front, so it
+    // is a pure function of the seed no matter how many re-imaging
+    // attempts individual slices need.
+    std::vector<std::pair<long, long>> drift(positions.size(),
+                                             {0, 0});
+    {
+        common::Rng drift_rng(seed, kDriftStream);
+        long dy = 0, dz = 0;
+        for (size_t s = 1; s < positions.size(); ++s) {
+            dy = driftStep(dy, params.driftProbability,
+                           params.maxDriftPx, drift_rng);
+            dz = driftStep(dz, params.driftProbability,
+                           params.maxDriftPx, drift_rng);
+            drift[s] = {dy, dz};
+        }
+    }
+
+    const double electrons =
+        params.sem.electronsPerUs * params.sem.dwellUs;
+    const size_t max_attempts = recovery.maxRetries + 1;
+    image::QcMonitor monitor(recovery.qc);
+    std::vector<bool> failed(positions.size(), false);
+
+    // QC checks that compare against neighbours/history rather than
+    // measuring the frame itself.  A *content* change in the sample
+    // trips these exactly like an imaging fault would — but unlike a
+    // fault it reproduces identically on a re-image.  When a retry is
+    // flagged only by these checks and agrees with the previous
+    // attempt of the same slice, the anomaly is confirmed as real
+    // content and the slice is accepted (re-anchoring the baselines).
+    constexpr unsigned kContentFlags =
+        image::kQcStripes | image::kQcDefocus | image::kQcLowMi;
+
+    // Between two noisy images of the same face the MI fluctuates a
+    // few percent, and for near-identical adjacent slices it is
+    // statistically tied with the MI to the reference — so "attempts
+    // agree" needs slack or it degenerates into a coin flip.
+    constexpr double kAttemptAgreementRatio = 0.85;
+
+    for (size_t s = 0; s < positions.size(); ++s) {
+        image::SliceProvenance prov;
+        image::Image2D frame;
+        image::QcMetrics qc;
+        std::pair<long, long> applied = drift[s];
+        bool skip_active = false;
+        bool ok = false;
+        image::Image2D prev_attempt;
+
+        for (size_t a = 0; a < max_attempts; ++a) {
+            // All randomness of attempt (s, a) comes from two
+            // counter-seeded substreams: fault placement (even) and
+            // frame noise (odd).  Pure function of (seed, s, a).
+            common::Rng fault_rng(
+                seed, kSliceStreamStride * s + 2 * a);
+            FaultKind kind = sampleFaultKind(faults, fault_rng);
+            if (kind == FaultKind::SliceSkip) {
+                // The mill only runs once: a double mill on the first
+                // attempt corrupts every attempt; sampled on a retry
+                // it is a no-op (re-imaging does not re-mill).
+                if (a == 0)
+                    skip_active = true;
+                kind = FaultKind::None;
+            }
+
+            size_t x = positions[s];
+            if (skip_active) {
+                const size_t overshoot =
+                    faults.skipOvershootSlices * params.sliceVoxels;
+                x = std::min(x + overshoot,
+                             materials.nx() - params.sliceVoxels);
+            }
+
+            image::Image2D img = semImageClean(
+                materials, x, params.sliceVoxels, params.sem);
+            const uint64_t frame_seed =
+                common::Rng(seed,
+                            kSliceStreamStride * s + 2 * a + 1)
+                    .next();
+            image::addSensorNoise(img, electrons,
+                                  params.sem.readNoise, frame_seed);
+            applyImagingFault(img, kind, faults, fault_rng);
+
+            std::pair<long, long> shift = drift[s];
+            if (kind == FaultKind::DriftExcursion) {
+                const auto ex = sampleExcursion(
+                    faults, params.maxDriftPx, fault_rng);
+                shift.first += ex.first;
+                shift.second += ex.second;
+            }
+            frame = img.shifted(shift.first, shift.second);
+            qc = monitor.evaluate(frame);
+
+            // Persistence check: the anomaly survived a re-image of
+            // the same face and the two attempts agree with each
+            // other better than with the stale reference — real
+            // sample content, not an imaging fault.
+            bool content_confirmed = false;
+            if (qc.flagged() && a > 0 &&
+                (qc.flags & ~kContentFlags) == 0) {
+                const double mi_attempts = image::mutualInformation(
+                    prev_attempt, frame, recovery.qc.miBins);
+                const double stripe_rms =
+                    image::profileDifferenceRms(
+                        image::smoothedColumnProfile(prev_attempt),
+                        image::smoothedColumnProfile(frame));
+                content_confirmed = mi_attempts >=
+                        kAttemptAgreementRatio * qc.miVsPrev &&
+                    stripe_rms <= recovery.qc.maxStripeScore;
+            }
+
+            const FaultKind attempt_fault =
+                skip_active ? FaultKind::SliceSkip : kind;
+            if (a == 0) {
+                prov.injectedFault =
+                    static_cast<int>(attempt_fault);
+                prov.firstAttemptFlagged = qc.flagged();
+                prov.firstAttemptFlags = qc.flags;
+            }
+            prov.attempts = a + 1;
+            applied = shift;
+            if (!qc.flagged() || content_confirmed) {
+                prov.acceptedFault = static_cast<int>(attempt_fault);
+                ok = true;
+                break;
+            }
+            prev_attempt = frame; // keep: the last attempt's frame
+                                  // still lands in the stack below
+        }
+
+        if (ok) {
+            monitor.accept(frame, qc);
+        } else {
+            prov.accepted = false;
+            failed[s] = true;
+            monitor.noteRejected();
+        }
+        if (prov.attempts > 1)
+            ++out.slicesRetried;
+        out.retries += prov.attempts - 1;
+        if (prov.injectedFault != 0) {
+            ++out.faultsInjected;
+            if (prov.firstAttemptFlagged)
+                ++out.faultsDetected;
+        }
+        stack.slices.push_back(std::move(frame));
+        stack.trueDrift.push_back(applied);
+        stack.provenance.push_back(prov);
+        out.qc.push_back(qc);
+    }
+
+    // Budget-exhausted slices: blend the nearest accepted neighbours
+    // (the flagged frame is discarded), or mark unrecoverable when no
+    // neighbour survived.
+    for (size_t s = 0; s < positions.size(); ++s) {
+        if (!failed[s])
+            continue;
+        image::SliceProvenance &prov = stack.provenance[s];
+        long left = -1, right = -1;
+        for (long i = static_cast<long>(s) - 1; i >= 0; --i) {
+            if (!failed[static_cast<size_t>(i)]) {
+                left = i;
+                break;
+            }
+        }
+        for (size_t i = s + 1; i < positions.size(); ++i) {
+            if (!failed[i]) {
+                right = static_cast<long>(i);
+                break;
+            }
+        }
+        if (!recovery.interpolate || (left < 0 && right < 0)) {
+            prov.unrecoverable = true;
+            ++out.slicesUnrecoverable;
+            continue;
+        }
+        if (left >= 0 && right >= 0) {
+            const image::Image2D &a =
+                stack.slices[static_cast<size_t>(left)];
+            const image::Image2D &b =
+                stack.slices[static_cast<size_t>(right)];
+            image::Image2D blend(a.width(), a.height());
+            for (size_t i = 0; i < blend.size(); ++i)
+                blend.data()[i] =
+                    0.5f * (a.data()[i] + b.data()[i]);
+            stack.slices[s] = std::move(blend);
+            const auto &dl =
+                stack.trueDrift[static_cast<size_t>(left)];
+            const auto &dr =
+                stack.trueDrift[static_cast<size_t>(right)];
+            stack.trueDrift[s] = {(dl.first + dr.first) / 2,
+                                  (dl.second + dr.second) / 2};
+        } else {
+            const size_t n = static_cast<size_t>(
+                left >= 0 ? left : right);
+            stack.slices[s] = stack.slices[n];
+            stack.trueDrift[s] = stack.trueDrift[n];
+        }
+        prov.interpolated = true;
+        ++out.slicesInterpolated;
+        out.interpolatedSlices.push_back(s);
+    }
+
+    double weight = 0.0;
+    for (const auto &prov : stack.provenance) {
+        if (prov.unrecoverable)
+            continue;
+        weight += prov.interpolated ? 0.5 : 1.0;
+    }
+    out.qcConfidence =
+        weight / static_cast<double>(positions.size());
+    return out;
 }
 
 CampaignCost
@@ -63,12 +379,24 @@ campaignCost(const models::ChipSpec &chip)
 
     // Mill time grows with the cross-section width; 18 s per um of
     // face width reproduces the paper's >24 h for the 100 um^2 scans.
-    const double mill_s = 18.0 * side_um;
-    const double image_s = cost.pixelsPerImage * chip.dwellUs * 1e-6;
-    cost.secondsPerSlice = mill_s + image_s;
+    cost.millSecondsPerSlice = 18.0 * side_um;
+    cost.imageSecondsPerSlice =
+        cost.pixelsPerImage * chip.dwellUs * 1e-6;
+    cost.secondsPerSlice =
+        cost.millSecondsPerSlice + cost.imageSecondsPerSlice;
     cost.totalHours = static_cast<double>(cost.slices) *
         cost.secondsPerSlice / 3600.0;
     return cost;
+}
+
+void
+chargeRetries(CampaignCost &cost, size_t retries)
+{
+    cost.reimagedSlices += retries;
+    const double hours = static_cast<double>(retries) *
+        cost.imageSecondsPerSlice / 3600.0;
+    cost.retryHours += hours;
+    cost.totalHours += hours;
 }
 
 } // namespace scope

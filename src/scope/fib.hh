@@ -9,8 +9,13 @@
 #ifndef HIFI_SCOPE_FIB_HH
 #define HIFI_SCOPE_FIB_HH
 
+#include <optional>
+
+#include "common/result.hh"
 #include "common/rng.hh"
+#include "image/qc.hh"
 #include "image/volume3d.hh"
+#include "scope/faults.hh"
 #include "scope/sem.hh"
 
 namespace hifi
@@ -35,6 +40,9 @@ struct FibSemParams
     long maxDriftPx = 3;
 };
 
+/// Domain check for acquisition parameters; nullopt when valid.
+std::optional<common::Error> validate(const FibSemParams &params);
+
 /**
  * Acquire a slice stack from a material volume.  Slice i images the
  * cross section at x = i * sliceVoxels, drifted by the accumulated
@@ -45,12 +53,90 @@ image::SliceStack acquire(const image::Volume3D &materials,
                           const FibSemParams &params,
                           common::Rng &rng);
 
+/** Recovery policy for the QC-driven robust acquisition loop. */
+struct RecoveryParams
+{
+    /// Extra imaging attempts allowed per slice after a QC flag.
+    /// Bounded by kMaxAttemptsPerSlice - 1 (RNG substream stride).
+    size_t maxRetries = 2;
+
+    /// Replace budget-exhausted slices with a neighbour blend; when
+    /// false (or no accepted neighbour exists) the slice is marked
+    /// unrecoverable and the last attempt's frame is kept.
+    bool interpolate = true;
+
+    /// QC detector thresholds.
+    image::QcThresholds qc;
+};
+
+/// Fixed RNG substream stride: attempts per slice are capped at this.
+constexpr size_t kMaxAttemptsPerSlice = 8;
+
+/// Domain check; nullopt when valid.
+std::optional<common::Error> validate(const RecoveryParams &params);
+
+/** Outcome of a robust acquisition: the stack plus the recovery log. */
+struct RobustAcquisition
+{
+    /// Acquired stack; stack.provenance records per-slice truth.
+    image::SliceStack stack;
+
+    /// QC metrics of the finally accepted (or kept) attempt per slice.
+    std::vector<image::QcMetrics> qc;
+
+    size_t slicesRetried = 0;      ///< slices needing > 1 attempt
+    size_t retries = 0;            ///< total extra attempts charged
+    size_t slicesInterpolated = 0; ///< neighbour-blended slices
+    size_t slicesUnrecoverable = 0;
+    size_t faultsInjected = 0; ///< slices with a faulty first attempt
+    size_t faultsDetected = 0; ///< of those, flagged by QC
+
+    /// Aggregate trust score in [0, 1]: clean/retried slices weigh 1,
+    /// interpolated 0.5, unrecoverable 0.
+    double qcConfidence = 1.0;
+
+    /// Indices of the interpolated slices (deterministic given seed).
+    std::vector<size_t> interpolatedSlices;
+};
+
+/**
+ * Fault-aware acquisition with QC-driven re-imaging (the production
+ * path; `acquire` remains the pristine fault-free reference).  Every
+ * slice is imaged, checked by the QC detector, and re-imaged up to
+ * `recovery.maxRetries` times while flagged; slices that exhaust the
+ * budget fall back to neighbour interpolation or are marked
+ * unrecoverable.  All randomness — drift walk, frame noise, fault
+ * placement — is counter-seeded from `seed`, so the result (including
+ * retry counts and interpolated-slice sets) is a pure function of
+ * (volume, params, faults, recovery, seed) at any thread count.
+ *
+ * Throws std::invalid_argument when any parameter set fails
+ * validation (use the validate() overloads for typed errors).
+ */
+RobustAcquisition acquireRobust(const image::Volume3D &materials,
+                                const FibSemParams &params,
+                                const FaultParams &faults,
+                                const RecoveryParams &recovery,
+                                uint64_t seed);
+
 /** Cost model of a volumetric acquisition campaign. */
 struct CampaignCost
 {
     size_t slices = 0;
     double pixelsPerImage = 0.0;
+
+    /// Per-slice time split: milling scales with the face width,
+    /// imaging with pixel count and dwell.  secondsPerSlice is their
+    /// sum (one mill + one image).
+    double millSecondsPerSlice = 0.0;
+    double imageSecondsPerSlice = 0.0;
     double secondsPerSlice = 0.0;
+
+    /// Re-imaging charged by chargeRetries (image time only: a
+    /// re-image does not re-mill).
+    size_t reimagedSlices = 0;
+    double retryHours = 0.0;
+
     double totalHours = 0.0;
 };
 
@@ -61,6 +147,9 @@ struct CampaignCost
  * the pixel count and dwell.  A4 and A5 (100 um^2) exceed 24 hours.
  */
 CampaignCost campaignCost(const models::ChipSpec &chip);
+
+/// Charge `retries` re-imaged frames (image time only) to a campaign.
+void chargeRetries(CampaignCost &cost, size_t retries);
 
 } // namespace scope
 } // namespace hifi

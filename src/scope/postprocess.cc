@@ -1,7 +1,5 @@
 #include "scope/postprocess.hh"
 
-#include <stdexcept>
-
 namespace hifi
 {
 namespace scope
@@ -11,8 +9,12 @@ PostprocessResult
 postprocess(const image::SliceStack &stack,
             const PostprocessParams &params)
 {
+    // Degenerate stacks are well-defined no-ops rather than crashes:
+    // an empty stack yields an empty volume with no shifts, and a
+    // single-slice stack (which has no neighbour to register against)
+    // gets the identity shift and a zero residual.
     if (stack.slices.empty())
-        throw std::invalid_argument("postprocess: empty stack");
+        return {};
 
     // 1. Edge-preserving denoise per slice.
     std::vector<image::Image2D> denoised;
@@ -36,7 +38,8 @@ postprocess(const image::SliceStack &stack,
     // 2. Chained mutual-information alignment.
     PostprocessResult result;
     result.shifts = image::alignStack(denoised, params.mi);
-    if (!stack.trueDrift.empty()) {
+    if (stack.trueDrift.size() == result.shifts.size() &&
+        !stack.trueDrift.empty()) {
         result.alignmentResidualPx =
             image::alignmentResidual(result.shifts, stack.trueDrift);
     }

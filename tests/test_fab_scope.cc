@@ -317,10 +317,34 @@ TEST(Fib, FinerSlicesCostMore)
               scope::campaignCost(coarse).totalHours);
 }
 
-TEST(Postprocess, RejectsEmptyStack)
+TEST(Postprocess, EmptyStackIsWellDefinedNoOp)
 {
     image::SliceStack stack;
-    EXPECT_THROW(scope::postprocess(stack), std::invalid_argument);
+    const auto result = scope::postprocess(stack);
+    EXPECT_TRUE(result.volume.empty());
+    EXPECT_TRUE(result.shifts.empty());
+    EXPECT_EQ(result.alignmentResidualPx, 0.0);
+}
+
+TEST(Postprocess, SingleSliceStackIsIdentity)
+{
+    // One slice has no neighbour to register against: the chain must
+    // return the identity shift and a zero residual, not fall through
+    // the MI alignment path.
+    image::Volume3D vol(4, 12, 10, 0.3f);
+    scope::FibSemParams params;
+    params.sliceVoxels = 4;
+    common::Rng rng(3);
+    const auto stack = scope::acquire(vol, params, rng);
+    ASSERT_EQ(stack.slices.size(), 1u);
+
+    const auto result = scope::postprocess(stack);
+    ASSERT_EQ(result.shifts.size(), 1u);
+    EXPECT_EQ(result.shifts[0], (std::pair<long, long>{0, 0}));
+    EXPECT_EQ(result.alignmentResidualPx, 0.0);
+    EXPECT_EQ(result.volume.nx(), 1u);
+    EXPECT_EQ(result.volume.ny(), 12u);
+    EXPECT_EQ(result.volume.nz(), 10u);
 }
 
 TEST(Postprocess, MeetsAlignmentBudgetOnSyntheticStack)
