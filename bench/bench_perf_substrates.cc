@@ -7,11 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "circuit/dual_sa.hh"
 #include "circuit/mismatch.hh"
 #include "circuit/sense_amp.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "dram/device.hh"
 #include "eval/overheads.hh"
 #include "fab/sa_region.hh"
@@ -267,6 +273,72 @@ BM_OverheadAudit(benchmark::State &state)
 }
 BENCHMARK(BM_OverheadAudit);
 
+/**
+ * Telemetry smoke pass: one representative run of each instrumented
+ * substrate family (transient solver, virtual fab, imaging stack)
+ * under a collection session, written to <prefix>.trace.json and
+ * <prefix>.metrics.json.  CI validates the trace with
+ * hifi_trace_check --require-prefixes solver,fab.
+ */
+int
+telemetrySmoke(const std::string &prefix)
+{
+    telemetry::TelemetryConfig tcfg;
+    tcfg.enabled = true;
+    tcfg.tracePath = prefix + ".trace.json";
+    tcfg.metricsPath = prefix + ".metrics.json";
+
+    telemetry::Session session;
+    {
+        circuit::SaParams params;
+        params.topology = circuit::SaTopology::Classic;
+        benchmark::DoNotOptimize(
+            circuit::simulateActivation(params));
+        params.topology = circuit::SaTopology::OffsetCancellation;
+        benchmark::DoNotOptimize(
+            circuit::simulateActivation(params));
+
+        fab::SaRegionSpec spec;
+        spec.pairs = 2;
+        fab::SaRegionTruth truth;
+        const auto cell = fab::buildSaRegion(spec, truth);
+        benchmark::DoNotOptimize(
+            fab::voxelize(*cell, truth.region, {5.0, 270.0}));
+    }
+    const auto collected = session.finish(tcfg);
+    if (!collected || collected->spans.empty()) {
+        std::cerr << "telemetry smoke collected no spans\n";
+        return 1;
+    }
+    std::cout << "telemetry: " << collected->spans.size()
+              << " spans -> " << tcfg.tracePath << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string telemetry_prefix;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc)
+            telemetry_prefix = argv[++i];
+        else
+            passthrough.push_back(argv[i]);
+    }
+    if (!telemetry_prefix.empty()) {
+        if (const int rc = telemetrySmoke(telemetry_prefix))
+            return rc;
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,10 +9,15 @@
  * campaign estimate.
  *
  * `--quick` runs a single seed at scales {0, 1} for CI smoke tests.
+ * `--telemetry <prefix>` additionally instruments the default-rate
+ * run of the first seed and writes <prefix>.trace.json,
+ * <prefix>.metrics.json and <prefix>.qc_audit.json (validated in CI
+ * by hifi_trace_check).
  */
 
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common/table.hh"
@@ -59,7 +64,20 @@ main(int argc, char **argv)
     using namespace hifi;
     using common::Table;
 
-    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    bool quick = false;
+    std::string telemetry_prefix;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--telemetry") == 0 &&
+                   i + 1 < argc) {
+            telemetry_prefix = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--quick] [--telemetry <prefix>]\n";
+            return 2;
+        }
+    }
 
     const std::vector<double> scales = quick
         ? std::vector<double>{0.0, 1.0}
@@ -87,6 +105,16 @@ main(int argc, char **argv)
             cfg.faults.enabled = true;
             cfg.faults = cfg.faults.scaled(scale);
             cfg.faults.enabled = true;
+            if (!telemetry_prefix.empty() && scale == 1.0 &&
+                seed == seeds.front()) {
+                cfg.telemetry.enabled = true;
+                cfg.telemetry.tracePath =
+                    telemetry_prefix + ".trace.json";
+                cfg.telemetry.metricsPath =
+                    telemetry_prefix + ".metrics.json";
+                cfg.telemetry.qcAuditPath =
+                    telemetry_prefix + ".qc_audit.json";
+            }
 
             const auto result = core::runPipelineChecked(cfg);
             if (!result.ok()) {

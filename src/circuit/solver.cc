@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/telemetry.hh"
+
 namespace hifi
 {
 namespace circuit
@@ -638,6 +640,12 @@ Simulator::solveDenseFallback(const std::vector<double> &vals)
 TranResult
 Simulator::run(const TranParams &params)
 {
+    const telemetry::Span tspan("solver.tran");
+    const bool instrumented = telemetry::enabled();
+    size_t lu_refactorizations = 0;
+    size_t dense_fallbacks = 0;
+    size_t dense_solves = 0;
+
     const size_t num_nodes = netlist_.numNodes();
     const bool trap = params.integrator == Integrator::Trapezoidal;
     const bool sparse = params.solver == LinearSolver::Sparse ||
@@ -736,6 +744,7 @@ Simulator::run(const TranParams &params)
                 netlist_.vsources()[si].waveform.value(t);
 
         bool converged = false;
+        const size_t step_iter_base = result.totalNewtonIterations;
         for (int it = 0; it < params.maxNewton; ++it) {
             ++result.totalNewtonIterations;
 
@@ -744,18 +753,21 @@ Simulator::run(const TranParams &params)
 
             if (sparse) {
                 if (lu_.factor(workVals_.data())) {
+                    ++lu_refactorizations;
                     lu_.solve(workVals_.data(), rhsWork_.data(),
                               x_.data());
                 } else {
                     // Numerically bad static pivot: re-stamp (factor
                     // ran in place) and fall back to dense with
                     // partial pivoting for this iteration.
+                    ++dense_fallbacks;
                     std::copy(base.begin(), base.end(),
                               workVals_.begin());
                     restamp();
                     solveDenseFallback(workVals_);
                 }
             } else {
+                ++dense_solves;
                 solveDenseFallback(workVals_);
             }
 
@@ -782,6 +794,14 @@ Simulator::run(const TranParams &params)
         }
         if (!converged)
             ++result.nonConvergedSteps;
+        if (instrumented) {
+            static telemetry::Histogram &newton_hist =
+                telemetry::registry().histogram(
+                    "solver.newton_per_step",
+                    {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64});
+            newton_hist.observe(static_cast<double>(
+                result.totalNewtonIterations - step_iter_base));
+        }
 
         // Accept the step: update capacitor memory and record traces.
         for (size_t ci = 0; ci < caps.size(); ++ci) {
@@ -804,6 +824,28 @@ Simulator::run(const TranParams &params)
             srcTrace[si]->times.push_back(t);
             srcTrace[si]->values.push_back(branchCurrents_[si]);
         }
+    }
+
+    if (instrumented) {
+        telemetry::Registry &reg = telemetry::registry();
+        static telemetry::Counter &c_runs =
+            reg.counter("solver.runs");
+        static telemetry::Counter &c_newton =
+            reg.counter("solver.newton_iterations");
+        static telemetry::Counter &c_lu =
+            reg.counter("solver.lu_refactorizations");
+        static telemetry::Counter &c_fallback =
+            reg.counter("solver.dense_fallbacks");
+        static telemetry::Counter &c_dense =
+            reg.counter("solver.dense_solves");
+        static telemetry::Counter &c_nonconv =
+            reg.counter("solver.nonconverged_steps");
+        c_runs.add(1);
+        c_newton.add(result.totalNewtonIterations);
+        c_lu.add(lu_refactorizations);
+        c_fallback.add(dense_fallbacks);
+        c_dense.add(dense_solves);
+        c_nonconv.add(result.nonConvergedSteps);
     }
     return result;
 }

@@ -1,7 +1,13 @@
 #include "common/log.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
+
+#include "common/telemetry.hh"
 
 namespace hifi
 {
@@ -12,7 +18,81 @@ namespace
 {
 
 std::atomic<LogLevel> g_level{LogLevel::Silent};
-std::atomic<size_t> g_warns{0};
+std::atomic<bool> g_timestamps{false};
+
+/// Sink storage; leaked so logging stays safe during static
+/// destruction of other translation units.
+struct SinkState
+{
+    std::mutex mu;
+    LogSink sink; // empty = default stderr sink
+};
+
+SinkState &
+sinkState()
+{
+    static SinkState *state = new SinkState;
+    return *state;
+}
+
+std::string
+timestampPrefix()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+        1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02d %02d:%02d:%02d.%03d ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Debug: return "debug: ";
+      default: return "";
+    }
+}
+
+void
+emit(LogLevel level, const std::string &message)
+{
+    if (logLevel() < level)
+        return;
+    std::string line;
+    if (g_timestamps.load(std::memory_order_relaxed))
+        line += timestampPrefix();
+    line += levelTag(level);
+    line += message;
+
+    SinkState &state = sinkState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.sink)
+        state.sink(level, line);
+    else
+        std::cerr << line << "\n";
+}
+
+telemetry::Counter &
+warnCounter()
+{
+    static telemetry::Counter &counter =
+        telemetry::registry().counter("log.warnings");
+    return counter;
+}
 
 } // namespace
 
@@ -29,24 +109,89 @@ setLogLevel(LogLevel level)
 }
 
 void
+setLogSink(LogSink sink)
+{
+    SinkState &state = sinkState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.sink = std::move(sink);
+}
+
+void
+setLogTimestamps(bool enabled)
+{
+    g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+void
 inform(const std::string &message)
 {
-    if (logLevel() >= LogLevel::Inform)
-        std::cerr << "info: " << message << "\n";
+    emit(LogLevel::Inform, message);
+}
+
+void
+debug(const std::string &message)
+{
+    emit(LogLevel::Debug, message);
 }
 
 void
 warn(const std::string &message)
 {
-    ++g_warns;
-    if (logLevel() >= LogLevel::Warn)
-        std::cerr << "warn: " << message << "\n";
+    warnCounter().add();
+    emit(LogLevel::Warn, message);
+}
+
+void
+warn(const std::string &subsystem, const std::string &message)
+{
+    warnCounter().add();
+    telemetry::registry()
+        .counter("log.warnings." + subsystem)
+        .add();
+    emit(LogLevel::Warn, "[" + subsystem + "] " + message);
 }
 
 size_t
 warnCount()
 {
-    return g_warns.load();
+    return warnCounter().value();
+}
+
+// ---- CaptureLog ----------------------------------------------------
+
+struct CaptureLog::State
+{
+    std::mutex mu;
+    std::vector<Entry> entries;
+    LogSink previous;
+};
+
+CaptureLog::CaptureLog() : state_(std::make_shared<State>())
+{
+    // Swap in a capturing sink; remember the previous one so nested
+    // captures unwind correctly.
+    SinkState &sink = sinkState();
+    std::shared_ptr<State> state = state_;
+    std::lock_guard<std::mutex> lock(sink.mu);
+    state_->previous = sink.sink;
+    sink.sink = [state](LogLevel level, const std::string &message) {
+        std::lock_guard<std::mutex> guard(state->mu);
+        state->entries.push_back({level, message});
+    };
+}
+
+CaptureLog::~CaptureLog()
+{
+    SinkState &sink = sinkState();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.sink = state_->previous;
+}
+
+std::vector<CaptureLog::Entry>
+CaptureLog::messages() const
+{
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->entries;
 }
 
 } // namespace common

@@ -1,15 +1,25 @@
 /**
  * @file
  * Minimal logging with gem5-style levels: inform() for normal status,
- * warn() for suspicious-but-survivable conditions.  Off by default so
- * library output stays clean; benches and examples can raise the
- * verbosity.
+ * warn() for suspicious-but-survivable conditions, debug() for
+ * development chatter.  Off by default so library output stays clean;
+ * benches and examples can raise the verbosity.
+ *
+ * Messages go to a pluggable sink (stderr by default; tests install a
+ * capture buffer via CaptureLog).  Warnings are additionally counted
+ * in the telemetry metrics registry — "log.warnings" overall plus
+ * "log.warnings.<subsystem>" for the tagged overloads — so
+ * warnCount() is a proper counter that survives silencing and shows
+ * up in exported metrics.
  */
 
 #ifndef HIFI_COMMON_LOG_HH
 #define HIFI_COMMON_LOG_HH
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace hifi
 {
@@ -22,20 +32,68 @@ enum class LogLevel
     Silent = 0,
     Warn,
     Inform,
+    Debug,
 };
 
 /// Global verbosity (default Silent).
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
+/**
+ * Pluggable sink invoked for every message that passes the level
+ * filter.  Passing nullptr restores the default stderr sink.  The
+ * sink may be called from any thread; calls are serialized.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+void setLogSink(LogSink sink);
+
+/// Prefix messages with a wall-clock timestamp (default off).
+void setLogTimestamps(bool enabled);
+
 /// Status message, printed at Inform and above.
 void inform(const std::string &message);
+
+/// Development chatter, printed at Debug only.
+void debug(const std::string &message);
 
 /// Suspicious condition, printed at Warn and above.
 void warn(const std::string &message);
 
+/// Tagged warning: counted under "log.warnings.<subsystem>" in the
+/// metrics registry and prefixed with the tag when printed.
+void warn(const std::string &subsystem, const std::string &message);
+
 /// Count of warnings emitted since start (even when silenced).
 size_t warnCount();
+
+/**
+ * RAII capture sink for tests: while alive, every filtered-in message
+ * is appended to messages() instead of reaching stderr.  Restores the
+ * previous sink on destruction.  Raise the level yourself if you
+ * need to capture inform()/debug().
+ */
+class CaptureLog
+{
+  public:
+    CaptureLog();
+    ~CaptureLog();
+
+    CaptureLog(const CaptureLog &) = delete;
+    CaptureLog &operator=(const CaptureLog &) = delete;
+
+    struct Entry
+    {
+        LogLevel level;
+        std::string message;
+    };
+
+    /// Captured messages, in emission order.
+    std::vector<Entry> messages() const;
+
+  private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
 
 } // namespace common
 } // namespace hifi

@@ -1,12 +1,15 @@
 #include "common/parallel.hh"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "common/telemetry.hh"
 
 namespace hifi
 {
@@ -15,6 +18,47 @@ namespace common
 
 namespace
 {
+
+/**
+ * Pool instrumentation (registered once, referenced lock-free after).
+ * Purely observational: the counters never feed back into chunk
+ * partitioning or scheduling, so enabling telemetry cannot perturb
+ * the deterministic-output contract (asserted in test_parallel).
+ * There is no steal/queue-depth metric because the pool is
+ * work-stealing-free by design: one atomic chunk cursor, one job at
+ * a time (see the header comment).
+ */
+struct PoolMetrics
+{
+    telemetry::Counter &jobs;       ///< fan-outs posted (incl. serial)
+    telemetry::Counter &chunks;     ///< chunk bodies executed
+    telemetry::Counter &busyNs;     ///< summed per-worker busy time
+    telemetry::Histogram &chunksPerJob;
+    telemetry::Gauge &workers;
+
+    static PoolMetrics &
+    get()
+    {
+        static PoolMetrics *metrics = new PoolMetrics{
+            telemetry::registry().counter("pool.jobs"),
+            telemetry::registry().counter("pool.chunks"),
+            telemetry::registry().counter("pool.worker_busy_ns"),
+            telemetry::registry().histogram(
+                "pool.chunks_per_job",
+                {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+            telemetry::registry().gauge("pool.workers")};
+        return *metrics;
+    }
+};
+
+uint64_t
+busyClockNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /// True while this thread is executing chunks of some job; nested
 /// parallel calls from such a thread run serially to avoid deadlock.
@@ -83,6 +127,10 @@ struct ThreadPool::Impl
     void
     work(Job &j)
     {
+        const bool instrumented = telemetry::enabled();
+        const uint64_t t0 = instrumented ? busyClockNs() : 0;
+        size_t executed = 0;
+
         t_inside_pool = true;
         for (;;) {
             const size_t i = j.next.fetch_add(1);
@@ -91,6 +139,7 @@ struct ThreadPool::Impl
             if (!j.abort.load(std::memory_order_relaxed)) {
                 try {
                     (*j.body)(i);
+                    ++executed;
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(mutex);
                     if (!j.error)
@@ -104,6 +153,12 @@ struct ThreadPool::Impl
             }
         }
         t_inside_pool = false;
+
+        if (instrumented && executed > 0) {
+            PoolMetrics &m = PoolMetrics::get();
+            m.chunks.add(executed);
+            m.busyNs.add(busyClockNs() - t0);
+        }
     }
 
     void
@@ -193,9 +248,22 @@ ThreadPool::run(size_t chunks, const std::function<void(size_t)> &body)
     // from inside a worker (which would otherwise deadlock waiting on
     // the pool it is running on).  Chunk order matches the cursor
     // order of the parallel path, so outputs are identical.
+    const bool instrumented = telemetry::enabled();
+    if (instrumented) {
+        PoolMetrics &m = PoolMetrics::get();
+        m.jobs.add(1);
+        m.chunksPerJob.observe(static_cast<double>(chunks));
+        m.workers.set(static_cast<double>(impl_->threads));
+    }
     if (chunks == 1 || t_inside_pool || impl_->threads <= 1) {
+        const uint64_t t0 = instrumented ? busyClockNs() : 0;
         for (size_t i = 0; i < chunks; ++i)
             body(i);
+        if (instrumented) {
+            PoolMetrics &m = PoolMetrics::get();
+            m.chunks.add(chunks);
+            m.busyNs.add(busyClockNs() - t0);
+        }
         return;
     }
 

@@ -25,6 +25,13 @@
  * Thread-count selection, in priority order: ScopedThreads override >
  * setNumThreads() > the HIFI_THREADS environment variable >
  * std::thread::hardware_concurrency().
+ *
+ * Instrumentation: while a telemetry session is active
+ * (common/telemetry.hh) the pool records "pool.jobs", "pool.chunks",
+ * "pool.worker_busy_ns", the "pool.chunks_per_job" histogram and the
+ * "pool.workers" gauge.  Collection is purely observational — it
+ * never alters partitioning or scheduling, so outputs stay bitwise
+ * identical with telemetry on or off (asserted in test_parallel).
  */
 
 #ifndef HIFI_COMMON_PARALLEL_HH

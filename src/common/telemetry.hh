@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Zero-overhead-when-disabled tracing and metrics for the pipeline.
+ *
+ * Two instruments, one switch:
+ *
+ *  - **Spans**: RAII `Span` objects mark a named interval on the
+ *    calling thread.  Records land in per-thread buffers (no shared
+ *    mutable hot state; the only lock is a per-buffer mutex that is
+ *    uncontended except during the final drain), nest arbitrarily,
+ *    and export as Chrome `trace_event` JSON, so a trace opens
+ *    directly in Perfetto / chrome://tracing.
+ *  - **Metrics**: a process-global registry of named counters, gauges
+ *    and fixed-bucket histograms.  All updates are atomic;
+ *    registration is mutex-protected but call sites cache the
+ *    returned reference (instruments are never deallocated while the
+ *    registry lives).
+ *
+ * The determinism contract: telemetry only *reads* the computation —
+ * clocks and counters live entirely outside the seed-pure data path,
+ * so every seeded result is bitwise identical with telemetry on or
+ * off, at any thread count (asserted by tests/test_telemetry.cc).
+ * When disabled (the default), every instrumentation site reduces to
+ * one relaxed atomic load and a predictable branch.
+ *
+ * Collection is scoped by a `Session`: construction clears the trace
+ * buffers, snapshots the metric baselines and flips the enable flag;
+ * finish() flips it back, drains the buffers and returns (optionally
+ * writes) the run's trace and metric deltas.  Sessions are
+ * process-global and non-reentrant — a second concurrent Session
+ * observes and records into the same stream (documented limitation;
+ * the pipeline runs them sequentially).
+ */
+
+#ifndef HIFI_COMMON_TELEMETRY_HH
+#define HIFI_COMMON_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hifi
+{
+namespace telemetry
+{
+
+// ---- The switch ----------------------------------------------------
+
+namespace detail
+{
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/// True while a collection session is active.  Relaxed load: the
+/// disabled fast path is exactly this branch.
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// ---- Span tracing --------------------------------------------------
+
+/** One completed span, as drained from a thread buffer. */
+struct SpanRecord
+{
+    const char *name = "";  ///< static string literal
+    uint32_t tid = 0;       ///< small dense per-thread id
+    uint32_t depth = 0;     ///< nesting depth on its thread
+    uint64_t startNs = 0;   ///< ns since session start
+    uint64_t durationNs = 0;
+};
+
+/**
+ * RAII tracing span.  When telemetry is disabled construction and
+ * destruction are a flag check each; when enabled the destructor
+ * appends one record to the calling thread's buffer.
+ *
+ * @param name must be a string literal (or otherwise outlive the
+ *             session); the record stores the pointer, not a copy.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (enabled())
+            begin(name);
+    }
+
+    ~Span()
+    {
+        if (active_)
+            end();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    void begin(const char *name);
+    void end();
+
+    const char *name_ = nullptr;
+    uint64_t startNs_ = 0;
+    uint32_t depth_ = 0;
+    bool active_ = false;
+};
+
+// ---- Metrics -------------------------------------------------------
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram.  Bucket i counts observations with
+ * x <= edges[i] (first matching edge); one implicit overflow bucket
+ * catches everything above the last edge.  Edges are fixed at
+ * registration — re-registering the same name with different edges
+ * keeps the first layout.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> upperEdges);
+
+    void observe(double x);
+
+    const std::vector<double> &edges() const { return edges_; }
+
+    /// Per-bucket counts, size edges().size() + 1 (last = overflow).
+    std::vector<uint64_t> bucketCounts() const;
+
+    uint64_t count() const;
+    double sum() const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Point-in-time copy of one histogram. */
+struct HistogramSnapshot
+{
+    std::vector<double> edges;
+    std::vector<uint64_t> buckets; ///< edges.size() + 1 counts
+    uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Point-in-time copy of the whole registry (or a delta of two). */
+struct MetricsSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /// Counter / histogram deltas vs an earlier baseline; gauges keep
+    /// their current values (they are instantaneous, not cumulative).
+    MetricsSnapshot since(const MetricsSnapshot &baseline) const;
+};
+
+/**
+ * Process-global metrics registry.  Lookup registers on first use and
+ * returns a reference that stays valid for the registry's lifetime;
+ * cache it at the call site (e.g. in a function-local static) to keep
+ * hot paths off the registration mutex.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upperEdges);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    Registry() = default;
+
+    struct Impl;
+    Impl &impl() const;
+};
+
+/// Shorthand for Registry::global().
+inline Registry &
+registry()
+{
+    return Registry::global();
+}
+
+// ---- Sessions and export -------------------------------------------
+
+/** What to collect and where to put it; off by default. */
+struct TelemetryConfig
+{
+    /// Master switch; everything below is ignored when false.
+    bool enabled = false;
+
+    /// Write the Chrome trace_event JSON here (empty: keep in memory
+    /// only, available through PipelineTelemetry::traceJson()).
+    std::string tracePath;
+
+    /// Write the metrics JSON (this run's deltas) here.
+    std::string metricsPath;
+
+    /// Write the QC audit trail JSON here (robust acquisition only;
+    /// see scope::qcAuditJson).
+    std::string qcAuditPath;
+};
+
+/** Wall-clock accounting of one span name. */
+struct StageTiming
+{
+    uint64_t count = 0;
+    uint64_t wallNs = 0;
+};
+
+/** Everything one collection session produced. */
+struct PipelineTelemetry
+{
+    std::vector<SpanRecord> spans;
+    MetricsSnapshot metrics; ///< deltas over the session
+
+    /// Total wall time per span name, aggregated from `spans`.
+    std::map<std::string, StageTiming> stageWallNs;
+
+    /// Chrome trace_event JSON ("X" complete events, ts/dur in us).
+    std::string traceJson() const;
+
+    /// Counters / gauges / histograms as a JSON object.
+    std::string metricsJson() const;
+};
+
+/**
+ * RAII collection scope.  Construction clears the span buffers,
+ * snapshots the metrics baseline and enables collection; finish()
+ * (or destruction) disables it.  finish() drains the spans, computes
+ * metric deltas and writes the files named by `config`.
+ */
+class Session
+{
+  public:
+    Session();
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /// End collection and package the results (idempotent: the
+    /// second call returns the same object).
+    std::shared_ptr<const PipelineTelemetry>
+    finish(const TelemetryConfig &config);
+
+  private:
+    MetricsSnapshot baseline_;
+    std::shared_ptr<const PipelineTelemetry> result_;
+    bool finished_ = false;
+};
+
+/// Drop all buffered span records (used by tests and Session).
+void clearTrace();
+
+/// Write `text` to `path`; returns false (and warns) on I/O failure.
+bool writeTextFile(const std::string &path, const std::string &text);
+
+// ---- Trace validation ----------------------------------------------
+
+/** Options for validateChromeTrace. */
+struct TraceCheckOptions
+{
+    /// Minimum number of distinct span names.
+    size_t minDistinctNames = 1;
+
+    /// Name prefixes that must each appear on at least one span
+    /// (e.g. {"fab", "scope"} matches "fab.voxelize").
+    std::vector<std::string> requiredPrefixes;
+};
+
+/** What the validator found. */
+struct TraceStats
+{
+    size_t events = 0;
+    size_t distinctNames = 0;
+    std::vector<std::string> names; ///< sorted distinct names
+};
+
+/**
+ * Validate a Chrome trace_event JSON document: well-formed JSON, a
+ * `traceEvents` array of "X" events with string `name` and numeric
+ * `ts` / `dur` / `pid` / `tid`, per-thread spans properly nested
+ * (intervals on one tid are disjoint or contained, never partially
+ * overlapping), plus the checks in `options`.  Returns true on
+ * success; on failure `error` (when non-null) explains the first
+ * violation.  `stats` (when non-null) is filled on success.
+ */
+bool validateChromeTrace(const std::string &json,
+                         const TraceCheckOptions &options = {},
+                         std::string *error = nullptr,
+                         TraceStats *stats = nullptr);
+
+} // namespace telemetry
+} // namespace hifi
+
+#endif // HIFI_COMMON_TELEMETRY_HH

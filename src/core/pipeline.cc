@@ -57,6 +57,7 @@ namespace
 PipelineReport
 runValidatedPipeline(const PipelineConfig &config)
 {
+    const telemetry::Span span("pipeline.run");
     const common::ScopedThreads threads(config.threads);
     const models::ChipSpec &chip = models::chip(config.chipId);
 
@@ -122,6 +123,7 @@ runValidatedPipeline(const PipelineConfig &config)
         report.faultsInjected = robust.faultsInjected;
         report.faultsDetected = robust.faultsDetected;
         report.qcConfidence = robust.qcConfidence;
+        report.qcAudit = std::move(robust.audit);
         report.degraded = robust.slicesInterpolated > 0 ||
             robust.slicesUnrecoverable > 0;
         if (report.degraded)
@@ -219,29 +221,62 @@ runValidatedPipeline(const PipelineConfig &config)
     return report;
 }
 
+/**
+ * End an active session into the report: attach the collected spans
+ * and metric deltas, and write the QC audit trail if a path was
+ * configured (the trace / metrics files are written by finish()).
+ */
+void
+finishTelemetry(telemetry::Session &session,
+                const PipelineConfig &config, PipelineReport &report)
+{
+    report.telemetry = session.finish(config.telemetry);
+    if (!config.telemetry.qcAuditPath.empty())
+        telemetry::writeTextFile(config.telemetry.qcAuditPath,
+                                 scope::qcAuditJson(report.qcAudit));
+}
+
 } // namespace
 
 PipelineReport
 runPipeline(const PipelineConfig &config)
 {
-    if (const auto err = validateConfig(config)) {
-        // Preserve the legacy exception taxonomy: unknown chip ids
-        // used to surface as std::out_of_range from models::chip.
-        if (err->code == common::ErrorCode::NotFound)
-            throw std::out_of_range(err->message);
-        throw std::invalid_argument(err->message);
+    std::optional<telemetry::Session> session;
+    if (config.telemetry.enabled)
+        session.emplace();
+    {
+        const telemetry::Span vspan("pipeline.validate");
+        if (const auto err = validateConfig(config)) {
+            // Preserve the legacy exception taxonomy: unknown chip
+            // ids used to surface as std::out_of_range from
+            // models::chip.
+            if (err->code == common::ErrorCode::NotFound)
+                throw std::out_of_range(err->message);
+            throw std::invalid_argument(err->message);
+        }
     }
-    return runValidatedPipeline(config);
+    PipelineReport report = runValidatedPipeline(config);
+    if (session)
+        finishTelemetry(*session, config, report);
+    return report;
 }
 
 common::Result<PipelineReport>
 runPipelineChecked(const PipelineConfig &config)
 {
-    if (const auto err = validateConfig(config))
-        return common::Result<PipelineReport>(*err);
+    std::optional<telemetry::Session> session;
+    if (config.telemetry.enabled)
+        session.emplace();
+    {
+        const telemetry::Span vspan("pipeline.validate");
+        if (const auto err = validateConfig(config))
+            return common::Result<PipelineReport>(*err);
+    }
     try {
-        return common::Result<PipelineReport>(
-            runValidatedPipeline(config));
+        PipelineReport report = runValidatedPipeline(config);
+        if (session)
+            finishTelemetry(*session, config, report);
+        return common::Result<PipelineReport>(std::move(report));
     } catch (const std::exception &e) {
         return common::Result<PipelineReport>::failure(
             common::ErrorCode::Internal,

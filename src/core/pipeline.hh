@@ -12,12 +12,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.hh"
 #include "common/stats.hh"
+#include "common/telemetry.hh"
 #include "fab/sa_region.hh"
 #include "models/chip_data.hh"
 #include "re/analyze.hh"
@@ -84,6 +86,16 @@ struct PipelineConfig
     /// Retry/interpolation policy and QC thresholds for the robust
     /// acquisition (only used when faults.enabled).
     scope::RecoveryParams recovery;
+
+    /**
+     * Observability (common/telemetry.hh); off by default.  When
+     * enabled the run is wrapped in a telemetry::Session: stage spans
+     * and metric deltas land in PipelineReport::telemetry, and any
+     * paths named in the config are written on completion.  Purely
+     * observational — the report's data fields are bitwise identical
+     * with telemetry on or off (asserted by tests/test_telemetry.cc).
+     */
+    telemetry::TelemetryConfig telemetry;
 };
 
 /**
@@ -170,6 +182,16 @@ struct PipelineReport
 
     /// Full analysis, for further inspection.
     re::RegionAnalysis analysis;
+
+    /// Per-slice QC decision trail from the robust acquisition
+    /// (empty on the legacy fault-free path).  Seed-pure: identical
+    /// with telemetry on or off.  Export with scope::qcAuditJson().
+    std::vector<scope::SliceDecision> qcAudit;
+
+    /// Trace + metric deltas when config.telemetry.enabled; null
+    /// otherwise.  Not part of the seeded result — compare reports
+    /// with this field excluded.
+    std::shared_ptr<const telemetry::PipelineTelemetry> telemetry;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 
 namespace hifi
 {
@@ -62,6 +63,7 @@ SaRegionSpec::fromChip(const models::ChipSpec &chip, size_t pairs)
 std::shared_ptr<layout::Cell>
 buildSaRegion(const SaRegionSpec &spec, SaRegionTruth &truth)
 {
+    const telemetry::Span span("fab.build_region");
     if (spec.pairs == 0)
         throw std::invalid_argument("buildSaRegion: zero pairs");
     if (spec.stackedSas != 1 && spec.stackedSas != 2)

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "common/telemetry.hh"
 
 namespace hifi
 {
@@ -16,6 +17,7 @@ image::Volume3D
 voxelize(const layout::Cell &cell, const common::Rect &bounds,
          const VoxelizeParams &params)
 {
+    const telemetry::Span span("fab.voxelize");
     if (bounds.empty())
         throw std::invalid_argument("voxelize: empty bounds");
     if (params.voxelNm <= 0.0)

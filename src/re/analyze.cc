@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/telemetry.hh"
 #include "layout/layer.hh"
 #include "re/segmentation.hh"
 
@@ -85,6 +86,7 @@ makeSlab(const image::Volume3D &vol, layout::Layer layer,
          fab::Material material, models::Detector detector,
          const PlanarScales &scales, size_t min_pixels)
 {
+    const telemetry::Span span("re.segmentation");
     const layout::LayerZ z = layout::layerZ(layer);
     const double shrink = 0.2 * (z.z1 - z.z0);
     auto z0 = static_cast<size_t>((z.z0 + shrink) / scales.zNm);
@@ -116,6 +118,7 @@ RegionAnalysis
 analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
               models::Detector detector)
 {
+    const telemetry::Span span("re.analyze");
     if (recon.empty())
         throw std::invalid_argument("analyzeRegion: empty volume");
 

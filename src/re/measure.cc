@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 
 namespace hifi
 {
@@ -48,6 +49,7 @@ addRecord(Campaign &campaign, common::Rng &rng,
 Campaign
 measurementCampaign(uint64_t seed)
 {
+    const telemetry::Span span("re.measure");
     common::Rng rng(seed);
     Campaign campaign;
 

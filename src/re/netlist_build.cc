@@ -1,5 +1,7 @@
 #include "re/netlist_build.hh"
 
+#include "common/telemetry.hh"
+
 namespace hifi
 {
 namespace re
@@ -11,6 +13,7 @@ circuit::SaParams
 saParamsFromAnalysis(const RegionAnalysis &analysis,
                      const circuit::SaParams &base)
 {
+    const telemetry::Span span("re.netlist_build");
     circuit::SaParams params = base;
     params.topology = analysis.topology == models::Topology::Ocsa
         ? circuit::SaTopology::OffsetCancellation

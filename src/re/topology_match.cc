@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/telemetry.hh"
+
 namespace hifi
 {
 namespace re
@@ -102,6 +104,7 @@ devicesPerPair(const RegionAnalysis &analysis, size_t &pairs_out)
 std::vector<MatchScore>
 matchTopology(const RegionAnalysis &analysis)
 {
+    const telemetry::Span span("re.topology_match");
     size_t pairs = 1;
     const auto observed = devicesPerPair(analysis, pairs);
 

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "common/telemetry.hh"
 #include "image/noise.hh"
 #include "image/registration.hh"
 
@@ -14,6 +18,18 @@ namespace scope
 
 namespace
 {
+
+/// Count a per-fault-kind QC decision ("qc.<decision>.<fault>").
+/// Only called when telemetry is enabled; the registry lookup is
+/// per-slice, not per-pixel, so the string build is cheap enough.
+void
+countDecision(const char *decision, int fault_kind, uint64_t n = 1)
+{
+    telemetry::registry()
+        .counter(std::string("qc.") + decision + "." +
+                 faultName(static_cast<FaultKind>(fault_kind)))
+        .add(n);
+}
 
 /// Dedicated RNG substream for the stage-drift walk (far away from
 /// the per-slice attempt streams, which start at 0).
@@ -106,6 +122,7 @@ acquire(const image::Volume3D &materials, const FibSemParams &params,
     if (params.sliceVoxels == 0)
         throw std::invalid_argument("acquire: zero slice thickness");
 
+    const telemetry::Span span("scope.acquire");
     image::SliceStack stack;
     stack.sliceThicknessNm = 0.0; // caller-level metadata; see below
 
@@ -118,6 +135,7 @@ acquire(const image::Volume3D &materials, const FibSemParams &params,
             drift_z = driftStep(drift_z, params.driftProbability,
                                 params.maxDriftPx, rng);
         }
+        const telemetry::Span frame_span("scope.sem_image");
         image::Image2D img =
             semImage(materials, x, params.sliceVoxels, params.sem, rng);
         stack.slices.push_back(img.shifted(drift_y, drift_z));
@@ -138,6 +156,7 @@ acquireRobust(const image::Volume3D &materials,
     if (const auto err = validate(recovery))
         throw std::invalid_argument("acquireRobust: " + err->message);
 
+    const telemetry::Span span("scope.acquire");
     RobustAcquisition out;
     image::SliceStack &stack = out.stack;
     stack.sliceThicknessNm = 0.0; // caller-level metadata
@@ -189,6 +208,7 @@ acquireRobust(const image::Volume3D &materials,
     constexpr double kAttemptAgreementRatio = 0.85;
 
     for (size_t s = 0; s < positions.size(); ++s) {
+        const telemetry::Span slice_span("scope.slice");
         image::SliceProvenance prov;
         image::Image2D frame;
         image::QcMetrics qc;
@@ -196,6 +216,8 @@ acquireRobust(const image::Volume3D &materials,
         bool skip_active = false;
         bool ok = false;
         image::Image2D prev_attempt;
+        SliceDecision decision;
+        decision.slice = s;
 
         for (size_t a = 0; a < max_attempts; ++a) {
             // All randomness of attempt (s, a) comes from two
@@ -221,15 +243,20 @@ acquireRobust(const image::Volume3D &materials,
                              materials.nx() - params.sliceVoxels);
             }
 
-            image::Image2D img = semImageClean(
-                materials, x, params.sliceVoxels, params.sem);
-            const uint64_t frame_seed =
-                common::Rng(seed,
-                            kSliceStreamStride * s + 2 * a + 1)
-                    .next();
-            image::addSensorNoise(img, electrons,
-                                  params.sem.readNoise, frame_seed);
-            applyImagingFault(img, kind, faults, fault_rng);
+            image::Image2D img;
+            {
+                const telemetry::Span image_span("scope.sem_image");
+                img = semImageClean(materials, x, params.sliceVoxels,
+                                    params.sem);
+                const uint64_t frame_seed =
+                    common::Rng(seed,
+                                kSliceStreamStride * s + 2 * a + 1)
+                        .next();
+                image::addSensorNoise(img, electrons,
+                                      params.sem.readNoise,
+                                      frame_seed);
+                applyImagingFault(img, kind, faults, fault_rng);
+            }
 
             std::pair<long, long> shift = drift[s];
             if (kind == FaultKind::DriftExcursion) {
@@ -239,7 +266,10 @@ acquireRobust(const image::Volume3D &materials,
                 shift.second += ex.second;
             }
             frame = img.shifted(shift.first, shift.second);
-            qc = monitor.evaluate(frame);
+            {
+                const telemetry::Span qc_span("image.qc");
+                qc = monitor.evaluate(frame);
+            }
 
             // Persistence check: the anomaly survived a re-image of
             // the same face and the two attempts agree with each
@@ -269,6 +299,16 @@ acquireRobust(const image::Volume3D &materials,
             }
             prov.attempts = a + 1;
             applied = shift;
+
+            QcAttemptRecord attempt_rec;
+            attempt_rec.attempt = a;
+            attempt_rec.fault = static_cast<int>(attempt_fault);
+            attempt_rec.metrics = qc;
+            attempt_rec.contentConfirmed = content_confirmed;
+            attempt_rec.accepted =
+                !qc.flagged() || content_confirmed;
+            decision.attempts.push_back(attempt_rec);
+
             if (!qc.flagged() || content_confirmed) {
                 prov.acceptedFault = static_cast<int>(attempt_fault);
                 ok = true;
@@ -293,6 +333,16 @@ acquireRobust(const image::Volume3D &materials,
             if (prov.firstAttemptFlagged)
                 ++out.faultsDetected;
         }
+        if (telemetry::enabled()) {
+            if (ok)
+                countDecision("accept", prov.injectedFault);
+            if (prov.attempts > 1)
+                countDecision("retry", prov.injectedFault,
+                              prov.attempts - 1);
+        }
+        decision.injectedFault = prov.injectedFault;
+        decision.accepted = ok;
+        out.audit.push_back(std::move(decision));
         stack.slices.push_back(std::move(frame));
         stack.trueDrift.push_back(applied);
         stack.provenance.push_back(prov);
@@ -302,6 +352,7 @@ acquireRobust(const image::Volume3D &materials,
     // Budget-exhausted slices: blend the nearest accepted neighbours
     // (the flagged frame is discarded), or mark unrecoverable when no
     // neighbour survived.
+    const telemetry::Span interp_span("scope.interpolate");
     for (size_t s = 0; s < positions.size(); ++s) {
         if (!failed[s])
             continue;
@@ -321,7 +372,10 @@ acquireRobust(const image::Volume3D &materials,
         }
         if (!recovery.interpolate || (left < 0 && right < 0)) {
             prov.unrecoverable = true;
+            out.audit[s].unrecoverable = true;
             ++out.slicesUnrecoverable;
+            if (telemetry::enabled())
+                countDecision("unrecoverable", prov.injectedFault);
             continue;
         }
         if (left >= 0 && right >= 0) {
@@ -347,8 +401,11 @@ acquireRobust(const image::Volume3D &materials,
             stack.trueDrift[s] = stack.trueDrift[n];
         }
         prov.interpolated = true;
+        out.audit[s].interpolated = true;
         ++out.slicesInterpolated;
         out.interpolatedSlices.push_back(s);
+        if (telemetry::enabled())
+            countDecision("interpolate", prov.injectedFault);
     }
 
     double weight = 0.0;
@@ -359,6 +416,96 @@ acquireRobust(const image::Volume3D &materials,
     }
     out.qcConfidence =
         weight / static_cast<double>(positions.size());
+    return out;
+}
+
+namespace
+{
+
+void
+appendFlagNames(std::string &out, unsigned flags)
+{
+    static const std::pair<unsigned, const char *> kNames[] = {
+        {image::kQcLowSnr, "low_snr"},
+        {image::kQcSaturation, "saturation"},
+        {image::kQcDeadRows, "dead_rows"},
+        {image::kQcStripes, "stripes"},
+        {image::kQcDefocus, "defocus"},
+        {image::kQcLowMi, "low_mi"},
+        {image::kQcShift, "shift"},
+    };
+    out += '[';
+    bool first = true;
+    for (const auto &[bit, name] : kNames) {
+        if (!(flags & bit))
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += name;
+        out += '"';
+    }
+    out += ']';
+}
+
+void
+appendNum(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+qcAuditJson(const std::vector<SliceDecision> &audit)
+{
+    std::string out = "{\"slices\":[";
+    for (size_t i = 0; i < audit.size(); ++i) {
+        const SliceDecision &d = audit[i];
+        out += i ? ",\n " : "\n ";
+        out += "{\"slice\":" + std::to_string(d.slice) +
+            ",\"injected_fault\":\"" +
+            faultName(static_cast<FaultKind>(d.injectedFault)) +
+            "\",\"accepted\":" + (d.accepted ? "true" : "false") +
+            ",\"interpolated\":" +
+            (d.interpolated ? "true" : "false") +
+            ",\"unrecoverable\":" +
+            (d.unrecoverable ? "true" : "false") + ",\"attempts\":[";
+        for (size_t a = 0; a < d.attempts.size(); ++a) {
+            const QcAttemptRecord &att = d.attempts[a];
+            out += a ? ",\n  " : "\n  ";
+            out += "{\"attempt\":" + std::to_string(att.attempt) +
+                ",\"fault\":\"" +
+                faultName(static_cast<FaultKind>(att.fault)) +
+                "\",\"flags\":";
+            appendFlagNames(out, att.metrics.flags);
+            out += ",\"snr\":";
+            appendNum(out, att.metrics.snr);
+            out += ",\"focus\":";
+            appendNum(out, att.metrics.focusScore);
+            out += ",\"saturation\":";
+            appendNum(out, att.metrics.saturationFraction);
+            out += ",\"dead_rows\":";
+            appendNum(out, att.metrics.deadRowFraction);
+            out += ",\"stripe\":";
+            appendNum(out, att.metrics.stripeScore);
+            out += ",\"mi_vs_prev\":";
+            appendNum(out, att.metrics.miVsPrev);
+            out += ",\"shift\":[" +
+                std::to_string(att.metrics.shiftX) + "," +
+                std::to_string(att.metrics.shiftY) + "]";
+            out += ",\"content_confirmed\":";
+            out += att.contentConfirmed ? "true" : "false";
+            out += ",\"accepted\":";
+            out += att.accepted ? "true" : "false";
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "\n]}\n";
     return out;
 }
 

@@ -75,6 +75,43 @@ constexpr size_t kMaxAttemptsPerSlice = 8;
 /// Domain check; nullopt when valid.
 std::optional<common::Error> validate(const RecoveryParams &params);
 
+/** One imaging attempt in the QC audit trail. */
+struct QcAttemptRecord
+{
+    size_t attempt = 0; ///< 0-based attempt index
+    int fault = 0;      ///< FaultKind sampled for this attempt
+    image::QcMetrics metrics;
+
+    /// QC-flagged anomaly that persisted across a re-image and was
+    /// confirmed as real sample content (see acquireRobust).
+    bool contentConfirmed = false;
+
+    /// This attempt's frame was accepted into the stack.
+    bool accepted = false;
+};
+
+/**
+ * Per-slice decision record: which attempts ran, what every QC metric
+ * measured, what the verdict was, and the injected-fault ground truth
+ * (simulator-only).  Seed-pure and always collected on the robust
+ * path — inspection never perturbs the result — and exportable as
+ * JSON via qcAuditJson().
+ */
+struct SliceDecision
+{
+    size_t slice = 0;
+    int injectedFault = 0; ///< FaultKind of the first attempt
+    std::vector<QcAttemptRecord> attempts;
+
+    bool accepted = false;       ///< some attempt passed QC
+    bool interpolated = false;   ///< replaced by a neighbour blend
+    bool unrecoverable = false;  ///< kept flagged frame, no recovery
+};
+
+/// JSON export of an audit trail (one object per slice, attempts with
+/// full metric values and named flags).
+std::string qcAuditJson(const std::vector<SliceDecision> &audit);
+
 /** Outcome of a robust acquisition: the stack plus the recovery log. */
 struct RobustAcquisition
 {
@@ -97,6 +134,10 @@ struct RobustAcquisition
 
     /// Indices of the interpolated slices (deterministic given seed).
     std::vector<size_t> interpolatedSlices;
+
+    /// Per-slice decision audit trail (one entry per slice, in slice
+    /// order); a pure function of the seed like everything above.
+    std::vector<SliceDecision> audit;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "scope/postprocess.hh"
 
+#include "common/telemetry.hh"
+
 namespace hifi
 {
 namespace scope
@@ -9,6 +11,8 @@ PostprocessResult
 postprocess(const image::SliceStack &stack,
             const PostprocessParams &params)
 {
+    const telemetry::Span span("scope.postprocess");
+
     // Degenerate stacks are well-defined no-ops rather than crashes:
     // an empty stack yields an empty volume with no shifts, and a
     // single-slice stack (which has no neighbour to register against)
@@ -19,33 +23,43 @@ postprocess(const image::SliceStack &stack,
     // 1. Edge-preserving denoise per slice.
     std::vector<image::Image2D> denoised;
     denoised.reserve(stack.slices.size());
-    for (const auto &slice : stack.slices) {
-        switch (params.algo) {
-          case DenoiseAlgo::SplitBregman:
-            denoised.push_back(
-                image::denoiseSplitBregman(slice, params.tv));
-            break;
-          case DenoiseAlgo::Chambolle:
-            denoised.push_back(
-                image::denoiseChambolle(slice, params.tv));
-            break;
-          case DenoiseAlgo::None:
-            denoised.push_back(slice);
-            break;
+    {
+        const telemetry::Span denoise_span("image.denoise");
+        for (const auto &slice : stack.slices) {
+            switch (params.algo) {
+              case DenoiseAlgo::SplitBregman:
+                denoised.push_back(
+                    image::denoiseSplitBregman(slice, params.tv));
+                break;
+              case DenoiseAlgo::Chambolle:
+                denoised.push_back(
+                    image::denoiseChambolle(slice, params.tv));
+                break;
+              case DenoiseAlgo::None:
+                denoised.push_back(slice);
+                break;
+            }
         }
     }
 
     // 2. Chained mutual-information alignment.
     PostprocessResult result;
-    result.shifts = image::alignStack(denoised, params.mi);
-    if (stack.trueDrift.size() == result.shifts.size() &&
-        !stack.trueDrift.empty()) {
-        result.alignmentResidualPx =
-            image::alignmentResidual(result.shifts, stack.trueDrift);
+    {
+        const telemetry::Span register_span("image.register");
+        result.shifts = image::alignStack(denoised, params.mi);
+        if (stack.trueDrift.size() == result.shifts.size() &&
+            !stack.trueDrift.empty()) {
+            result.alignmentResidualPx = image::alignmentResidual(
+                result.shifts, stack.trueDrift);
+        }
     }
 
     // 3. Assemble the volume with the recovered corrections.
-    result.volume = image::assembleVolume(denoised, result.shifts);
+    {
+        const telemetry::Span assemble_span("image.assemble");
+        result.volume =
+            image::assembleVolume(denoised, result.shifts);
+    }
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include "circuit/sense_amp.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "fab/materials.hh"
 #include "fab/sa_region.hh"
 #include "fab/voxelizer.hh"
@@ -349,6 +350,41 @@ TEST_F(KernelDeterminism, MonteCarloYield)
         EXPECT_EQ(run.meanSignal, serial.meanSignal) << t
                                                      << " threads";
     }
+}
+
+// ---- Pool instrumentation is non-perturbing -------------------------
+
+TEST(PoolInstrumentation, TelemetryDoesNotPerturbKernelOutput)
+{
+    // The instrumentation contract from parallel.hh: enabling a
+    // telemetry session must not change one bit of any kernel
+    // output — collection is observation only.
+    const Image2D noisy = noisyPattern(64, 48);
+    auto kernel = [&] {
+        return image::denoiseChambolle(noisy, {0.05, 30});
+    };
+    const Image2D plain = withThreads(4, kernel);
+
+    telemetry::Session session;
+    const Image2D instrumented = withThreads(4, kernel);
+    const auto collected = session.finish({});
+
+    EXPECT_TRUE(bitwiseEqual(plain, instrumented))
+        << "telemetry perturbed the denoise kernel";
+
+    // ... and the session did observe the pool at work.
+    ASSERT_TRUE(collected != nullptr);
+    const auto jobs = collected->metrics.counters.find("pool.jobs");
+    ASSERT_NE(jobs, collected->metrics.counters.end());
+    EXPECT_GT(jobs->second, 0u);
+    const auto chunks =
+        collected->metrics.counters.find("pool.chunks");
+    ASSERT_NE(chunks, collected->metrics.counters.end());
+    EXPECT_GT(chunks->second, 0u);
+    const auto hist = collected->metrics.histograms.find(
+        "pool.chunks_per_job");
+    ASSERT_NE(hist, collected->metrics.histograms.end());
+    EXPECT_EQ(hist->second.count, jobs->second);
 }
 
 } // namespace

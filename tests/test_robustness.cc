@@ -606,4 +606,100 @@ TEST(PipelineRobust, DegradedReportIsSeedPureAtAnyThreadCount)
     }
 }
 
+// ---- QC audit trail -------------------------------------------------
+
+TEST(QcAudit, TrailExplainsEverySliceDecision)
+{
+    // The audit must agree with the provenance ground truth slice by
+    // slice: which slices were flagged (and on which attempt), why
+    // each re-image happened, and how every slice was resolved.
+    const auto vol = makeScene();
+    const auto params = sceneParams();
+    scope::FaultParams faults;
+    faults.enabled = true; // documented default rates
+    scope::RecoveryParams recovery;
+
+    const auto robust = scope::acquireRobust(vol, params, faults,
+                                             recovery, 42);
+    const auto &prov = robust.stack.provenance;
+    ASSERT_EQ(robust.audit.size(), prov.size());
+
+    size_t retried = 0, interpolated = 0, unrecoverable = 0;
+    for (size_t s = 0; s < robust.audit.size(); ++s) {
+        const auto &d = robust.audit[s];
+        EXPECT_EQ(d.slice, s);
+        EXPECT_EQ(d.injectedFault, prov[s].injectedFault);
+        ASSERT_EQ(d.attempts.size(), prov[s].attempts)
+            << "slice " << s;
+        // Whether slice s was flagged — and the flags saying why —
+        // must match the first-attempt truth in the provenance.
+        EXPECT_EQ(d.attempts.front().metrics.flags != 0,
+                  prov[s].firstAttemptFlagged)
+            << "slice " << s;
+        EXPECT_EQ(d.attempts.front().metrics.flags,
+                  prov[s].firstAttemptFlags)
+            << "slice " << s;
+        // A re-image happens only after a flagged, unaccepted
+        // attempt, so every non-final attempt must record both.
+        for (size_t a = 0; a + 1 < d.attempts.size(); ++a) {
+            EXPECT_NE(d.attempts[a].metrics.flags, 0u)
+                << "slice " << s << " attempt " << a;
+            EXPECT_FALSE(d.attempts[a].accepted);
+        }
+        EXPECT_EQ(d.attempts.back().accepted, d.accepted);
+        EXPECT_EQ(d.accepted, prov[s].accepted);
+        EXPECT_EQ(d.interpolated, prov[s].interpolated);
+        retried += d.attempts.size() > 1 ? 1 : 0;
+        interpolated += d.interpolated ? 1 : 0;
+        unrecoverable += d.unrecoverable ? 1 : 0;
+    }
+    EXPECT_EQ(retried, robust.slicesRetried);
+    EXPECT_EQ(interpolated, robust.slicesInterpolated);
+    EXPECT_EQ(unrecoverable, robust.slicesUnrecoverable);
+}
+
+TEST(QcAudit, JsonExportNamesSlicesFaultsAndFlags)
+{
+    // Budget-exhausting skip faults guarantee retries and
+    // interpolations show up in the export.
+    const auto vol = makeScene();
+    const auto params = sceneParams();
+    scope::FaultParams faults;
+    faults.enabled = true;
+    faults.curtainingProbability = 0.0;
+    faults.chargingProbability = 0.0;
+    faults.focusLossProbability = 0.0;
+    faults.dropoutProbability = 0.0;
+    faults.sliceSkipProbability = 0.25;
+    faults.driftExcursionProbability = 0.0;
+    faults.skipOvershootSlices = 4;
+    scope::RecoveryParams recovery;
+    recovery.maxRetries = 2;
+
+    const auto robust = scope::acquireRobust(vol, params, faults,
+                                             recovery, 77);
+    ASSERT_GT(robust.slicesInterpolated, 0u);
+
+    const std::string json = scope::qcAuditJson(robust.audit);
+    EXPECT_NE(json.find("\"slices\":["), std::string::npos);
+    EXPECT_NE(json.find("\"injected_fault\":\"slice-skip\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"interpolated\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"attempt\":"), std::string::npos);
+    EXPECT_NE(json.find("\"snr\":"), std::string::npos);
+    // Every slice appears exactly once.
+    for (size_t s = 0; s < robust.audit.size(); ++s) {
+        const std::string key = "\"slice\":" + std::to_string(s) + ",";
+        const size_t first = json.find(key);
+        ASSERT_NE(first, std::string::npos) << key;
+        EXPECT_EQ(json.find(key, first + 1), std::string::npos)
+            << key;
+    }
+    // The audit itself is seed-pure (same seed, any thread count).
+    common::ScopedThreads eight(8);
+    const auto again = scope::acquireRobust(vol, params, faults,
+                                            recovery, 77);
+    EXPECT_EQ(scope::qcAuditJson(again.audit), json);
+}
+
 } // namespace
