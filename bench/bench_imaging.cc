@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Imaging fast-path benchmark: wall-clock of the registration / SEM /
+ * denoise kernels and the fault-injected robust-acquisition campaign,
+ * compared (where one exists in-binary) against the retained reference
+ * implementation, plus the opt-in pyramid search and the clean-frame
+ * cache on/off.  Every fast-vs-reference pair is also checked for
+ * exact result agreement, so the bench doubles as an equivalence
+ * smoke test.
+ *
+ * Numbers are transcribed into BENCH_imaging.json; the "before"
+ * column there was recorded with the identical workloads on the
+ * pre-fast-path build.
+ *
+ * `--quick` shrinks the sweep and rep counts for CI smoke runs.
+ * `--telemetry <prefix>` instruments the campaign + registration run
+ * and writes <prefix>.trace.json / <prefix>.metrics.json (validated
+ * in CI by hifi_trace_check); the metrics include the
+ * sem.clean_cache.* and mi.* fast-path counters.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "common/telemetry.hh"
+#include "fab/voxelizer.hh"
+#include "image/denoise.hh"
+#include "image/image2d.hh"
+#include "image/noise.hh"
+#include "image/registration.hh"
+#include "image/volume3d.hh"
+#include "scope/faults.hh"
+#include "scope/fib.hh"
+#include "scope/sem.hh"
+
+using namespace hifi;
+using image::Image2D;
+using image::Volume3D;
+
+namespace
+{
+
+Image2D
+testPattern(size_t w, size_t h)
+{
+    Image2D img(w, h, 0.1f);
+    for (size_t x = 6; x < w; x += 8)
+        img.fillRect(static_cast<long>(x), 0, static_cast<long>(x + 4),
+                     static_cast<long>(h), 0.8f);
+    img.fillRect(10, 12, 30, 26, 0.5f);
+    img.fillRect(40, 30, 90, 60, 0.35f);
+    return img;
+}
+
+Volume3D
+makeScene(size_t nx = 120, size_t ny = 48, size_t nz = 40)
+{
+    Volume3D vol(nx, ny, nz, 1.0f);
+    for (size_t x = 0; x < nx; ++x) {
+        const size_t s = x / 2;
+        const size_t tri = s % 58 < 29 ? s % 58 : 58 - s % 58;
+        const size_t bar_y = 4 + tri;
+        for (size_t y = 0; y < ny; ++y) {
+            for (size_t z = 0; z < nz; ++z) {
+                float v = 1.0f;
+                if (z >= 12 && z < 16)
+                    v = 0.0f;
+                else if (z >= 22 && z < 26)
+                    v = 2.0f;
+                else if (z >= 16 && z < 22 && (y + 2000 - s) % 20 < 3)
+                    v = 3.0f;
+                if (z >= 30 && z < 34 && y >= bar_y && y < bar_y + 4)
+                    v = 4.0f;
+                vol.at(x, y, z) = v;
+            }
+        }
+    }
+    return vol;
+}
+
+template <typename F>
+double
+medianMs(F &&fn, size_t reps)
+{
+    std::vector<double> ms;
+    for (size_t i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count());
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms[ms.size() / 2];
+}
+
+/// Per-voxel reference SEM formation: the pre-LUT semImageClean loop.
+Image2D
+semImageCleanReference(const Volume3D &materials, size_t x0,
+                       size_t slice_voxels,
+                       const scope::SemParams &params)
+{
+    const bool se = params.detector == models::Detector::Se;
+    const double q = se ? params.seQuality : 1.0;
+    const double pivot = 0.45;
+    const size_t x1 = std::min(materials.nx(), x0 + slice_voxels);
+    Image2D img(materials.ny(), materials.nz());
+    for (size_t z = 0; z < materials.nz(); ++z) {
+        for (size_t y = 0; y < materials.ny(); ++y) {
+            double sum = 0.0;
+            for (size_t x = x0; x < x1; ++x) {
+                const double c = scope::materialContrast(
+                    fab::voxelMaterial(materials.at(x, y, z)),
+                    params.detector);
+                sum += pivot + (c - pivot) * q;
+            }
+            img.at(y, z) = static_cast<float>(
+                sum / static_cast<double>(x1 - x0));
+        }
+    }
+    return img;
+}
+
+struct Row
+{
+    std::string name;
+    double fastMs = 0.0;
+    double referenceMs = -1.0; ///< < 0: no in-binary reference
+    std::string note;
+};
+
+int g_failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cerr << "MISMATCH: " << what << "\n";
+        ++g_failures;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string telemetry_prefix;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--telemetry") == 0 &&
+                   i + 1 < argc) {
+            telemetry_prefix = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--quick] [--telemetry <prefix>]\n";
+            return 2;
+        }
+    }
+
+    // Single-threaded so the numbers isolate the algorithmic change
+    // from the PR-1 parallelism.
+    const common::ScopedThreads one(1);
+
+    const Image2D clean = testPattern(128, 96);
+    Image2D fixed = clean;
+    image::addSensorNoise(fixed, 900.0, 0.05, 11);
+    Image2D moving = clean.shifted(3, -2);
+    image::addSensorNoise(moving, 900.0, 0.05, 22);
+
+    std::vector<Row> rows;
+
+    // ---- Registration span sweep: quantized vs reference ----------
+    const std::vector<long> spans =
+        quick ? std::vector<long>{4} : std::vector<long>{4, 8, 16};
+    for (long max_shift : spans) {
+        image::MiParams mi;
+        mi.bins = 32;
+        mi.maxShift = max_shift;
+        const size_t reps = quick ? 3 : (max_shift >= 16 ? 5 : 9);
+
+        std::pair<long, long> fast_shift, ref_shift;
+        Row row;
+        row.name =
+            "register_shift_mi_maxshift_" + std::to_string(max_shift);
+        row.fastMs = medianMs([&] {
+            fast_shift = image::registerShiftMi(fixed, moving, mi);
+        }, reps);
+        row.referenceMs = medianMs([&] {
+            ref_shift =
+                image::registerShiftMiReference(fixed, moving, mi);
+        }, quick ? 1 : 3);
+        check(fast_shift == ref_shift, row.name);
+        row.note = "shift (" + std::to_string(fast_shift.first) + "," +
+            std::to_string(fast_shift.second) + ")";
+        rows.push_back(row);
+    }
+
+    // ---- Opt-in pyramid strategy (vs exhaustive, same window) ------
+    {
+        image::MiParams mi;
+        mi.bins = 32;
+        mi.maxShift = quick ? 4 : 16;
+        image::MiParams pyr = mi;
+        pyr.strategy = image::MiStrategy::Pyramid;
+        std::pair<long, long> p_shift, e_shift;
+        Row row;
+        row.name =
+            "register_shift_mi_pyramid_maxshift_" +
+            std::to_string(mi.maxShift);
+        row.fastMs = medianMs([&] {
+            p_shift = image::registerShiftMi(fixed, moving, pyr);
+        }, quick ? 3 : 9);
+        row.referenceMs = medianMs([&] {
+            e_shift = image::registerShiftMi(fixed, moving, mi);
+        }, quick ? 3 : 9);
+        // Heuristic, so agreement is expected on this structured
+        // pattern but not guaranteed by construction.
+        row.note = p_shift == e_shift
+            ? "matches exhaustive"
+            : "DIVERGES from exhaustive";
+        rows.push_back(row);
+    }
+
+    // ---- Plain MI ---------------------------------------------------
+    {
+        double fast_mi = 0.0, ref_mi = 0.0;
+        Row row;
+        row.name = "mutual_information";
+        row.fastMs = medianMs([&] {
+            fast_mi = image::mutualInformation(fixed, moving, 32);
+        }, quick ? 11 : 101);
+        row.referenceMs = medianMs([&] {
+            ref_mi = image::mutualInformationAtShiftReference(
+                fixed, moving, 0, 0, 32);
+        }, quick ? 11 : 101);
+        check(fast_mi == ref_mi, row.name);
+        rows.push_back(row);
+    }
+
+    // ---- Clean SEM frame formation: LUT vs per-voxel switch --------
+    const Volume3D scene = makeScene();
+    const scope::SemParams sem;
+    {
+        Image2D fast_img, ref_img;
+        Row row;
+        row.name = "sem_image_clean";
+        row.fastMs = medianMs([&] {
+            fast_img = scope::semImageClean(scene, 0, 8, sem);
+        }, quick ? 11 : 101);
+        row.referenceMs = medianMs([&] {
+            ref_img = semImageCleanReference(scene, 0, 8, sem);
+        }, quick ? 11 : 101);
+        check(fast_img.data() == ref_img.data(), row.name);
+        rows.push_back(row);
+    }
+
+    // ---- Denoise (50 iterations, lambda 0.05) ----------------------
+    {
+        const image::TvParams tv{0.05, 50};
+        const size_t reps = quick ? 3 : 9;
+        Row row_c;
+        row_c.name = "denoise_chambolle";
+        row_c.fastMs = medianMs([&] {
+            (void)image::denoiseChambolle(fixed, tv);
+        }, reps);
+        rows.push_back(row_c);
+
+        Row row_b;
+        row_b.name = "denoise_split_bregman";
+        row_b.fastMs = medianMs([&] {
+            (void)image::denoiseSplitBregman(fixed, tv);
+        }, reps);
+        rows.push_back(row_b);
+
+        // Opt-in convergence exit at a practical tolerance.
+        image::TvParams tol = tv;
+        tol.tolerance = 1e-4;
+        Row row_t;
+        row_t.name = "denoise_chambolle_tol_1e-4";
+        row_t.fastMs = medianMs([&] {
+            (void)image::denoiseChambolle(fixed, tol);
+        }, reps);
+        row_t.referenceMs = row_c.fastMs;
+        row_t.note = "vs fixed 50 iterations";
+        rows.push_back(row_t);
+    }
+
+    // ---- Fault-injected robust acquisition campaign ----------------
+    {
+        scope::FibSemParams params;
+        params.sliceVoxels = 2;
+        params.driftProbability = 0.3;
+        params.maxDriftPx = 3;
+        scope::FaultParams faults;
+        faults = faults.scaled(2.0);
+        faults.enabled = true;
+        scope::RecoveryParams recovery;
+        const size_t reps = quick ? 1 : 5;
+
+        size_t retries = 0;
+        Row row;
+        row.name = "acquire_robust_2x";
+        row.fastMs = medianMs([&] {
+            retries = scope::acquireRobust(scene, params, faults,
+                                           recovery, 42)
+                          .retries;
+        }, reps);
+
+        // Same campaign with the clean-frame cache disabled, to
+        // isolate its contribution; the results must be identical.
+        scope::RecoveryParams no_cache = recovery;
+        no_cache.reuseCleanFrames = false;
+        size_t retries_nc = 0;
+        Row row_nc;
+        row_nc.name = "acquire_robust_2x_no_clean_cache";
+        row_nc.fastMs = medianMs([&] {
+            retries_nc = scope::acquireRobust(scene, params, faults,
+                                              no_cache, 42)
+                             .retries;
+        }, reps);
+        check(retries == retries_nc, "clean cache changes retries");
+        row.note = std::to_string(retries) + " retries";
+        rows.push_back(row);
+        rows.push_back(row_nc);
+
+        // Instrumented run: spans with image./scope. prefixes plus
+        // the fast-path counters land in the exported files.
+        if (!telemetry_prefix.empty()) {
+            telemetry::Session session;
+            (void)scope::acquireRobust(scene, params, faults,
+                                       recovery, 42);
+            image::MiParams mi;
+            mi.strategy = image::MiStrategy::Pyramid;
+            (void)image::registerShiftMi(fixed, moving, mi);
+            telemetry::TelemetryConfig cfg;
+            cfg.enabled = true;
+            cfg.tracePath = telemetry_prefix + ".trace.json";
+            cfg.metricsPath = telemetry_prefix + ".metrics.json";
+            const auto collected = session.finish(cfg);
+            const auto &counters = collected->metrics.counters;
+            for (const char *name :
+                 {"sem.clean_cache.hit", "sem.clean_cache.miss",
+                  "mi.pyramid.evals"}) {
+                const auto it = counters.find(name);
+                std::cout << "counter " << name << " = "
+                          << (it == counters.end() ? 0 : it->second)
+                          << "\n";
+                check(it != counters.end() && it->second > 0,
+                      std::string("missing counter ") + name);
+            }
+        }
+    }
+
+    // ---- Report -----------------------------------------------------
+    std::cout << "\nImaging fast-path bench (1 thread, median of "
+                 "reps; reference = retained original algorithm)\n\n";
+    for (const Row &r : rows) {
+        std::cout << "  " << r.name << ": " << r.fastMs << " ms";
+        if (r.referenceMs >= 0.0)
+            std::cout << " (reference " << r.referenceMs << " ms, "
+                      << r.referenceMs / r.fastMs << "x)";
+        if (!r.note.empty())
+            std::cout << " [" << r.note << "]";
+        std::cout << "\n";
+    }
+
+    // Machine-readable block (transcribed into BENCH_imaging.json).
+    std::cout << "\nJSON:\n[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::cout << (i ? ",\n " : "\n ") << "{\"name\": \"" << r.name
+                  << "\", \"fast_ms\": " << r.fastMs;
+        if (r.referenceMs >= 0.0)
+            std::cout << ", \"reference_ms\": " << r.referenceMs
+                      << ", \"speedup\": " << r.referenceMs / r.fastMs;
+        std::cout << "}";
+    }
+    std::cout << "\n]\n";
+
+    if (g_failures) {
+        std::cerr << g_failures << " equivalence failure(s)\n";
+        return 1;
+    }
+    return 0;
+}

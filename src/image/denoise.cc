@@ -19,49 +19,123 @@ namespace
 /// output bits) never depends on the thread count.
 constexpr size_t kRowGrain = 16;
 
-/// Forward difference along x with Neumann boundary (0 at the edge).
-inline float
-dxp(const Image2D &u, size_t x, size_t y)
+/*
+ * The row helpers below are loop-split rewrites of the original
+ * per-pixel boundary branches: the x == 0 / x == w-1 columns are
+ * peeled and the y-boundary choice is resolved once per row (via a
+ * shared zero row or a last-row flag), so the interior loop carries no
+ * conditionals.  Operand order matches the branchy originals exactly —
+ * including quirks like `sum = 0.0f; sum += v` (which is NOT the same
+ * bits as `sum = v` when v is -0.0f) — so the outputs are bitwise
+ * identical; tests/test_image.cc pins this down.
+ */
+
+/**
+ * Backward-difference divergence of the dual field (px, py) for one
+ * row: out[x] = dx-part + dy-part.  `py_prev` is the previous row of
+ * py, or an all-zero row when y == 0; `last_row` selects the y == h-1
+ * boundary form.
+ */
+inline void
+divergenceRow(const float *px_row, const float *py_row,
+              const float *py_prev, bool last_row, size_t w, float *out)
 {
-    return x + 1 < u.width() ? u.at(x + 1, y) - u.at(x, y) : 0.0f;
+    if (last_row) {
+        if (w == 1) {
+            out[0] = -0.0f + -(py_prev[0]);
+            return;
+        }
+        out[0] = (px_row[0] - 0.0f) + -(py_prev[0]);
+        for (size_t x = 1; x + 1 < w; ++x)
+            out[x] = (px_row[x] - px_row[x - 1]) + -(py_prev[x]);
+        out[w - 1] = -(px_row[w - 2]) + -(py_prev[w - 1]);
+    } else {
+        if (w == 1) {
+            out[0] = -0.0f + (py_row[0] - py_prev[0]);
+            return;
+        }
+        out[0] = (px_row[0] - 0.0f) + (py_row[0] - py_prev[0]);
+        for (size_t x = 1; x + 1 < w; ++x)
+            out[x] = (px_row[x] - px_row[x - 1]) +
+                (py_row[x] - py_prev[x]);
+        out[w - 1] = -(px_row[w - 2]) +
+            (py_row[w - 1] - py_prev[w - 1]);
+    }
 }
 
-/// Forward difference along y with Neumann boundary.
+/// One dual-field pixel update; returns the max component change when
+/// Track (for the tolerance early-exit), 0 otherwise.
+template <bool Track>
 inline float
-dyp(const Image2D &u, size_t x, size_t y)
+chambollePoint(float gx, float gy, float tau, float &px_v, float &py_v)
 {
-    return y + 1 < u.height() ? u.at(x, y + 1) - u.at(x, y) : 0.0f;
+    const float mag = std::sqrt(gx * gx + gy * gy);
+    const float denom = 1.0f + tau * mag;
+    const float npx = (px_v + tau * gx) / denom;
+    const float npy = (py_v + tau * gy) / denom;
+    float delta = 0.0f;
+    if constexpr (Track)
+        delta = std::max(std::fabs(npx - px_v), std::fabs(npy - py_v));
+    px_v = npx;
+    py_v = npy;
+    return delta;
 }
 
-/// Backward-difference divergence of the dual field (px, py) at (x, y).
+/**
+ * Dual update p = (p + tau grad g) / (1 + tau |grad g|) for one row.
+ * `g_next` is the next row of g (unused when last_row: the forward
+ * y-difference is 0 there).  Returns the row's max dual change when
+ * Track.
+ */
+template <bool Track>
 inline float
-divergence(const Image2D &px, const Image2D &py, size_t x, size_t y,
-           size_t w, size_t h)
+chambolleRow(const float *g_row, const float *g_next, bool last_row,
+             size_t w, float tau, float *px_row, float *py_row)
 {
-    float d = px.at(x, y) - (x > 0 ? px.at(x - 1, y) : 0.0f);
-    if (x + 1 == w)
-        d = -(x > 0 ? px.at(x - 1, y) : 0.0f);
-    float dy = py.at(x, y) - (y > 0 ? py.at(x, y - 1) : 0.0f);
-    if (y + 1 == h)
-        dy = -(y > 0 ? py.at(x, y - 1) : 0.0f);
-    return d + dy;
+    float row_delta = 0.0f;
+    if (last_row) {
+        for (size_t x = 0; x + 1 < w; ++x) {
+            const float d = chambollePoint<Track>(
+                g_row[x + 1] - g_row[x], 0.0f, tau, px_row[x],
+                py_row[x]);
+            if constexpr (Track)
+                row_delta = std::max(row_delta, d);
+        }
+        const float d = chambollePoint<Track>(
+            0.0f, 0.0f, tau, px_row[w - 1], py_row[w - 1]);
+        if constexpr (Track)
+            row_delta = std::max(row_delta, d);
+    } else {
+        for (size_t x = 0; x + 1 < w; ++x) {
+            const float d = chambollePoint<Track>(
+                g_row[x + 1] - g_row[x], g_next[x] - g_row[x], tau,
+                px_row[x], py_row[x]);
+            if constexpr (Track)
+                row_delta = std::max(row_delta, d);
+        }
+        const float d = chambollePoint<Track>(
+            0.0f, g_next[w - 1] - g_row[w - 1], tau, px_row[w - 1],
+            py_row[w - 1]);
+        if constexpr (Track)
+            row_delta = std::max(row_delta, d);
+    }
+    return row_delta;
 }
 
-} // namespace
-
+template <bool Track>
 Image2D
-denoiseChambolle(const Image2D &input, const TvParams &params)
+denoiseChambolleImpl(const Image2D &input, const TvParams &params)
 {
-    if (input.empty())
-        throw std::invalid_argument("denoiseChambolle: empty image");
     const size_t w = input.width();
     const size_t h = input.height();
-    const double lambda = params.lambda;
-    const double tau = 0.125; // <= 1/8 guarantees convergence
+    const float lambda = static_cast<float>(params.lambda);
+    const float tau = 0.125f; // <= 1/8 guarantees convergence
+    const float tol = static_cast<float>(params.tolerance);
 
     // Dual field p = (px, py).
     Image2D px(w, h, 0.0f), py(w, h, 0.0f);
     Image2D g(w, h, 0.0f);
+    const std::vector<float> zero(w, 0.0f);
 
     // Each pass writes only its own rows and reads fields that are
     // constant for the duration of the pass, so row-band parallelism
@@ -69,46 +143,125 @@ denoiseChambolle(const Image2D &input, const TvParams &params)
     for (size_t it = 0; it < params.iterations; ++it) {
         // g = div p - f / lambda
         common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
-            for (size_t y = y0; y < y1; ++y)
-                for (size_t x = 0; x < w; ++x)
-                    g.at(x, y) = divergence(px, py, x, y, w, h) -
-                        input.at(x, y) / static_cast<float>(lambda);
-        });
-        // p = (p + tau grad g) / (1 + tau |grad g|)
-        common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
+            std::vector<float> div(w);
             for (size_t y = y0; y < y1; ++y) {
-                for (size_t x = 0; x < w; ++x) {
-                    const float gx = dxp(g, x, y);
-                    const float gy = dyp(g, x, y);
-                    const float mag = std::sqrt(gx * gx + gy * gy);
-                    const float denom =
-                        1.0f + static_cast<float>(tau) * mag;
-                    px.at(x, y) = (px.at(x, y) +
-                                   static_cast<float>(tau) * gx) / denom;
-                    py.at(x, y) = (py.at(x, y) +
-                                   static_cast<float>(tau) * gy) / denom;
-                }
+                divergenceRow(px.row(y), py.row(y),
+                              y > 0 ? py.row(y - 1) : zero.data(),
+                              y + 1 == h, w, div.data());
+                const float *f_row = input.row(y);
+                float *g_row = g.row(y);
+                for (size_t x = 0; x < w; ++x)
+                    g_row[x] = div[x] - f_row[x] / lambda;
             }
         });
+        // p = (p + tau grad g) / (1 + tau |grad g|)
+        const float max_delta = common::parallelReduce(
+            0, h, kRowGrain, 0.0f,
+            [&](size_t y0, size_t y1) {
+                float chunk_delta = 0.0f;
+                for (size_t y = y0; y < y1; ++y) {
+                    const bool last = y + 1 == h;
+                    const float d = chambolleRow<Track>(
+                        g.row(y), last ? nullptr : g.row(y + 1), last,
+                        w, tau, px.row(y), py.row(y));
+                    if constexpr (Track)
+                        chunk_delta = std::max(chunk_delta, d);
+                }
+                return chunk_delta;
+            },
+            [](float a, float b) { return std::max(a, b); });
+        if (Track && max_delta <= tol)
+            break;
     }
 
     // u = f - lambda div p (recompute div with the final p).
     Image2D out(w, h);
     common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
-        for (size_t y = y0; y < y1; ++y)
+        std::vector<float> div(w);
+        for (size_t y = y0; y < y1; ++y) {
+            divergenceRow(px.row(y), py.row(y),
+                          y > 0 ? py.row(y - 1) : zero.data(),
+                          y + 1 == h, w, div.data());
+            const float *f_row = input.row(y);
+            float *o_row = out.row(y);
             for (size_t x = 0; x < w; ++x)
-                out.at(x, y) = input.at(x, y) -
-                    static_cast<float>(lambda) *
-                        divergence(px, py, x, y, w, h);
+                o_row[x] = f_row[x] - lambda * div[x];
+        }
     });
     return out;
 }
 
-Image2D
-denoiseSplitBregman(const Image2D &input, const TvParams &params)
+inline float
+shrink(float v, float t)
 {
-    if (input.empty())
-        throw std::invalid_argument("denoiseSplitBregman: empty image");
+    if (v > t)
+        return v - t;
+    if (v < -t)
+        return v + t;
+    return 0.0f;
+}
+
+/// Per-row state handed to the split-Bregman relaxation helpers.
+struct BregmanRows
+{
+    float *u_row;
+    const float *u_up;   ///< row y-1 of u, or nullptr at y == 0
+    const float *u_down; ///< row y+1 of u, or nullptr at y == h-1
+    const float *f_row;
+    const float *dx_row, *bx_row;
+    const float *dy_row, *by_row;
+    const float *dy_up, *by_up; ///< row y-1 of dy/by, or zero rows
+};
+
+/// One red-black Gauss-Seidel pixel with all four neighbours present.
+inline void
+bregmanInteriorPixel(const BregmanRows &r, size_t x, float mu,
+                     float lam, float denom4)
+{
+    float sum = 0.0f;
+    sum += r.u_row[x - 1];
+    sum += r.u_row[x + 1];
+    sum += r.u_up[x];
+    sum += r.u_down[x];
+
+    float div = 0.0f;
+    div += (r.dx_row[x] - r.bx_row[x]) -
+        (r.dx_row[x - 1] - r.bx_row[x - 1]);
+    div += (r.dy_row[x] - r.by_row[x]) - (r.dy_up[x] - r.by_up[x]);
+
+    const float rhs = mu * r.f_row[x] - lam * div;
+    r.u_row[x] = (rhs + lam * sum) / denom4;
+}
+
+/// Generic (boundary-capable) pixel: branches on which neighbours
+/// exist, exactly like the original per-pixel code.
+inline void
+bregmanBorderPixel(const BregmanRows &r, size_t x, size_t w, float mu,
+                   float lam)
+{
+    float sum = 0.0f;
+    int nbrs = 0;
+    if (x > 0) { sum += r.u_row[x - 1]; ++nbrs; }
+    if (x + 1 < w) { sum += r.u_row[x + 1]; ++nbrs; }
+    if (r.u_up) { sum += r.u_up[x]; ++nbrs; }
+    if (r.u_down) { sum += r.u_down[x]; ++nbrs; }
+
+    // div(d - b) with backward differences.
+    float div = 0.0f;
+    div += (r.dx_row[x] - r.bx_row[x]) -
+        (x > 0 ? (r.dx_row[x - 1] - r.bx_row[x - 1]) : 0.0f);
+    div += (r.dy_row[x] - r.by_row[x]) - (r.dy_up[x] - r.by_up[x]);
+
+    // Normal equation: (mu - lam Laplacian) u = mu f - lam div(d - b).
+    const float rhs = mu * r.f_row[x] - lam * div;
+    r.u_row[x] = (rhs + lam * sum) /
+        (mu + lam * static_cast<float>(nbrs));
+}
+
+template <bool Track>
+Image2D
+denoiseSplitBregmanImpl(const Image2D &input, const TvParams &params)
+{
     const size_t w = input.width();
     const size_t h = input.height();
 
@@ -116,18 +269,14 @@ denoiseSplitBregman(const Image2D &input, const TvParams &params)
     const float mu = static_cast<float>(1.0 / std::max(1e-6,
                                                        params.lambda));
     const float lam = 2.0f * mu;
+    const float denom4 = mu + lam * 4.0f;
+    const float tol = static_cast<float>(params.tolerance);
 
     Image2D u = input;
     Image2D dx(w, h, 0.0f), dy(w, h, 0.0f);
     Image2D bx(w, h, 0.0f), by(w, h, 0.0f);
-
-    auto shrink = [](float v, float t) {
-        if (v > t)
-            return v - t;
-        if (v < -t)
-            return v + t;
-        return 0.0f;
-    };
+    Image2D u_prev;
+    const std::vector<float> zero(w, 0.0f);
 
     // Several Gauss-Seidel sweeps per outer iteration: the u-step must
     // approximately solve its linear system before the shrinkage step,
@@ -137,59 +286,116 @@ denoiseSplitBregman(const Image2D &input, const TvParams &params)
     // pass is row-parallel and scheduling-independent.
     constexpr int kInnerSweeps = 4;
 
+    auto rowsAt = [&](size_t y) {
+        BregmanRows r;
+        r.u_row = u.row(y);
+        r.u_up = y > 0 ? u.row(y - 1) : nullptr;
+        r.u_down = y + 1 < h ? u.row(y + 1) : nullptr;
+        r.f_row = input.row(y);
+        r.dx_row = dx.row(y);
+        r.bx_row = bx.row(y);
+        r.dy_row = dy.row(y);
+        r.by_row = by.row(y);
+        r.dy_up = y > 0 ? dy.row(y - 1) : zero.data();
+        r.by_up = y > 0 ? by.row(y - 1) : zero.data();
+        return r;
+    };
+
     auto relaxColor = [&](int color) {
         common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
             for (size_t y = y0; y < y1; ++y) {
+                const BregmanRows r = rowsAt(y);
                 const size_t x_start =
                     (static_cast<size_t>(color) + y) % 2;
-                for (size_t x = x_start; x < w; x += 2) {
-                    float sum = 0.0f;
-                    int nbrs = 0;
-                    if (x > 0) { sum += u.at(x - 1, y); ++nbrs; }
-                    if (x + 1 < w) { sum += u.at(x + 1, y); ++nbrs; }
-                    if (y > 0) { sum += u.at(x, y - 1); ++nbrs; }
-                    if (y + 1 < h) { sum += u.at(x, y + 1); ++nbrs; }
-
-                    // div(d - b) with backward differences.
-                    float div = 0.0f;
-                    div += (dx.at(x, y) - bx.at(x, y)) -
-                        (x > 0 ? (dx.at(x - 1, y) - bx.at(x - 1, y))
-                               : 0.0f);
-                    div += (dy.at(x, y) - by.at(x, y)) -
-                        (y > 0 ? (dy.at(x, y - 1) - by.at(x, y - 1))
-                               : 0.0f);
-
-                    // Normal equation: (mu - lam Laplacian) u =
-                    // mu f - lam div(d - b).
-                    const float rhs = mu * input.at(x, y) - lam * div;
-                    u.at(x, y) = (rhs + lam * sum) /
-                        (mu + lam * static_cast<float>(nbrs));
+                if (y == 0 || y + 1 == h || w < 3) {
+                    // Boundary row: every pixel may miss a neighbour.
+                    for (size_t x = x_start; x < w; x += 2)
+                        bregmanBorderPixel(r, x, w, mu, lam);
+                    continue;
                 }
+                // Interior row: peel the x borders, no branches inside.
+                size_t x = x_start;
+                if (x == 0) {
+                    bregmanBorderPixel(r, 0, w, mu, lam);
+                    x = 2;
+                }
+                for (; x + 1 < w; x += 2)
+                    bregmanInteriorPixel(r, x, mu, lam, denom4);
+                if (x + 1 == w)
+                    bregmanBorderPixel(r, x, w, mu, lam);
             }
         });
     };
 
     for (size_t it = 0; it < params.iterations; ++it) {
+        if constexpr (Track)
+            u_prev = u;
         for (int sweep = 0; sweep < kInnerSweeps; ++sweep) {
             relaxColor(0);
             relaxColor(1);
         }
         // Shrinkage step on d, then Bregman update on b.  u is frozen
-        // here and every pixel writes only itself: row-parallel.
-        common::parallelFor(0, h, kRowGrain, [&](size_t y0, size_t y1) {
-            for (size_t y = y0; y < y1; ++y) {
-                for (size_t x = 0; x < w; ++x) {
-                    const float gx = dxp(u, x, y);
-                    const float gy = dyp(u, x, y);
-                    dx.at(x, y) = shrink(gx + bx.at(x, y), 1.0f / lam);
-                    dy.at(x, y) = shrink(gy + by.at(x, y), 1.0f / lam);
-                    bx.at(x, y) += gx - dx.at(x, y);
-                    by.at(x, y) += gy - dy.at(x, y);
+        // here and every pixel writes only itself: row-parallel.  The
+        // primal change for the tolerance check is folded in.
+        const float max_delta = common::parallelReduce(
+            0, h, kRowGrain, 0.0f,
+            [&](size_t y0, size_t y1) {
+                float chunk_delta = 0.0f;
+                for (size_t y = y0; y < y1; ++y) {
+                    const float *u_row = u.row(y);
+                    const float *u_down =
+                        y + 1 < h ? u.row(y + 1) : nullptr;
+                    float *dx_row = dx.row(y), *bx_row = bx.row(y);
+                    float *dy_row = dy.row(y), *by_row = by.row(y);
+                    for (size_t x = 0; x < w; ++x) {
+                        const float gx = x + 1 < w
+                            ? u_row[x + 1] - u_row[x] : 0.0f;
+                        const float gy =
+                            u_down ? u_down[x] - u_row[x] : 0.0f;
+                        dx_row[x] =
+                            shrink(gx + bx_row[x], 1.0f / lam);
+                        dy_row[x] =
+                            shrink(gy + by_row[x], 1.0f / lam);
+                        bx_row[x] += gx - dx_row[x];
+                        by_row[x] += gy - dy_row[x];
+                    }
+                    if constexpr (Track) {
+                        const float *p_row = u_prev.row(y);
+                        for (size_t x = 0; x < w; ++x)
+                            chunk_delta = std::max(
+                                chunk_delta,
+                                std::fabs(u_row[x] - p_row[x]));
+                    }
                 }
-            }
-        });
+                return chunk_delta;
+            },
+            [](float a, float b) { return std::max(a, b); });
+        if (Track && max_delta <= tol)
+            break;
     }
     return u;
+}
+
+} // namespace
+
+Image2D
+denoiseChambolle(const Image2D &input, const TvParams &params)
+{
+    if (input.empty())
+        throw std::invalid_argument("denoiseChambolle: empty image");
+    if (params.tolerance > 0.0)
+        return denoiseChambolleImpl<true>(input, params);
+    return denoiseChambolleImpl<false>(input, params);
+}
+
+Image2D
+denoiseSplitBregman(const Image2D &input, const TvParams &params)
+{
+    if (input.empty())
+        throw std::invalid_argument("denoiseSplitBregman: empty image");
+    if (params.tolerance > 0.0)
+        return denoiseSplitBregmanImpl<true>(input, params);
+    return denoiseSplitBregmanImpl<false>(input, params);
 }
 
 } // namespace image

@@ -29,6 +29,15 @@ struct TvParams
 
     /// Outer iterations.
     size_t iterations = 50;
+
+    /**
+     * Opt-in convergence early-exit.  When > 0, iteration stops once
+     * the per-iteration update drops to or below this threshold: the
+     * max dual-field change for Chambolle, the max primal change for
+     * split-Bregman.  The default 0 never exits early and runs the
+     * exact iteration count — bit-identical to the pre-tolerance code.
+     */
+    double tolerance = 0.0;
 };
 
 /// Chambolle's dual projection algorithm (isotropic TV).

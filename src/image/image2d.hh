@@ -33,6 +33,10 @@ class Image2D
     float &at(size_t x, size_t y) { return data_[y * width_ + x]; }
     float at(size_t x, size_t y) const { return data_[y * width_ + x]; }
 
+    /// Direct pointer to the first pixel of row y (row-major layout).
+    float *row(size_t y) { return data_.data() + y * width_; }
+    const float *row(size_t y) const { return data_.data() + y * width_; }
+
     /// Clamped access: coordinates outside the image clamp to the edge.
     float clampedAt(long x, long y) const;
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hh"
+#include "common/telemetry.hh"
 
 namespace hifi
 {
@@ -16,6 +17,16 @@ namespace
 
 /// Candidate offsets per parallel chunk in the MI shift search.
 constexpr size_t kCandidateGrain = 4;
+
+/// Pyramid levels stop once either downsampled dimension would drop
+/// below this: with fewer pixels the joint histogram is too sparse for
+/// the coarse MI peak to be trustworthy.
+constexpr size_t kPyramidMinDim = 16;
+
+/// Refinement radius around the upsampled coarse optimum, per level.
+/// ±2 covers the upsampling rounding (±1) plus one pixel of detail
+/// that only resolves at the finer level.
+constexpr long kPyramidRefineRadius = 2;
 
 /// Quantize an intensity into [0, bins).
 inline size_t
@@ -46,13 +57,13 @@ miRanges(const Image2D &a, const Image2D &b)
 }
 
 /**
- * MI over the overlap of `a` and `b` when b is conceptually translated
- * by (dx, dy).  Pixels outside the overlap are ignored, which avoids the
- * edge-replication bias of shifting first.
+ * Reference MI at a shift: quantizes both images pixel by pixel for
+ * this one candidate.  Every fast path below must reproduce its
+ * result bit for bit (asserted by tests/test_image.cc).
  */
 double
-miAtShift(const Image2D &a, const Image2D &b, const MiRanges &r,
-          long dx, long dy, size_t bins)
+miAtShiftRef(const Image2D &a, const Image2D &b, const MiRanges &r,
+             long dx, long dy, size_t bins)
 {
     const long w = static_cast<long>(a.width());
     const long h = static_cast<long>(a.height());
@@ -100,7 +111,231 @@ miAtShift(const Image2D &a, const Image2D &b, const MiRanges &r,
     return mi;
 }
 
+/// Reusable per-worker buffers for the quantized MI accumulation.
+struct MiWorkspace
+{
+    std::vector<uint32_t> joint;
+    std::vector<double> pa, pb;
+};
+
+/**
+ * Fast MI at a shift over pre-quantized planes.  The joint histogram
+ * is accumulated as integers (each reference bin count is a double
+ * incremented by 1.0, hence an exact integer), and the marginal / MI
+ * arithmetic below mirrors the reference loop structure term for
+ * term, so the returned score is bitwise identical to miAtShiftRef.
+ */
+double
+miAtShiftQ(const QuantizedPlane &a, const QuantizedPlane &b, long dx,
+           long dy, MiWorkspace &ws)
+{
+    const size_t bins = a.bins;
+    const long w = static_cast<long>(a.width);
+    const long h = static_cast<long>(a.height);
+
+    const long x0 = std::max(0l, dx), x1 = std::min(w, w + dx);
+    const long y0 = std::max(0l, dy), y1 = std::min(h, h + dy);
+    if (x0 >= x1 || y0 >= y1)
+        return 0.0;
+
+    ws.joint.assign(bins * bins, 0);
+    for (long y = y0; y < y1; ++y) {
+        const uint16_t *ra =
+            a.idx.data() + static_cast<size_t>(y) * a.width;
+        const uint16_t *rb =
+            b.idx.data() + static_cast<size_t>(y - dy) * b.width;
+        for (long x = x0; x < x1; ++x) {
+            ++ws.joint[static_cast<size_t>(ra[x]) * bins +
+                       rb[x - dx]];
+        }
+    }
+    const size_t n = static_cast<size_t>(x1 - x0) *
+        static_cast<size_t>(y1 - y0);
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    ws.pa.assign(bins, 0.0);
+    ws.pb.assign(bins, 0.0);
+    for (size_t i = 0; i < bins; ++i) {
+        for (size_t j = 0; j < bins; ++j) {
+            const double p =
+                static_cast<double>(ws.joint[i * bins + j]) * inv_n;
+            ws.pa[i] += p;
+            ws.pb[j] += p;
+        }
+    }
+    double mi = 0.0;
+    for (size_t i = 0; i < bins; ++i) {
+        if (ws.pa[i] <= 0.0)
+            continue;
+        for (size_t j = 0; j < bins; ++j) {
+            const double p =
+                static_cast<double>(ws.joint[i * bins + j]) * inv_n;
+            if (p > 0.0 && ws.pb[j] > 0.0)
+                mi += p * std::log(p / (ws.pa[i] * ws.pb[j]));
+        }
+    }
+    return mi;
+}
+
+/// Score candidate shifts (dx, dy) in parallel over quantized planes.
+std::vector<double>
+scoreCandidates(const QuantizedPlane &qa, const QuantizedPlane &qb,
+                const std::vector<std::pair<long, long>> &cands)
+{
+    std::vector<double> score(cands.size());
+    common::parallelFor(0, cands.size(), kCandidateGrain,
+                        [&](size_t i0, size_t i1) {
+        MiWorkspace ws;
+        for (size_t i = i0; i < i1; ++i)
+            score[i] = miAtShiftQ(qa, qb, cands[i].first,
+                                  cands[i].second, ws);
+    });
+    return score;
+}
+
+/**
+ * Winner selection shared by every search: the highest score, with
+ * ties (within 1e-12) broken by the smallest |dx| + |dy| and then
+ * lexicographically by (dy, dx).  A serial scan over precomputed
+ * scores, so the result never depends on the thread count.
+ */
+std::pair<long, long>
+pickBest(const std::vector<std::pair<long, long>> &cands,
+         const std::vector<double> &score)
+{
+    double best = 0.0;
+    long best_dx = 0, best_dy = 0, best_l1 = 0;
+    bool have = false;
+    for (size_t i = 0; i < cands.size(); ++i) {
+        const long dx = cands[i].first, dy = cands[i].second;
+        const long l1 = std::labs(dx) + std::labs(dy);
+        const bool wins = !have || score[i] > best + 1e-12;
+        const bool tied = have && !wins && score[i] >= best - 1e-12;
+        if (wins ||
+            (tied && (l1 < best_l1 ||
+                      (l1 == best_l1 &&
+                       std::make_pair(dy, dx) <
+                           std::make_pair(best_dy, best_dx))))) {
+            best = std::max(have ? best : score[i], score[i]);
+            best_dx = dx;
+            best_dy = dy;
+            best_l1 = l1;
+            have = true;
+        }
+    }
+    return {best_dx, best_dy};
+}
+
+/// All (dx, dy) with |dx - cx| <= r, |dy - cy| <= r, clamped to the
+/// full-window bound, enumerated in the exhaustive scan order.
+std::vector<std::pair<long, long>>
+windowCandidates(long cx, long cy, long r, long bound)
+{
+    std::vector<std::pair<long, long>> cands;
+    const long dy0 = std::max(-bound, cy - r);
+    const long dy1 = std::min(bound, cy + r);
+    const long dx0 = std::max(-bound, cx - r);
+    const long dx1 = std::min(bound, cx + r);
+    cands.reserve(static_cast<size_t>(dy1 - dy0 + 1) *
+                  static_cast<size_t>(dx1 - dx0 + 1));
+    for (long dy = dy0; dy <= dy1; ++dy)
+        for (long dx = dx0; dx <= dx1; ++dx)
+            cands.emplace_back(dx, dy);
+    return cands;
+}
+
+/// 2x2 box downsample (truncating odd edges), for the MI pyramid.
+Image2D
+downsample2(const Image2D &in)
+{
+    const size_t w2 = in.width() / 2;
+    const size_t h2 = in.height() / 2;
+    Image2D out(w2, h2);
+    for (size_t y = 0; y < h2; ++y) {
+        const float *r0 = in.row(2 * y);
+        const float *r1 = in.row(2 * y + 1);
+        float *o = out.row(y);
+        for (size_t x = 0; x < w2; ++x)
+            o[x] = 0.25f * (r0[2 * x] + r0[2 * x + 1] + r1[2 * x] +
+                            r1[2 * x + 1]);
+    }
+    return out;
+}
+
+/// Ceil-divide a shift bound by 2^level.
+long
+levelShift(long max_shift, size_t level)
+{
+    return (max_shift + (1l << level) - 1) >> level;
+}
+
+std::pair<long, long>
+registerShiftMiPyramid(const Image2D &fixed, const Image2D &moving,
+                       const MiParams &params)
+{
+    // Build the pyramid until the coarse window is trivial or the
+    // images get too small to histogram meaningfully.
+    std::vector<std::pair<Image2D, Image2D>> levels;
+    levels.emplace_back(fixed, moving);
+    while (levelShift(params.maxShift, levels.size() - 1) > 2 &&
+           levels.back().first.width() / 2 >= kPyramidMinDim &&
+           levels.back().first.height() / 2 >= kPyramidMinDim) {
+        levels.emplace_back(downsample2(levels.back().first),
+                            downsample2(levels.back().second));
+    }
+
+    size_t evals = 0;
+    auto search = [&](size_t level, long cx, long cy, long radius) {
+        const Image2D &f = levels[level].first;
+        const Image2D &m = levels[level].second;
+        const QuantizedPlane qf = quantizePlane(f, params.bins);
+        const QuantizedPlane qm = quantizePlane(m, params.bins);
+        const auto cands = windowCandidates(
+            cx, cy, radius, levelShift(params.maxShift, level));
+        evals += cands.size();
+        return pickBest(cands, scoreCandidates(qf, qm, cands));
+    };
+
+    // Exhaustive at the coarsest level, then refine downward.
+    const size_t coarsest = levels.size() - 1;
+    std::pair<long, long> best = search(
+        coarsest, 0, 0, levelShift(params.maxShift, coarsest));
+    for (size_t level = coarsest; level-- > 0;) {
+        best = search(level, 2 * best.first, 2 * best.second,
+                      kPyramidRefineRadius);
+    }
+
+    if (telemetry::enabled()) {
+        telemetry::registry().counter("mi.pyramid.levels")
+            .add(levels.size());
+        telemetry::registry().counter("mi.pyramid.evals").add(evals);
+    }
+    return best;
+}
+
 } // namespace
+
+QuantizedPlane
+quantizePlane(const Image2D &img, size_t bins)
+{
+    if (bins < 2)
+        throw std::invalid_argument("quantizePlane: bins < 2");
+    if (bins > 65535)
+        throw std::invalid_argument(
+            "quantizePlane: bins exceed uint16_t indices");
+    QuantizedPlane q;
+    q.width = img.width();
+    q.height = img.height();
+    q.bins = bins;
+    q.idx.resize(img.size());
+    const float lo = img.minValue();
+    const float hi = img.maxValue();
+    const float inv = (hi > lo) ? 1.0f / (hi - lo) : 0.0f;
+    const std::vector<float> &d = img.data();
+    for (size_t i = 0; i < d.size(); ++i)
+        q.idx[i] = static_cast<uint16_t>(quantize(d[i], lo, inv, bins));
+    return q;
+}
 
 double
 mutualInformation(const Image2D &a, const Image2D &b, size_t bins)
@@ -109,7 +344,34 @@ mutualInformation(const Image2D &a, const Image2D &b, size_t bins)
         throw std::invalid_argument("mutualInformation: shape mismatch");
     if (bins < 2)
         throw std::invalid_argument("mutualInformation: bins < 2");
-    return miAtShift(a, b, miRanges(a, b), 0, 0, bins);
+    MiWorkspace ws;
+    return miAtShiftQ(quantizePlane(a, bins), quantizePlane(b, bins),
+                      0, 0, ws);
+}
+
+double
+mutualInformationAtShift(const Image2D &a, const Image2D &b, long dx,
+                         long dy, size_t bins)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument(
+            "mutualInformationAtShift: shape mismatch");
+    MiWorkspace ws;
+    return miAtShiftQ(quantizePlane(a, bins), quantizePlane(b, bins),
+                      dx, dy, ws);
+}
+
+double
+mutualInformationAtShiftReference(const Image2D &a, const Image2D &b,
+                                  long dx, long dy, size_t bins)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument(
+            "mutualInformationAtShiftReference: shape mismatch");
+    if (bins < 2)
+        throw std::invalid_argument(
+            "mutualInformationAtShiftReference: bins < 2");
+    return miAtShiftRef(a, b, miRanges(a, b), dx, dy, bins);
 }
 
 std::pair<long, long>
@@ -120,38 +382,44 @@ registerShiftMi(const Image2D &fixed, const Image2D &moving,
         fixed.height() != moving.height()) {
         throw std::invalid_argument("registerShiftMi: shape mismatch");
     }
-    const MiRanges ranges = miRanges(fixed, moving);
+    if (params.strategy == MiStrategy::Pyramid)
+        return registerShiftMiPyramid(fixed, moving, params);
 
-    // Every candidate offset is independent: score them all in
-    // parallel, then pick the winner with the exact serial scan order
-    // (smaller shifts win ties), so the result never depends on the
-    // thread count.
-    const long span = 2 * params.maxShift + 1;
-    const size_t n = static_cast<size_t>(span * span);
-    std::vector<double> score(n);
-    common::parallelFor(0, n, kCandidateGrain,
-                        [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-            const long dy = static_cast<long>(i) / span -
-                params.maxShift;
-            const long dx = static_cast<long>(i) % span -
-                params.maxShift;
-            score[i] = miAtShift(fixed, moving, ranges, dx, dy,
-                                 params.bins);
-        }
-    });
+    // Quantize each image exactly once; every candidate offset is
+    // independent, so score them all in parallel and pick the winner
+    // with the serial tie-break scan.
+    const QuantizedPlane qf = quantizePlane(fixed, params.bins);
+    const QuantizedPlane qm = quantizePlane(moving, params.bins);
+    const auto cands =
+        windowCandidates(0, 0, params.maxShift, params.maxShift);
+    const std::vector<double> score = scoreCandidates(qf, qm, cands);
+    if (telemetry::enabled())
+        telemetry::registry().counter("mi.exhaustive.evals")
+            .add(cands.size());
+    return pickBest(cands, score);
+}
 
-    double best = -1.0;
-    std::pair<long, long> best_shift{0, 0};
-    for (size_t i = 0; i < n; ++i) {
-        // Prefer smaller shifts on ties for stability.
-        if (score[i] > best + 1e-12) {
-            best = score[i];
-            best_shift = {static_cast<long>(i) % span - params.maxShift,
-                          static_cast<long>(i) / span - params.maxShift};
-        }
+std::pair<long, long>
+registerShiftMiReference(const Image2D &fixed, const Image2D &moving,
+                         const MiParams &params)
+{
+    if (fixed.width() != moving.width() ||
+        fixed.height() != moving.height()) {
+        throw std::invalid_argument(
+            "registerShiftMiReference: shape mismatch");
     }
-    return best_shift;
+    const MiRanges ranges = miRanges(fixed, moving);
+    const auto cands =
+        windowCandidates(0, 0, params.maxShift, params.maxShift);
+    std::vector<double> score(cands.size());
+    common::parallelFor(0, cands.size(), kCandidateGrain,
+                        [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            score[i] = miAtShiftRef(fixed, moving, ranges,
+                                    cands[i].first, cands[i].second,
+                                    params.bins);
+    });
+    return pickBest(cands, score);
 }
 
 std::pair<double, double>
@@ -159,10 +427,12 @@ registerShiftMiSubpixel(const Image2D &fixed, const Image2D &moving,
                         const MiParams &params)
 {
     const auto best = registerShiftMi(fixed, moving, params);
-    const MiRanges ranges = miRanges(fixed, moving);
+    const QuantizedPlane qf = quantizePlane(fixed, params.bins);
+    const QuantizedPlane qm = quantizePlane(moving, params.bins);
+    MiWorkspace ws;
 
     auto mi_at = [&](long dx, long dy) {
-        return miAtShift(fixed, moving, ranges, dx, dy, params.bins);
+        return miAtShiftQ(qf, qm, dx, dy, ws);
     };
     auto refine = [&](double m_minus, double m_0, double m_plus) {
         const double denom = m_minus - 2.0 * m_0 + m_plus;

@@ -7,12 +7,21 @@
  * alignment error below 0.77% of the slice height, so we expose both the
  * pairwise MI search and the full-stack chained alignment, and report the
  * residual against ground truth in tests/benches.
+ *
+ * Fast path: both images are quantized into bin-index planes *once* per
+ * registration, and every candidate offset accumulates an integer joint
+ * histogram over those planes.  Bin assignment, counts, and the MI
+ * arithmetic are exactly those of the straightforward per-candidate
+ * re-quantization, so the scores — and therefore the recovered shifts —
+ * are bitwise identical to the reference implementation (which is
+ * retained below for the equivalence tests and bench baselines).
  */
 
 #ifndef HIFI_IMAGE_REGISTRATION_HH
 #define HIFI_IMAGE_REGISTRATION_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -23,6 +32,23 @@ namespace hifi
 namespace image
 {
 
+/** Shift-search strategy for registerShiftMi / alignStack. */
+enum class MiStrategy
+{
+    /// Score every offset in the full window.  The default: exact by
+    /// construction, and the result the equivalence tests pin down.
+    Exhaustive,
+
+    /**
+     * Coarse-to-fine: exhaustive search on a downsampled pyramid
+     * level, then a small refinement window per finer level.  Several
+     * times fewer candidate evaluations at large windows, but a
+     * heuristic — a peak that only emerges at full resolution can be
+     * missed — which is why it is opt-in rather than the default.
+     */
+    Pyramid,
+};
+
 /** Parameters for the MI shift search. */
 struct MiParams
 {
@@ -31,7 +57,30 @@ struct MiParams
 
     /// Search window: shifts in [-maxShift, maxShift] on both axes.
     long maxShift = 8;
+
+    /// Candidate enumeration strategy (Exhaustive unless opted in).
+    MiStrategy strategy = MiStrategy::Exhaustive;
 };
+
+/**
+ * One image pre-quantized into contiguous bin indices (row-major, same
+ * layout as the source Image2D).  Building this once per image is what
+ * lets the shift search drop the per-candidate re-quantization.
+ */
+struct QuantizedPlane
+{
+    size_t width = 0;
+    size_t height = 0;
+    size_t bins = 0;
+    std::vector<uint16_t> idx; ///< bin index per pixel, < bins
+};
+
+/**
+ * Quantize an image into its bin-index plane using the image's own
+ * intensity range — the identical bin assignment the reference MI
+ * uses.  Throws for bins < 2 or bins > 65535 (uint16_t indices).
+ */
+QuantizedPlane quantizePlane(const Image2D &img, size_t bins);
 
 /**
  * Mutual information (nats) between two images of identical shape,
@@ -41,14 +90,43 @@ double mutualInformation(const Image2D &a, const Image2D &b,
                          size_t bins = 32);
 
 /**
+ * MI over the overlap of `a` and `b` when b is conceptually translated
+ * by (dx, dy) — the per-candidate score of the shift search, exposed
+ * for the equivalence tests.  Fast quantized-plane path.
+ */
+double mutualInformationAtShift(const Image2D &a, const Image2D &b,
+                                long dx, long dy, size_t bins = 32);
+
+/**
+ * Reference implementation of mutualInformationAtShift that
+ * re-quantizes both images per call (the original algorithm).
+ * Retained as the ground truth for the bitwise-equivalence tests and
+ * as the bench baseline; not used on the hot path.
+ */
+double mutualInformationAtShiftReference(const Image2D &a,
+                                         const Image2D &b, long dx,
+                                         long dy, size_t bins = 32);
+
+/**
  * Find the integer (dx, dy) translation of `moving` that maximizes
- * mutual information with `fixed`.
+ * mutual information with `fixed`.  Ties (within 1e-12) are broken by
+ * the smallest |dx| + |dy|, then lexicographically by (dy, dx), so a
+ * featureless frame registers at (0, 0) instead of the window corner.
  *
  * @return the shift to *apply to moving* so it best overlays fixed.
  */
 std::pair<long, long> registerShiftMi(const Image2D &fixed,
                                       const Image2D &moving,
                                       const MiParams &params = {});
+
+/**
+ * Reference exhaustive search scoring every candidate with the
+ * re-quantizing MI (same tie-break rule).  Retained for the
+ * equivalence tests and the bench baseline.
+ */
+std::pair<long, long> registerShiftMiReference(
+    const Image2D &fixed, const Image2D &moving,
+    const MiParams &params = {});
 
 /**
  * Sub-pixel refinement of the best integer shift: fits a parabola to

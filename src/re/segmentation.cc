@@ -33,10 +33,11 @@ materialMask(const image::Image2D &intensity, fab::Material material,
         }
         return mask;
     }
+    const scope::ContrastLut lut = scope::contrastLut(detector);
     for (size_t y = 0; y < intensity.height(); ++y) {
         for (size_t x = 0; x < intensity.width(); ++x) {
             const fab::Material m = scope::classifyIntensity(
-                intensity.at(x, y), detector, true);
+                intensity.at(x, y), lut, true);
             mask.at(x, y) = (m == material) ? 1.0f : 0.0f;
         }
     }

@@ -207,6 +207,14 @@ acquireRobust(const image::Volume3D &materials,
     // agree" needs slack or it degenerates into a coin flip.
     constexpr double kAttemptAgreementRatio = 0.85;
 
+    // Single-entry clean-frame cache: re-imaging attempts (and
+    // skip-overshoot collisions) at the same mill position re-render
+    // the identical deterministic clean frame, so keep the last one.
+    // Noise and faults are still applied per attempt.
+    constexpr size_t kNoCachedPosition = static_cast<size_t>(-1);
+    size_t cached_x = kNoCachedPosition;
+    image::Image2D cached_clean;
+
     for (size_t s = 0; s < positions.size(); ++s) {
         const telemetry::Span slice_span("scope.slice");
         image::SliceProvenance prov;
@@ -246,8 +254,25 @@ acquireRobust(const image::Volume3D &materials,
             image::Image2D img;
             {
                 const telemetry::Span image_span("scope.sem_image");
-                img = semImageClean(materials, x, params.sliceVoxels,
-                                    params.sem);
+                if (recovery.reuseCleanFrames && cached_x == x) {
+                    img = cached_clean;
+                    if (telemetry::enabled())
+                        telemetry::registry()
+                            .counter("sem.clean_cache.hit")
+                            .add(1);
+                } else {
+                    img = semImageClean(materials, x,
+                                        params.sliceVoxels,
+                                        params.sem);
+                    if (recovery.reuseCleanFrames) {
+                        cached_clean = img;
+                        cached_x = x;
+                    }
+                    if (telemetry::enabled())
+                        telemetry::registry()
+                            .counter("sem.clean_cache.miss")
+                            .add(1);
+                }
                 const uint64_t frame_seed =
                     common::Rng(seed,
                                 kSliceStreamStride * s + 2 * a + 1)

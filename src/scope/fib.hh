@@ -67,6 +67,19 @@ struct RecoveryParams
 
     /// QC detector thresholds.
     image::QcThresholds qc;
+
+    /**
+     * Reuse the clean SEM frame across re-imaging attempts at an
+     * unchanged mill position.  semImageClean is a pure function of
+     * (volume, x, sliceVoxels, sem), so a retry of the same face
+     * renders the identical frame — the cache returns that exact
+     * frame and only the per-attempt noise/fault overlay is redone.
+     * Bitwise-identical output either way (asserted in
+     * tests/test_fab_scope.cc); hit/miss counts are reported through
+     * the "sem.clean_cache.hit"/"sem.clean_cache.miss" telemetry
+     * counters.
+     */
+    bool reuseCleanFrames = true;
 };
 
 /// Fixed RNG substream stride: attempts per slice are capped at this.

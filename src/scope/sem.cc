@@ -58,8 +58,26 @@ materialContrast(fab::Material material, models::Detector detector)
     throw std::invalid_argument("materialContrast: unknown material");
 }
 
+ContrastLut
+contrastLut(models::Detector detector)
+{
+    ContrastLut lut;
+    for (size_t m = 0; m < fab::kNumMaterials; ++m)
+        lut[m] =
+            materialContrast(static_cast<fab::Material>(m), detector);
+    return lut;
+}
+
 fab::Material
 classifyIntensity(double intensity, models::Detector detector,
+                  bool exclude_capacitor)
+{
+    return classifyIntensity(intensity, contrastLut(detector),
+                             exclude_capacitor);
+}
+
+fab::Material
+classifyIntensity(double intensity, const ContrastLut &lut,
                   bool exclude_capacitor)
 {
     fab::Material best = fab::Material::Oxide;
@@ -68,8 +86,7 @@ classifyIntensity(double intensity, models::Detector detector,
         const auto mat = static_cast<fab::Material>(m);
         if (exclude_capacitor && mat == fab::Material::CapacitorMetal)
             continue;
-        const double err =
-            std::abs(materialContrast(mat, detector) - intensity);
+        const double err = std::abs(lut[m] - intensity);
         if (err < best_err) {
             best_err = err;
             best = mat;
@@ -94,6 +111,15 @@ semImageClean(const image::Volume3D &materials, size_t x0,
     const double q = se ? params.seQuality : 1.0;
     const double pivot = 0.45;
 
+    // Hoist the per-voxel contrast switch AND the shading arithmetic:
+    // shaded[m] is exactly the `pivot + (c - pivot) * q` the inner
+    // loop used to recompute, so the per-voxel sums are bitwise
+    // unchanged.
+    const ContrastLut lut = contrastLut(params.detector);
+    std::array<double, fab::kNumMaterials> shaded;
+    for (size_t m = 0; m < fab::kNumMaterials; ++m)
+        shaded[m] = pivot + (lut[m] - pivot) * q;
+
     const size_t x1 = std::min(materials.nx(), x0 + slice_voxels);
     image::Image2D img(materials.ny(), materials.nz());
     // Each output row (one z) only reads the material volume and
@@ -104,10 +130,8 @@ semImageClean(const image::Volume3D &materials, size_t x0,
             for (size_t y = 0; y < materials.ny(); ++y) {
                 double sum = 0.0;
                 for (size_t x = x0; x < x1; ++x) {
-                    const double c = materialContrast(
-                        fab::voxelMaterial(materials.at(x, y, z)),
-                        params.detector);
-                    sum += pivot + (c - pivot) * q;
+                    sum += shaded[static_cast<size_t>(
+                        fab::voxelMaterial(materials.at(x, y, z)))];
                 }
                 img.at(y, z) = static_cast<float>(
                     sum / static_cast<double>(x1 - x0));

@@ -14,6 +14,8 @@
 #ifndef HIFI_SCOPE_SEM_HH
 #define HIFI_SCOPE_SEM_HH
 
+#include <array>
+
 #include "common/rng.hh"
 #include "fab/materials.hh"
 #include "image/image2d.hh"
@@ -29,6 +31,17 @@ namespace scope
 double materialContrast(fab::Material material,
                         models::Detector detector);
 
+/// Per-material contrast table, indexed by the Material enum value.
+using ContrastLut = std::array<double, fab::kNumMaterials>;
+
+/**
+ * materialContrast for every material under one detector, built once
+ * so per-pixel/per-voxel loops index a table instead of re-running the
+ * contrast switch.  lut[m] == materialContrast(Material(m), detector)
+ * exactly.
+ */
+ContrastLut contrastLut(models::Detector detector);
+
 /**
  * Classify an observed intensity to the nearest material contrast.
  * Inverse of materialContrast; used by the RE segmentation stage.
@@ -40,6 +53,15 @@ double materialContrast(fab::Material material,
  */
 fab::Material classifyIntensity(double intensity,
                                 models::Detector detector,
+                                bool exclude_capacitor = false);
+
+/**
+ * classifyIntensity against a prebuilt contrast table — same result,
+ * but callers classifying many pixels (the segmentation stage) build
+ * the table once instead of re-deriving every contrast per pixel.
+ */
+fab::Material classifyIntensity(double intensity,
+                                const ContrastLut &lut,
                                 bool exclude_capacitor = false);
 
 /** SEM acquisition parameters. */

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "fab/mat.hh"
+#include "image/noise.hh"
 #include "fab/sa_region.hh"
 #include "fab/voxelizer.hh"
 #include "scope/fib.hh"
@@ -430,6 +434,170 @@ TEST(Prep, PlanCoversDecapAndIdentification)
             EXPECT_LT(plan.identificationHours(), 1.0);
         }
     }
+}
+
+// ---- Imaging fast paths (contrast LUT, clean-frame cache) ----------
+
+TEST(Sem, ContrastLutMatchesSwitchExactly)
+{
+    for (const auto det : {Detector::Se, Detector::Bse}) {
+        const scope::ContrastLut lut = scope::contrastLut(det);
+        for (size_t m = 0; m < fab::kNumMaterials; ++m) {
+            EXPECT_EQ(lut[m],
+                      scope::materialContrast(
+                          static_cast<fab::Material>(m), det))
+                << "material " << m;
+        }
+    }
+}
+
+TEST(Sem, ClassifyIntensityLutOverloadMatches)
+{
+    for (const auto det : {Detector::Se, Detector::Bse}) {
+        const scope::ContrastLut lut = scope::contrastLut(det);
+        for (const bool exclude : {false, true}) {
+            for (int i = -5; i <= 105; ++i) {
+                const double intensity = i / 100.0;
+                EXPECT_EQ(scope::classifyIntensity(intensity, det,
+                                                   exclude),
+                          scope::classifyIntensity(intensity, lut,
+                                                   exclude))
+                    << "intensity " << intensity;
+            }
+        }
+    }
+}
+
+namespace
+{
+
+/// Structured fault-exercising scene (mirrors test_robustness.cc).
+image::Volume3D
+cacheTestScene()
+{
+    const size_t nx = 60, ny = 32, nz = 40;
+    image::Volume3D vol(nx, ny, nz, 1.0f);
+    for (size_t x = 0; x < nx; ++x) {
+        for (size_t y = 0; y < ny; ++y) {
+            for (size_t z = 0; z < nz; ++z) {
+                float v = 1.0f;
+                if (z >= 12 && z < 16)
+                    v = 0.0f;
+                else if (z >= 22 && z < 26)
+                    v = 2.0f;
+                else if (z >= 16 && z < 22 && (y + x / 2) % 10 < 2)
+                    v = 3.0f;
+                vol.at(x, y, z) = v;
+            }
+        }
+    }
+    return vol;
+}
+
+} // namespace
+
+TEST(Fib, CleanFrameCacheIsBitwiseEquivalent)
+{
+    // The cache only skips re-rendering a deterministic frame, so a
+    // fault-injected campaign must come out identical with it on or
+    // off — frames, drift records, retry counts, audit, everything.
+    const auto vol = cacheTestScene();
+    scope::FibSemParams params;
+    params.sliceVoxels = 2;
+    params.driftProbability = 0.3;
+    scope::FaultParams faults;
+    faults = faults.scaled(2.0); // enough faults to force re-imaging
+    faults.enabled = true;
+
+    scope::RecoveryParams with_cache;
+    ASSERT_TRUE(with_cache.reuseCleanFrames); // the default
+    scope::RecoveryParams no_cache;
+    no_cache.reuseCleanFrames = false;
+
+    const auto a =
+        scope::acquireRobust(vol, params, faults, with_cache, 42);
+    const auto b =
+        scope::acquireRobust(vol, params, faults, no_cache, 42);
+
+    EXPECT_GT(a.retries, 0u) << "campaign never re-imaged; the cache "
+                                "was not exercised";
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.slicesRetried, b.slicesRetried);
+    EXPECT_EQ(a.slicesInterpolated, b.slicesInterpolated);
+    EXPECT_EQ(a.interpolatedSlices, b.interpolatedSlices);
+    EXPECT_EQ(a.qcConfidence, b.qcConfidence);
+    ASSERT_EQ(a.stack.slices.size(), b.stack.slices.size());
+    EXPECT_EQ(a.stack.trueDrift, b.stack.trueDrift);
+    for (size_t s = 0; s < a.stack.slices.size(); ++s) {
+        const auto &fa = a.stack.slices[s];
+        const auto &fb = b.stack.slices[s];
+        ASSERT_EQ(fa.size(), fb.size());
+        EXPECT_EQ(std::memcmp(fa.data().data(), fb.data().data(),
+                              fa.size() * sizeof(float)),
+                  0)
+            << "slice " << s;
+    }
+}
+
+TEST(Fib, CleanFrameCacheReturnsTheExactCleanFrame)
+{
+    // A cache hit must hand back the very frame semImageClean would
+    // render: image a no-fault campaign (faults disabled => every
+    // attempt is the clean render + deterministic noise) and compare
+    // slice 0's accepted frame against an independent clean + noise
+    // reconstruction.
+    const auto vol = cacheTestScene();
+    scope::FibSemParams params;
+    params.sliceVoxels = 2;
+    params.driftProbability = 0.0;
+    const scope::FaultParams faults; // disabled
+    const scope::RecoveryParams recovery;
+
+    const auto robust =
+        scope::acquireRobust(vol, params, faults, recovery, 7);
+    image::Image2D expected =
+        scope::semImageClean(vol, 0, params.sliceVoxels, params.sem);
+    const double electrons =
+        params.sem.electronsPerUs * params.sem.dwellUs;
+    const uint64_t frame_seed = common::Rng(7, 1).next();
+    image::addSensorNoise(expected, electrons, params.sem.readNoise,
+                          frame_seed);
+
+    ASSERT_FALSE(robust.stack.slices.empty());
+    const auto &got = robust.stack.slices.front();
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_EQ(std::memcmp(got.data().data(),
+                          expected.data().data(),
+                          got.size() * sizeof(float)),
+              0);
+}
+
+TEST(Fib, CleanFrameCacheCountersAppearInTelemetry)
+{
+    const auto vol = cacheTestScene();
+    scope::FibSemParams params;
+    params.sliceVoxels = 2;
+    params.driftProbability = 0.3;
+    scope::FaultParams faults;
+    faults = faults.scaled(2.0);
+    faults.enabled = true;
+    const scope::RecoveryParams recovery;
+
+    telemetry::Session session;
+    const auto robust =
+        scope::acquireRobust(vol, params, faults, recovery, 42);
+    const auto collected = session.finish({});
+
+    const auto &counters = collected->metrics.counters;
+    ASSERT_TRUE(counters.count("sem.clean_cache.miss"));
+    ASSERT_TRUE(counters.count("sem.clean_cache.hit"));
+    // Every retry re-images an unchanged mill position, so each one
+    // must be a cache hit (skip-overshoot collisions can add more).
+    EXPECT_GT(robust.retries, 0u);
+    EXPECT_GE(counters.at("sem.clean_cache.hit"), robust.retries);
+    // Misses cannot exceed one clean render per slice.
+    EXPECT_LE(counters.at("sem.clean_cache.miss"),
+              robust.stack.slices.size());
 }
 
 } // namespace

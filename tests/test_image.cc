@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "image/denoise.hh"
 #include "image/image2d.hh"
 #include "image/noise.hh"
@@ -327,6 +330,219 @@ TEST(Registration, AssembleVolumeAppliesCorrections)
         image::assembleVolume(slices, {{0, 0}, {1, 1}});
     EXPECT_FLOAT_EQ(vol.at(0, 3, 3), 1.0f);
     EXPECT_FLOAT_EQ(vol.at(1, 3, 3), 1.0f);
+}
+
+// ---- Fast-path equivalence (quantized MI, tie-break, tolerance) ----
+
+/// Bit-level double comparison: the fast paths promise *bitwise*
+/// identity, which EXPECT_DOUBLE_EQ (ULP-based) would not catch.
+void
+expectSameBits(double a, double b, const std::string &what)
+{
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+        << what << ": " << a << " vs " << b;
+}
+
+/// Noisy structured image of the given shape (degenerate shapes ok).
+Image2D
+noisyImage(size_t w, size_t h, uint64_t seed)
+{
+    Rng rng(seed);
+    Image2D img(w, h);
+    for (float &v : img.data())
+        v = static_cast<float>(rng.uniform());
+    return img;
+}
+
+TEST(Registration, QuantizedMiIsBitwiseIdenticalToReference)
+{
+    // Every size class the QC / alignment paths can produce,
+    // including the 1xN / Nx1 degenerate overlaps.
+    const std::pair<size_t, size_t> sizes[] = {
+        {1, 1}, {1, 7}, {7, 1}, {2, 2}, {5, 5}, {17, 13}, {48, 40}};
+    for (const auto &[w, h] : sizes) {
+        const Image2D a = noisyImage(w, h, 100 + w * 31 + h);
+        const Image2D b = noisyImage(w, h, 200 + w * 31 + h);
+        const long max_dx = static_cast<long>(w) + 1;
+        const long max_dy = static_cast<long>(h) + 1;
+        for (long dy = -max_dy; dy <= max_dy; ++dy) {
+            for (long dx = -max_dx; dx <= max_dx; ++dx) {
+                for (const size_t bins : {2u, 16u, 32u}) {
+                    const double fast = image::mutualInformationAtShift(
+                        a, b, dx, dy, bins);
+                    const double ref =
+                        image::mutualInformationAtShiftReference(
+                            a, b, dx, dy, bins);
+                    expectSameBits(
+                        fast, ref,
+                        std::to_string(w) + "x" + std::to_string(h) +
+                            " shift (" + std::to_string(dx) + "," +
+                            std::to_string(dy) + ") bins " +
+                            std::to_string(bins));
+                }
+            }
+        }
+    }
+}
+
+TEST(Registration, FastSearchMatchesReferenceSearch)
+{
+    Rng rng(31);
+    Image2D fixed = testPattern(60, 50);
+    image::addGaussianNoise(fixed, 0.05, rng);
+    Image2D moving = fixed.shifted(4, -3);
+    image::addGaussianNoise(moving, 0.05, rng);
+
+    for (const long span : {2l, 6l, 9l}) {
+        image::MiParams mi;
+        mi.maxShift = span;
+        const auto fast = image::registerShiftMi(fixed, moving, mi);
+        const auto ref =
+            image::registerShiftMiReference(fixed, moving, mi);
+        EXPECT_EQ(fast, ref) << "maxShift " << span;
+    }
+}
+
+TEST(Registration, QuantizePlaneMatchesReferenceBinning)
+{
+    const Image2D img = noisyImage(13, 9, 5);
+    const auto q = image::quantizePlane(img, 32);
+    ASSERT_EQ(q.idx.size(), img.size());
+    // Self-MI through the plane must equal the reference self-MI:
+    // only possible if every pixel landed in the reference's bin.
+    expectSameBits(
+        image::mutualInformationAtShift(img, img, 0, 0, 32),
+        image::mutualInformationAtShiftReference(img, img, 0, 0, 32),
+        "self MI through quantized plane");
+    EXPECT_THROW(image::quantizePlane(img, 1), std::invalid_argument);
+    EXPECT_THROW(image::quantizePlane(img, 70000),
+                 std::invalid_argument);
+}
+
+TEST(Registration, ConstantImagesTieBreakToZeroShift)
+{
+    // Every candidate scores identically on featureless frames (the
+    // dropout-fault case); the documented tie-break must pick (0, 0),
+    // not the most-negative corner of the search window.
+    const Image2D flat_a(20, 16, 0.5f);
+    const Image2D flat_b(20, 16, 0.5f);
+    const auto shift = image::registerShiftMi(flat_a, flat_b);
+    EXPECT_EQ(shift, (std::pair<long, long>{0, 0}));
+    const auto ref =
+        image::registerShiftMiReference(flat_a, flat_b);
+    EXPECT_EQ(ref, (std::pair<long, long>{0, 0}));
+}
+
+TEST(Registration, PyramidAgreesWithExhaustiveOnStructuredImages)
+{
+    Rng rng(17);
+    Image2D fixed = testPattern(128, 96);
+    image::addGaussianNoise(fixed, 0.03, rng);
+    const Image2D moving = fixed.shifted(5, -4);
+
+    image::MiParams exhaustive;
+    exhaustive.maxShift = 16;
+    image::MiParams pyramid = exhaustive;
+    pyramid.strategy = image::MiStrategy::Pyramid;
+
+    EXPECT_EQ(image::registerShiftMi(fixed, moving, pyramid),
+              image::registerShiftMi(fixed, moving, exhaustive));
+}
+
+TEST(Registration, TelemetryCountsCandidateEvaluations)
+{
+    const Image2D fixed = testPattern(64, 48);
+    const Image2D moving = fixed.shifted(2, -1);
+
+    telemetry::Session session;
+    image::MiParams mi;
+    mi.maxShift = 4;
+    (void)image::registerShiftMi(fixed, moving, mi);
+    mi.maxShift = 16;
+    mi.strategy = image::MiStrategy::Pyramid;
+    (void)image::registerShiftMi(fixed, moving, mi);
+    const auto collected = session.finish({});
+
+    const auto &counters = collected->metrics.counters;
+    ASSERT_TRUE(counters.count("mi.exhaustive.evals"));
+    // Exhaustive at maxShift 4 scores the full (2*4+1)^2 window.
+    EXPECT_EQ(counters.at("mi.exhaustive.evals"), 81u);
+    ASSERT_TRUE(counters.count("mi.pyramid.evals"));
+    ASSERT_TRUE(counters.count("mi.pyramid.levels"));
+    // The pyramid's point: far fewer candidates than the 1089 the
+    // exhaustive scan would score at maxShift 16.
+    EXPECT_LT(counters.at("mi.pyramid.evals"), 1089u / 3);
+    EXPECT_GE(counters.at("mi.pyramid.levels"), 2u);
+}
+
+TEST(Denoise, TinyToleranceIsBitwiseIdenticalToFixedIterations)
+{
+    Rng rng(41);
+    Image2D noisy = testPattern();
+    image::addGaussianNoise(noisy, 0.08, rng);
+
+    image::TvParams fixed_iters{0.05, 30};
+    image::TvParams tracked = fixed_iters;
+    tracked.tolerance = 1e-300; // tracking on, exit never taken
+
+    for (const bool bregman : {false, true}) {
+        const Image2D a = bregman
+            ? image::denoiseSplitBregman(noisy, fixed_iters)
+            : image::denoiseChambolle(noisy, fixed_iters);
+        const Image2D b = bregman
+            ? image::denoiseSplitBregman(noisy, tracked)
+            : image::denoiseChambolle(noisy, tracked);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                              a.size() * sizeof(float)),
+                  0)
+            << (bregman ? "split-bregman" : "chambolle");
+    }
+}
+
+TEST(Denoise, LargeToleranceStopsAfterOneIteration)
+{
+    Rng rng(43);
+    Image2D noisy = testPattern();
+    image::addGaussianNoise(noisy, 0.08, rng);
+
+    image::TvParams one_iter{0.05, 1};
+    image::TvParams early{0.05, 50};
+    early.tolerance = 1e9; // every update is below this
+
+    for (const bool bregman : {false, true}) {
+        const Image2D a = bregman
+            ? image::denoiseSplitBregman(noisy, one_iter)
+            : image::denoiseChambolle(noisy, one_iter);
+        const Image2D b = bregman
+            ? image::denoiseSplitBregman(noisy, early)
+            : image::denoiseChambolle(noisy, early);
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                              a.size() * sizeof(float)),
+                  0)
+            << (bregman ? "split-bregman" : "chambolle");
+    }
+}
+
+TEST(Denoise, DegenerateShapesSurviveTheLoopSplits)
+{
+    // 1xN / Nx1 / tiny images exercise every peeled boundary case of
+    // the branch-free interior loops.
+    const std::pair<size_t, size_t> sizes[] = {
+        {1, 1}, {1, 8}, {8, 1}, {2, 2}, {3, 3}};
+    for (const auto &[w, h] : sizes) {
+        const Image2D img = noisyImage(w, h, 300 + w * 13 + h);
+        const image::TvParams tv{0.1, 5};
+        const Image2D c = image::denoiseChambolle(img, tv);
+        const Image2D b = image::denoiseSplitBregman(img, tv);
+        EXPECT_EQ(c.width(), w);
+        EXPECT_EQ(b.height(), h);
+        for (const float v : c.data())
+            EXPECT_TRUE(std::isfinite(v));
+        for (const float v : b.data())
+            EXPECT_TRUE(std::isfinite(v));
+    }
 }
 
 } // namespace

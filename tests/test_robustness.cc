@@ -537,6 +537,22 @@ TEST(PipelineRobust, RecoversB5TopologyUnderDefaultFaultRates)
     EXPECT_EQ(report.degraded,
               report.slicesInterpolated > 0 ||
                   report.slicesUnrecoverable > 0);
+
+    // Golden pin for the imaging fast paths: the quantized MI
+    // registration, contrast LUT and clean-frame cache promise
+    // bit-identical default-settings results, so this seed's report
+    // is frozen.  Any drift here means an "optimization" changed an
+    // output.
+    EXPECT_EQ(report.slices, 477u);
+    EXPECT_EQ(report.retries, 109u);
+    EXPECT_EQ(report.slicesInterpolated, 3u);
+    EXPECT_EQ(report.slicesUnrecoverable, 0u);
+    EXPECT_EQ(report.faultsInjected, 67u);
+    EXPECT_EQ(report.faultsDetected, 58u);
+    EXPECT_NEAR(report.qcConfidence, 0.99685534591194969, 1e-9);
+    EXPECT_NEAR(report.alignmentResidualPx, 0.93217787216515957,
+                1e-9);
+    EXPECT_NEAR(report.maxDimErrorNm, 5.9612044621593583, 1e-6);
 }
 
 TEST(PipelineRobust, FaultFreePathIsBitwiseIdenticalAcrossThreads)
