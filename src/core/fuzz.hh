@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property-based scenario fuzzing for the virtual fab and RE
+ * pipeline.
+ *
+ * A scenario is a point in the space (chip x pairs x stacked SAs x
+ * process corner x silicon defect mix x acquisition faults x seed).
+ * `runScenario` executes it and checks the pipeline's invariants:
+ *
+ *  - no crashes, typed errors only, every reported number finite;
+ *  - the topology is recovered and every bitline accounted for, even
+ *    with planted defects (the RE stage repairs what it flags);
+ *  - every planted silicon defect is detected with the right kind and
+ *    site, with no spurious detections;
+ *  - cross-coupling is fully traced unless a via is missing;
+ *  - dimension recovery stays within the corner-scaled measurement
+ *    tolerance (re::MeasureParams::dimensionToleranceNm);
+ *  - the outcome signature is a pure function of (seed, params) — in
+ *    particular thread-count invariant.
+ *
+ * Two execution tiers keep wall-clock useful: the *direct* tier renders
+ * the voxel volume at ideal contrast and runs the RE analysis on it
+ * (~tens of ms, exercises fab + defects + RE), while the *full* tier
+ * runs the entire FIB/SEM pipeline (~1 s, exercises everything).
+ *
+ * Failing scenarios shrink to a minimal reproducer with
+ * `shrinkScenario`; `serializeScenario` round-trips through
+ * `parseScenario` so a reproducer is a single copy-pastable line.
+ */
+
+#ifndef HIFI_CORE_FUZZ_HH
+#define HIFI_CORE_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "core/pipeline.hh"
+
+namespace hifi
+{
+namespace core
+{
+
+/** One fuzzed scenario: everything needed to reproduce a run. */
+struct ScenarioParams
+{
+    std::string chipId = "B5";
+    size_t pairs = 4;
+    size_t stackedSas = 1;
+    models::ProcessCorner corner = models::ProcessCorner::Typical;
+
+    // Silicon defect mix (counts only; the defect seed mirrors
+    // `seed`).
+    size_t bitlineShorts = 0;
+    size_t bitlineOpens = 0;
+    size_t missingVias = 0;
+    size_t particles = 0;
+
+    /// Inject acquisition faults (full tier only).
+    bool faults = false;
+
+    /// Run the full FIB/SEM pipeline instead of the direct
+    /// fab -> ideal render -> RE tier.
+    bool fullPipeline = false;
+
+    uint64_t seed = 1;
+
+    size_t defectTotal() const
+    {
+        return bitlineShorts + bitlineOpens + missingVias + particles;
+    }
+};
+
+/// One-line, human-readable, round-trippable form:
+/// "chip=B5 pairs=4 sas=1 corner=typical shorts=0 opens=0 vias=0
+///  particles=0 faults=0 full=0 seed=1".
+std::string serializeScenario(const ScenarioParams &params);
+
+/// Inverse of serializeScenario; typed error on malformed input.
+common::Result<ScenarioParams>
+parseScenario(const std::string &line);
+
+/**
+ * Draw a random scenario.  Pure function of `seed` (counter-seeded),
+ * and every drawn scenario satisfies the feasibility constraints of
+ * the defect library, so a planted mix always fits.
+ */
+ScenarioParams sampleScenario(uint64_t seed);
+
+/** Outcome of one scenario run. */
+struct ScenarioResult
+{
+    ScenarioParams params;
+
+    /// Violated invariants, human-readable; empty = scenario passed.
+    std::vector<std::string> violations;
+
+    /// Seed-pure fingerprint of the outcome (topology, devices,
+    /// defects, measurements).  Identical across thread counts.
+    uint64_t signature = 0;
+
+    bool passed() const { return violations.empty(); }
+};
+
+/**
+ * Execute a scenario and check every invariant.  Never throws: a
+ * crash anywhere in the pipeline is reported as a violation.
+ *
+ * @param threads worker-thread override for the run (0 = inherit);
+ *        the result signature must not depend on it.
+ */
+ScenarioResult runScenario(const ScenarioParams &params,
+                           size_t threads = 0);
+
+/// Predicate deciding whether a scenario still fails (used while
+/// shrinking).  The default wraps runScenario.
+using FailPredicate = std::function<bool(const ScenarioParams &)>;
+
+/**
+ * Greedy shrink of a failing scenario: repeatedly tries the
+ * simplifying transformations (disable faults, typical corner, one
+ * stacked SA, fewer pairs, drop each defect kind, the reference chip)
+ * and keeps any that still fails, until a fixed point or the
+ * evaluation budget is spent.  Returns the smallest still-failing
+ * scenario found.
+ */
+ScenarioParams shrinkScenario(const ScenarioParams &failing,
+                              const FailPredicate &fails,
+                              size_t maxEvals = 64);
+
+} // namespace core
+} // namespace hifi
+
+#endif // HIFI_CORE_FUZZ_HH

@@ -43,11 +43,77 @@ validateConfig(const PipelineConfig &config)
         return Error{ErrorCode::InvalidArgument,
                      "PipelineConfig: detectorOverride must be "
                      "-1, 0 or 1"};
+    if (config.corner < models::ProcessCorner::Slow ||
+        config.corner >= models::ProcessCorner::NumCorners)
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: corner out of range"};
+    if (const auto err = fab::validate(config.defects))
+        return err;
+    // Rough feasibility of the defect mix: shorts claim two adjacent
+    // bitlines and opens one, out of 2*pairs; missing vias each need
+    // a distinct latch coupling contact (two per pair).
+    if (2 * config.defects.bitlineShorts + config.defects.bitlineOpens >
+        2 * config.pairs)
+        return Error{ErrorCode::FailedPrecondition,
+                     "PipelineConfig: defect mix needs more bitlines "
+                     "than 'pairs' provides"};
+    if (config.defects.missingVias > 2 * config.pairs)
+        return Error{ErrorCode::FailedPrecondition,
+                     "PipelineConfig: more missing vias than latch "
+                     "coupling contacts"};
     if (const auto err = scope::validate(config.faults))
         return err;
     if (const auto err = scope::validate(config.recovery))
         return err;
     return std::nullopt;
+}
+
+/**
+ * Greedy planted-vs-detected matching.  A detection matches a planted
+ * defect when the kinds agree, the sites are close (a missing via is
+ * reported at the orphaned gate, a few hundred nm from the erased
+ * contact), and the identified bitlines are compatible.
+ */
+void
+scoreSiliconDefects(SiliconDefectReport &rep)
+{
+    std::vector<char> used(rep.detected.size(), 0);
+    for (auto &out : rep.planted) {
+        const auto &p = out.planted;
+        for (size_t i = 0; i < rep.detected.size(); ++i) {
+            if (used[i])
+                continue;
+            const auto &d = rep.detected[i];
+            if (d.kind != p.kind)
+                continue;
+            const common::Vec2 pc = p.footprint.center();
+            const common::Vec2 dc = d.where.center();
+            if (std::abs(pc.x - dc.x) > 400.0 ||
+                std::abs(pc.y - dc.y) > 400.0)
+                continue;
+            // Bitline compatibility, when both sides identified any.
+            std::vector<long> pb, db;
+            for (long b : {p.bitlineA, p.bitlineB})
+                if (b >= 0)
+                    pb.push_back(b);
+            for (long b : {d.bitlineA, d.bitlineB})
+                if (b >= 0)
+                    db.push_back(b);
+            bool compatible = pb.empty() || db.empty();
+            for (long a : pb)
+                for (long b : db)
+                    compatible = compatible || a == b;
+            if (!compatible)
+                continue;
+            used[i] = 1;
+            out.detected = true;
+            ++rep.matched;
+            break;
+        }
+    }
+    for (char u : used)
+        if (!u)
+            ++rep.spurious;
 }
 
 namespace
@@ -73,10 +139,15 @@ runValidatedPipeline(const PipelineConfig &config)
         voxel = std::min({chip.pixelResNm, bl_gap / 2.5, 5.0});
     }
 
+    const models::CornerVariation variation =
+        models::cornerVariation(chip.vendor, config.corner);
+
     fab::SaRegionSpec spec =
         fab::SaRegionSpec::fromChip(chip, config.pairs);
     spec.stackedSas = config.stackedSas;
     spec.minGapNm = std::max(spec.minGapNm, 4.0 * voxel);
+    spec.variation = variation;
+    spec.jitterSeed = config.seed;
 
     fab::SaRegionTruth truth;
     const auto cell = fab::buildSaRegion(spec, truth);
@@ -86,8 +157,20 @@ runValidatedPipeline(const PipelineConfig &config)
 
     fab::VoxelizeParams vox;
     vox.voxelNm = voxel;
-    const image::Volume3D materials =
+    vox.lerSigmaNm = variation.lerSigmaNm;
+    vox.lerCorrLenNm = variation.lerCorrLenNm;
+    vox.lerSeed = config.seed;
+    image::Volume3D materials =
         fab::voxelize(*cell, truth.region, vox);
+
+    if (config.defects.any()) {
+        auto planted = fab::plantDefects(materials, truth, voxel,
+                                         config.defects);
+        if (!planted.ok())
+            throw std::invalid_argument(planted.error().message);
+        for (auto &p : planted.value())
+            report.siliconDefects.planted.push_back({p, false});
+    }
 
     // ---- 2. FIB/SEM acquisition ------------------------------------
     scope::FibSemParams fib;
@@ -187,6 +270,16 @@ runValidatedPipeline(const PipelineConfig &config)
         report.matchedTemplate = matches.front().candidate->name;
         report.matchScore = matches.front().score;
     }
+
+    // Silicon defect scoring: planted ground truth vs RE detections.
+    report.siliconDefects.detected = report.analysis.defects;
+    scoreSiliconDefects(report.siliconDefects);
+    if (!report.siliconDefects.allDetected())
+        common::warn(
+            "pipeline " + chip.id + ": " +
+            std::to_string(report.siliconDefects.planted.size() -
+                           report.siliconDefects.matched) +
+            " planted silicon defect(s) escaped detection");
 
     // Per-role dimension recovery vs. the generated (clipped) truth.
     std::map<Role, std::pair<double, double>> truth_sum;

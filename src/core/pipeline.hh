@@ -20,6 +20,7 @@
 #include "common/result.hh"
 #include "common/stats.hh"
 #include "common/telemetry.hh"
+#include "fab/defects.hh"
 #include "fab/sa_region.hh"
 #include "models/chip_data.hh"
 #include "re/analyze.hh"
@@ -50,6 +51,22 @@ struct PipelineConfig
 
     /// Stage-drift step probability per slice.
     double driftProbability = 0.15;
+
+    /**
+     * Process corner the virtual fab runs at.  Typical is the clean
+     * legacy fab (bit-identical); Slow/Fast apply the chip vendor's
+     * models::cornerVariation preset — systematic CD bias, per-device
+     * CD sigma, cross-wafer drift and line-edge roughness.
+     */
+    models::ProcessCorner corner = models::ProcessCorner::Typical;
+
+    /**
+     * Silicon defects to plant into the voxelized volume after the
+     * fab (fab/defects.hh).  Disabled by default; when any are
+     * requested the report's `siliconDefects` scores the RE stage's
+     * detection against the planted ground truth.
+     */
+    fab::DefectParams defects;
 
     /**
      * Override for the in-plane voxel size; <= 0 picks automatically
@@ -116,6 +133,43 @@ struct RoleRecovery
     double errL() const { return std::abs(measuredL - trueL); }
 };
 
+/** One planted silicon defect and whether the RE stage flagged it. */
+struct DefectOutcome
+{
+    fab::PlantedDefect planted;
+    bool detected = false;
+};
+
+/** Planted-vs-detected silicon defect scoring. */
+struct SiliconDefectReport
+{
+    /// Ground truth, one entry per planted defect, with match flags.
+    std::vector<DefectOutcome> planted;
+
+    /// Everything the RE stage flagged (matched or not).
+    std::vector<re::DetectedDefect> detected;
+
+    size_t matched = 0;  ///< planted defects correctly flagged
+    size_t spurious = 0; ///< detections with no planted counterpart
+
+    /// Every planted defect was flagged with the right kind/site.
+    bool
+    allDetected() const
+    {
+        return matched == planted.size();
+    }
+};
+
+/**
+ * Greedy planted-vs-detected matching: fills `matched`, `spurious`
+ * and the per-defect `detected` flags of a report whose `planted`
+ * and `detected` lists are populated.  A detection matches when the
+ * kinds agree, the sites are within a few hundred nm, and the
+ * identified bitlines are compatible.  Shared by the pipeline and
+ * the direct fuzz tier (core/fuzz.hh).
+ */
+void scoreSiliconDefects(SiliconDefectReport &report);
+
 /** Pipeline outcome. */
 struct PipelineReport
 {
@@ -179,6 +233,10 @@ struct PipelineReport
 
     /// Table-I campaign cost for this chip, with re-imaging charged.
     scope::CampaignCost campaign;
+
+    /// Silicon defect scoring (empty when config.defects is empty
+    /// and the RE stage flagged nothing).
+    SiliconDefectReport siliconDefects;
 
     /// Full analysis, for further inspection.
     re::RegionAnalysis analysis;

@@ -1,0 +1,327 @@
+#include "fab/defects.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/telemetry.hh"
+#include "fab/materials.hh"
+#include "layout/layer.hh"
+
+namespace hifi
+{
+namespace fab
+{
+
+const std::string &
+defectKindName(DefectKind kind)
+{
+    static const std::array<std::string,
+                            static_cast<size_t>(DefectKind::NumKinds)>
+        names = {"bitline-short", "bitline-open", "missing-via",
+                 "particle"};
+    return names.at(static_cast<size_t>(kind));
+}
+
+std::optional<common::Error>
+validate(const DefectParams &params)
+{
+    using common::Error;
+    using common::ErrorCode;
+    if (params.particleDiameterNm <= 0.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "DefectParams: particleDiameterNm must be > 0"};
+    if (params.total() > 64)
+        return Error{ErrorCode::InvalidArgument,
+                     "DefectParams: more than 64 defects requested"};
+    return std::nullopt;
+}
+
+namespace
+{
+
+/// Per-defect RNG stream id, unique across kinds and instances.
+uint64_t
+stream(DefectKind kind, size_t instance)
+{
+    return (static_cast<uint64_t>(kind) << 32) | instance;
+}
+
+struct Stamper
+{
+    image::Volume3D &vol;
+    const common::Rect &region;
+    double v;
+
+    void
+    fill(const common::Rect &r, layout::Layer layer, float value)
+    {
+        const layout::LayerZ z = layout::layerZ(layer);
+        const auto clampi = [](double a, size_t hi) {
+            return static_cast<size_t>(
+                std::clamp(a, 0.0, static_cast<double>(hi)));
+        };
+        const size_t x0 = clampi((r.x0 - region.x0) / v, vol.nx());
+        const size_t x1 =
+            clampi(std::ceil((r.x1 - region.x0) / v), vol.nx());
+        const size_t y0 = clampi((r.y0 - region.y0) / v, vol.ny());
+        const size_t y1 =
+            clampi(std::ceil((r.y1 - region.y0) / v), vol.ny());
+        const size_t z0 = clampi(z.z0 / v, vol.nz());
+        const size_t z1 = clampi(std::ceil(z.z1 / v), vol.nz());
+        for (size_t zz = z0; zz < z1; ++zz)
+            for (size_t yy = y0; yy < y1; ++yy)
+                for (size_t xx = x0; xx < x1; ++xx)
+                    vol.at(xx, yy, zz) = value;
+    }
+
+    void
+    disc(double cx, double cy, double diameter, layout::Layer layer,
+         float value)
+    {
+        const layout::LayerZ z = layout::layerZ(layer);
+        const double rad = 0.5 * diameter;
+        const auto clampi = [](double a, size_t hi) {
+            return static_cast<size_t>(
+                std::clamp(a, 0.0, static_cast<double>(hi)));
+        };
+        const size_t x0 = clampi((cx - rad - region.x0) / v, vol.nx());
+        const size_t x1 = clampi(
+            std::ceil((cx + rad - region.x0) / v), vol.nx());
+        const size_t y0 = clampi((cy - rad - region.y0) / v, vol.ny());
+        const size_t y1 = clampi(
+            std::ceil((cy + rad - region.y0) / v), vol.ny());
+        const size_t z0 = clampi(z.z0 / v, vol.nz());
+        const size_t z1 = clampi(std::ceil(z.z1 / v), vol.nz());
+        for (size_t yy = y0; yy < y1; ++yy) {
+            const double py =
+                region.y0 + (static_cast<double>(yy) + 0.5) * v - cy;
+            for (size_t xx = x0; xx < x1; ++xx) {
+                const double px = region.x0 +
+                    (static_cast<double>(xx) + 0.5) * v - cx;
+                if (px * px + py * py > rad * rad)
+                    continue;
+                for (size_t zz = z0; zz < z1; ++zz)
+                    vol.at(xx, yy, zz) = value;
+            }
+        }
+    }
+};
+
+} // namespace
+
+common::Result<std::vector<PlantedDefect>>
+plantDefects(image::Volume3D &vol, const SaRegionTruth &truth,
+             double voxelNm, const DefectParams &params)
+{
+    using R = common::Result<std::vector<PlantedDefect>>;
+    const telemetry::Span span("fab.defects");
+
+    if (const auto err = validate(params))
+        return R(*err);
+    if (vol.empty() || voxelNm <= 0.0)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "plantDefects: empty volume or bad voxel "
+                          "size");
+    std::vector<PlantedDefect> planted;
+    if (!params.any())
+        return R(std::move(planted));
+
+    const common::Rect &region = truth.region;
+    const size_t n_bl = truth.bitlines.size();
+    const double v = voxelNm;
+    Stamper stamp{vol, region, v};
+
+    // Feature sizes chosen to survive segmentation: several voxels
+    // wide so blur and the morphological opening cannot erase them.
+    const double cut_nm = std::max(6.0 * v, 30.0);
+
+    // Resolvability bookkeeping: one structural defect per bitline,
+    // pairwise-disjoint footprints.
+    std::vector<bool> bl_used(n_bl, false);
+    std::vector<common::Rect> claimed;
+    const auto claim = [&](const common::Rect &r) {
+        const common::Rect guard = r.inflate(60.0);
+        for (const auto &c : claimed)
+            if (!guard.intersect(c).empty())
+                return false;
+        claimed.push_back(guard);
+        return true;
+    };
+    // Middle band: clear of the column muxes and LSA at the region
+    // ends, where the layout is densest.
+    const auto band_x = [&](common::Rng &rng) {
+        return region.x0 +
+            region.width() * rng.uniform(0.3, 0.7);
+    };
+    constexpr int kTries = 256;
+
+    // Bitline shorts: copper bridge joining two adjacent bitlines.
+    for (size_t i = 0; i < params.bitlineShorts; ++i) {
+        common::Rng rng(params.seed,
+                        stream(DefectKind::BitlineShort, i));
+        bool placed = false;
+        for (int t = 0; t < kTries && !placed; ++t) {
+            if (n_bl < 2)
+                break;
+            const auto b = static_cast<size_t>(
+                rng.uniform(0.0, static_cast<double>(n_bl - 1)));
+            if (b + 1 >= n_bl || bl_used[b] || bl_used[b + 1])
+                continue;
+            const double xc = band_x(rng);
+            const common::Rect &lo = truth.bitlines[b];
+            const common::Rect &hi = truth.bitlines[b + 1];
+            const common::Rect bridge(
+                xc - 0.5 * cut_nm, std::min(lo.y0, hi.y0),
+                xc + 0.5 * cut_nm, std::max(lo.y1, hi.y1));
+            if (!claim(bridge))
+                continue;
+            stamp.fill(bridge, layout::Layer::Metal1,
+                       static_cast<float>(Material::Copper));
+            bl_used[b] = bl_used[b + 1] = true;
+            planted.push_back({DefectKind::BitlineShort, bridge,
+                               static_cast<long>(b),
+                               static_cast<long>(b + 1)});
+            placed = true;
+        }
+        if (!placed)
+            return R::failure(
+                common::ErrorCode::FailedPrecondition,
+                "plantDefects: no room for bitline short #" +
+                    std::to_string(i) + " (" +
+                    std::to_string(n_bl) + " bitlines)");
+    }
+
+    // Bitline opens: etch a gap out of one bitline.
+    for (size_t i = 0; i < params.bitlineOpens; ++i) {
+        common::Rng rng(params.seed,
+                        stream(DefectKind::BitlineOpen, i));
+        bool placed = false;
+        for (int t = 0; t < kTries && !placed; ++t) {
+            if (n_bl == 0)
+                break;
+            const auto b = static_cast<size_t>(
+                rng.uniform(0.0, static_cast<double>(n_bl)));
+            if (b >= n_bl || bl_used[b])
+                continue;
+            const double xc = band_x(rng);
+            const common::Rect &bl = truth.bitlines[b];
+            const common::Rect gap(xc - 0.5 * cut_nm, bl.y0 - v,
+                                   xc + 0.5 * cut_nm, bl.y1 + v);
+            if (!claim(gap))
+                continue;
+            stamp.fill(gap, layout::Layer::Metal1,
+                       static_cast<float>(Material::Oxide));
+            bl_used[b] = true;
+            planted.push_back({DefectKind::BitlineOpen, gap,
+                               static_cast<long>(b), -1});
+            placed = true;
+        }
+        if (!placed)
+            return R::failure(
+                common::ErrorCode::FailedPrecondition,
+                "plantDefects: no room for bitline open #" +
+                    std::to_string(i) + " (" +
+                    std::to_string(n_bl) + " bitlines)");
+    }
+
+    // Missing vias: erase a latch cross-coupling contact.
+    std::vector<const PlacedDevice *> via_candidates;
+    for (const auto &d : truth.devices)
+        if (!d.couplingContact.empty())
+            via_candidates.push_back(&d);
+    std::vector<bool> via_used(via_candidates.size(), false);
+    for (size_t i = 0; i < params.missingVias; ++i) {
+        common::Rng rng(params.seed,
+                        stream(DefectKind::MissingVia, i));
+        bool placed = false;
+        for (int t = 0; t < kTries && !placed; ++t) {
+            if (via_candidates.empty())
+                break;
+            const auto ci = static_cast<size_t>(rng.uniform(
+                0.0, static_cast<double>(via_candidates.size())));
+            if (ci >= via_candidates.size() || via_used[ci])
+                continue;
+            const PlacedDevice &dev = *via_candidates[ci];
+            const common::Rect cut = dev.couplingContact.inflate(v);
+            if (!claim(cut))
+                continue;
+            stamp.fill(cut, layout::Layer::Contact,
+                       static_cast<float>(Material::Oxide));
+            via_used[ci] = true;
+            planted.push_back({DefectKind::MissingVia, cut,
+                               static_cast<long>(dev.bitline),
+                               static_cast<long>(dev.couplesTo)});
+            placed = true;
+        }
+        if (!placed)
+            return R::failure(
+                common::ErrorCode::FailedPrecondition,
+                "plantDefects: no free coupling contact for missing "
+                "via #" +
+                    std::to_string(i) + " (" +
+                    std::to_string(via_candidates.size()) +
+                    " candidates)");
+    }
+
+    // Particles: an oversized conductive blob in the contact slab.
+    // Keep clear of drawn gates and contacts so the blob cannot fake
+    // a cross-coupling path.
+    for (size_t i = 0; i < params.particles; ++i) {
+        common::Rng rng(params.seed,
+                        stream(DefectKind::Particle, i));
+        const double dia = params.particleDiameterNm;
+        bool placed = false;
+        for (int t = 0; t < kTries && !placed; ++t) {
+            // Dense layouts (small pitch, many latch tabs) can leave
+            // almost no clearance in the middle band; fall back to
+            // the whole region for the second half of the tries.
+            const bool wide = t >= kTries / 2;
+            const double cx = wide
+                ? region.x0 + region.width() * rng.uniform(0.05, 0.95)
+                : band_x(rng);
+            const double cy = region.y0 +
+                region.height() *
+                    (wide ? rng.uniform(0.05, 0.95)
+                          : rng.uniform(0.15, 0.85));
+            const common::Rect foot(cx - 0.5 * dia, cy - 0.5 * dia,
+                                    cx + 0.5 * dia, cy + 0.5 * dia);
+            // Only the latch gates and their poly tabs matter: the
+            // cross-coupling trace consults contact-slab blobs that
+            // overlap a latch gate component, so a particle there
+            // could fake (or mask) a coupling.  Strip, column and
+            // LSA gates never touch the contact logic.
+            bool clear = true;
+            for (const auto &d : truth.devices) {
+                if (d.couplingContact.empty())
+                    continue;
+                const common::Rect tab(
+                    std::min(d.gate.x0, d.couplingContact.x0),
+                    std::min(d.gate.y0, d.couplingContact.y0),
+                    std::max(d.gate.x1, d.couplingContact.x1),
+                    std::max(d.gate.y1, d.couplingContact.y1));
+                if (!foot.intersect(tab.inflate(30.0)).empty()) {
+                    clear = false;
+                    break;
+                }
+            }
+            if (!clear || !claim(foot))
+                continue;
+            stamp.disc(cx, cy, dia, layout::Layer::Contact,
+                       static_cast<float>(Material::Tungsten));
+            planted.push_back({DefectKind::Particle, foot, -1, -1});
+            placed = true;
+        }
+        if (!placed)
+            return R::failure(
+                common::ErrorCode::FailedPrecondition,
+                "plantDefects: no room for particle #" +
+                    std::to_string(i));
+    }
+
+    return R(std::move(planted));
+}
+
+} // namespace fab
+} // namespace hifi

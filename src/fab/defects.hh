@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Silicon defect library: physically plausible manufacturing defects
+ * stamped into the voxelized volume, with exact ground truth returned
+ * so the reverse-engineering stage can be scored on detection and
+ * classification.
+ *
+ * Four defect kinds (the classic DRAM-periphery failure modes):
+ *  - bitline short:  a copper bridge joining two adjacent bitlines
+ *    in the M1 slab;
+ *  - bitline open:   a gap etched out of one bitline;
+ *  - missing via:    a latch cross-coupling contact that was never
+ *    filled (erased from the Contact slab);
+ *  - particle:       an oversized conductive blob landed in the
+ *    Contact slab.
+ *
+ * All placement draws are counter-seeded per defect instance, so a
+ * planted scenario is reproducible from (seed, params) alone.
+ */
+
+#ifndef HIFI_FAB_DEFECTS_HH
+#define HIFI_FAB_DEFECTS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/result.hh"
+#include "fab/sa_region.hh"
+#include "image/volume3d.hh"
+
+namespace hifi
+{
+namespace fab
+{
+
+/** Kinds of silicon defect the library can plant. */
+enum class DefectKind
+{
+    BitlineShort = 0,
+    BitlineOpen,
+    MissingVia,
+    Particle,
+    NumKinds
+};
+
+const std::string &defectKindName(DefectKind kind);
+
+/** How many defects of each kind to plant, and where the draws come
+ * from.  All zero (the default) leaves the volume untouched. */
+struct DefectParams
+{
+    uint64_t seed = 1;
+
+    size_t bitlineShorts = 0;
+    size_t bitlineOpens = 0;
+    size_t missingVias = 0;
+    size_t particles = 0;
+
+    /// Diameter of a particle defect (nm); must dwarf a contact so
+    /// the RE stage can tell them apart.
+    double particleDiameterNm = 140.0;
+
+    size_t total() const
+    {
+        return bitlineShorts + bitlineOpens + missingVias + particles;
+    }
+    bool any() const { return total() > 0; }
+};
+
+/// Domain check; nullopt when valid.
+std::optional<common::Error> validate(const DefectParams &params);
+
+/** Ground truth of one planted defect. */
+struct PlantedDefect
+{
+    DefectKind kind = DefectKind::BitlineShort;
+
+    /// Region-coordinate footprint (nm) of the stamped change.
+    common::Rect footprint;
+
+    /// Affected bitline indices: shorts join A and B; opens break A;
+    /// a missing via disconnects the gate on A's side from B.  -1
+    /// when not applicable (particles).
+    long bitlineA = -1;
+    long bitlineB = -1;
+};
+
+/**
+ * Stamp the requested defects into the voxelized volume (in place)
+ * and return the exact ground truth.
+ *
+ * Placement respects resolvability constraints — defects land in the
+ * middle band of the region, on distinct bitlines, with disjoint
+ * footprints, and particles avoid drawn gates — so every planted
+ * defect is detectable in principle.  Returns FailedPrecondition when
+ * the region cannot host the requested defect mix (too few bitlines
+ * or latch contacts, or no room left after the constraints).
+ *
+ * @param vol     voxel volume from fab::voxelize, modified in place
+ * @param truth   the generating fab's ground truth (for geometry)
+ * @param voxelNm voxel edge length used to build `vol`
+ */
+common::Result<std::vector<PlantedDefect>>
+plantDefects(image::Volume3D &vol, const SaRegionTruth &truth,
+             double voxelNm, const DefectParams &params);
+
+} // namespace fab
+} // namespace hifi
+
+#endif // HIFI_FAB_DEFECTS_HH

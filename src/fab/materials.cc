@@ -39,5 +39,25 @@ materialForLayer(layout::Layer layer)
     }
 }
 
+double
+lerScale(Material m)
+{
+    switch (m) {
+      case Material::Polysilicon:
+        return 1.0;
+      case Material::Silicon:
+        return 0.8;
+      case Material::CapacitorMetal:
+        return 0.7;
+      case Material::Copper:
+        return 0.6;
+      case Material::Tungsten:
+        return 0.5;
+      case Material::Oxide:
+      default:
+        return 0.0;
+    }
+}
+
 } // namespace fab
 } // namespace hifi

@@ -38,6 +38,15 @@ const std::string &materialName(Material m);
 /// Material deposited on each layout layer.
 Material materialForLayer(layout::Layer layer);
 
+/**
+ * Relative line-edge-roughness susceptibility of a material's drawn
+ * edges, scaling models::CornerVariation::lerSigmaNm in the
+ * voxelizer.  Etched polysilicon is the roughest (1.0); damascene
+ * copper and CMP-polished tungsten come out smoother; the oxide
+ * background has no drawn edges at all (0.0).
+ */
+double lerScale(Material m);
+
 } // namespace fab
 } // namespace hifi
 

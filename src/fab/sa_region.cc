@@ -81,15 +81,36 @@ buildSaRegion(const SaRegionSpec &spec, SaRegionTruth &truth)
         spec.topology == Topology::Classic ? "SA_REGION_CLASSIC"
                                            : "SA_REGION_OCSA");
 
-    // Process variation: per-device dimension jitter, recorded in the
-    // truth through the drawn rectangles.
+    // Process variation: systematic corner CD bias, cross-wafer CD
+    // drift, and per-device dimension jitter — all recorded in the
+    // truth through the drawn rectangles, so validation stays exact.
+    // Draw order is unchanged when the corner knobs are zero, keeping
+    // the clean fab bit-identical.
     common::Rng jitter_rng(spec.jitterSeed);
-    auto jittered = [&](models::Dims d) {
+    const models::CornerVariation &var = spec.variation;
+    double total_w_hint = 1.0; // patched once the X budget is known
+    auto jittered = [&](models::Dims d, double x_hint = -1.0) {
+        double scale = 1.0 + var.cdBiasFrac;
+        if (var.cdDriftFracAcross != 0.0 && x_hint >= 0.0)
+            scale += var.cdDriftFracAcross *
+                (x_hint / total_w_hint - 0.5);
+        if (scale != 1.0) {
+            d.w *= scale;
+            d.l *= scale;
+        }
         if (spec.dimJitterNm > 0.0) {
             d.w = std::max(10.0, d.w + jitter_rng.gaussian(
                                            0.0, spec.dimJitterNm));
             d.l = std::max(8.0, d.l + jitter_rng.gaussian(
                                           0.0, spec.dimJitterNm));
+        }
+        if (var.cdSigmaFrac > 0.0) {
+            d.w = std::max(
+                10.0, d.w * (1.0 + jitter_rng.gaussian(
+                                       0.0, var.cdSigmaFrac)));
+            d.l = std::max(
+                8.0, d.l * (1.0 + jitter_rng.gaussian(
+                                      0.0, var.cdSigmaFrac)));
         }
         return d;
     };
@@ -150,12 +171,18 @@ buildSaRegion(const SaRegionSpec &spec, SaRegionTruth &truth)
     // pairs to SA2.
     const bool two_sas = spec.stackedSas == 2;
     const double total_w = two_sas ? 2.0 * region_w : region_w;
+    total_w_hint = total_w;
     auto place = [&](const Rect &r, bool sa2) {
         return sa2 ? Rect(total_w - r.x1, r.y0, total_w - r.x0, r.y1)
                    : r;
     };
     auto in_sa2 = [&](size_t pair) {
         return two_sas && (pair % 2 == 1);
+    };
+    /// Physical wafer position of a zone x (mirrored for SA2), for
+    /// the cross-wafer CD drift gradient.
+    auto phys_x = [&](double x, bool sa2) {
+        return sa2 ? total_w - x : x;
     };
 
     truth.region = Rect(0.0, 0.0, total_w, region_h);
@@ -172,7 +199,10 @@ buildSaRegion(const SaRegionSpec &spec, SaRegionTruth &truth)
     // ------- Column multiplexers ---------------------------------------
     for (size_t i = 0; i < n_bl; ++i) {
         const bool sa2 = in_sa2(i / 2);
-        const models::Dims d = jittered(spec.col);
+        const models::Dims d = jittered(
+            spec.col,
+            phys_x(col_x + static_cast<double>(i % 4) * col_slot,
+                   sa2));
         const double col_w =
             std::min(d.w, 4.0 * pitch - 2.0 * spec.minGapNm);
         const double yc = bl_center(i);
@@ -215,7 +245,7 @@ buildSaRegion(const SaRegionSpec &spec, SaRegionTruth &truth)
             if (in_sa2(pair) != sa2)
                 continue;
             const double w = std::min(
-                jittered({want_w, length}).w,
+                jittered({want_w, length}, phys_x(sx, sa2)).w,
                 2.0 * pitch - spec.minGapNm);
             const double yc = pair_center(pair);
             const Rect active =
@@ -312,37 +342,43 @@ buildSaRegion(const SaRegionSpec &spec, SaRegionTruth &truth)
         cell->addShape(place(Rect(lx, yp, lx + kTabWidth, yb + 10.0),
                              sa2),
                        Layer::Gate, prefix + "a");
-        cell->addShape(place(Rect(lx, yb - kContact / 2.0,
-                                  lx + kTabWidth,
-                                  yb + kContact / 2.0),
-                             sa2),
-                       Layer::Contact);
+        const Rect contact_a = place(Rect(lx, yb - kContact / 2.0,
+                                          lx + kTabWidth,
+                                          yb + kContact / 2.0),
+                                     sa2);
+        cell->addShape(contact_a, Layer::Contact);
         const double ya = bl_center(a);
         const double bx = lx + dims.w + kSourceGap;
         cell->addShape(place(Rect(bx, ya - 10.0, bx + kTabWidth, yp),
                              sa2),
                        Layer::Gate, prefix + "b");
-        cell->addShape(place(Rect(bx, ya - kContact / 2.0,
-                                  bx + kTabWidth,
-                                  ya + kContact / 2.0),
-                             sa2),
-                       Layer::Contact);
+        const Rect contact_b = place(Rect(bx, ya - kContact / 2.0,
+                                          bx + kTabWidth,
+                                          ya + kContact / 2.0),
+                                     sa2);
+        cell->addShape(contact_b, Layer::Contact);
 
-        truth.devices.push_back({role, gate_a, active, a, b});
-        truth.devices.push_back({role, gate_b, active, b, a});
+        truth.devices.push_back(
+            {role, gate_a, active, a, b, contact_a});
+        truth.devices.push_back(
+            {role, gate_b, active, b, a, contact_b});
     };
 
     for (size_t pair = 0; pair < spec.pairs; ++pair) {
         add_latch_pair(Role::Nsa, nsa_x, nsa_pair_w,
-                       jittered(spec.nsa), pair);
+                       jittered(spec.nsa,
+                                phys_x(nsa_x, in_sa2(pair))),
+                       pair);
         add_latch_pair(Role::Psa, psa_x, psa_pair_w,
-                       jittered(spec.psa), pair);
+                       jittered(spec.psa,
+                                phys_x(psa_x, in_sa2(pair))),
+                       pair);
     }
 
     // ------- LSA block (next datapath stage, Section V-C) ---------------
     for (size_t pair = 0; pair < spec.pairs; ++pair) {
         const bool sa2 = in_sa2(pair);
-        const models::Dims d = jittered(spec.lsa);
+        const models::Dims d = jittered(spec.lsa, phys_x(lsa_x, sa2));
         const double yp = pair_center(pair);
         const Rect gate = place(Rect(lsa_x, yp - d.l / 2.0,
                                      lsa_x + d.w, yp + d.l / 2.0),

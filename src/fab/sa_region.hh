@@ -36,6 +36,7 @@
 #include "common/geometry.hh"
 #include "layout/cell.hh"
 #include "models/chip_data.hh"
+#include "models/process.hh"
 
 namespace hifi
 {
@@ -77,8 +78,20 @@ struct SaRegionSpec
      */
     double dimJitterNm = 0.0;
 
-    /// Seed for the jitter draw (only used when dimJitterNm > 0).
+    /// Seed for the jitter draw (only used when dimJitterNm > 0 or
+    /// variation.cdSigmaFrac > 0).
     uint64_t jitterSeed = 1;
+
+    /**
+     * Process-corner variation (models::cornerVariation preset or
+     * custom): systematic CD bias, random per-device CD sigma and
+     * cross-wafer CD drift are applied to the drawn dimensions here
+     * (and recorded in the truth, so validation stays exact); the
+     * LER fields are consumed by the voxelizer.  The default
+     * (typical corner, all zero) reproduces the clean fab
+     * bit-for-bit.
+     */
+    models::CornerVariation variation;
 
     // Drawn transistor dimensions (W, L in nm).
     models::Dims nsa{210, 52};
@@ -103,6 +116,12 @@ struct PlacedDevice
     common::Rect active;  ///< active region it sits on
     size_t bitline = 0;   ///< index of the bitline it serves
     size_t couplesTo = 0; ///< latch only: bitline driving the gate
+
+    /// Latch only: the contact joining this gate's poly tab to the
+    /// partner bitline (Fig. 8).  Empty for non-latch devices.  The
+    /// defect library erases exactly this rect for a missing-via
+    /// defect.
+    common::Rect couplingContact;
 };
 
 /** Ground truth for a generated region. */

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/parallel.hh"
+#include "common/rng.hh"
 #include "common/telemetry.hh"
 
 namespace hifi
@@ -13,16 +15,55 @@ namespace hifi
 namespace fab
 {
 
+namespace
+{
+
+/// Edge ids for the LER noise streams of one shape.
+enum EdgeId : uint64_t
+{
+    kEdgeX0 = 0,
+    kEdgeX1,
+    kEdgeY0,
+    kEdgeY1
+};
+
+/**
+ * Smooth line-edge roughness profile: value noise with knots every
+ * `corrLen` nm along the edge, each knot a counter-seeded gaussian
+ * draw.  Pure function of (seed, shape, edge, knot) — independent of
+ * evaluation order and thread count.
+ */
+double
+lerOffsetNm(uint64_t seed, uint64_t shape, uint64_t edge, double t_nm,
+            double corr_len_nm, double sigma_nm)
+{
+    const double t = std::max(0.0, t_nm) / corr_len_nm;
+    const auto k0 = static_cast<uint64_t>(t);
+    const double frac = t - static_cast<double>(k0);
+    auto knot = [&](uint64_t k) {
+        common::Rng rng(seed, ((shape * 4 + edge) << 24) | k);
+        return rng.gaussian(0.0, sigma_nm);
+    };
+    return knot(k0) * (1.0 - frac) + knot(k0 + 1) * frac;
+}
+
+struct VoxelBox
+{
+    size_t x0, x1, y0, y1, z0, z1;
+    float mat;
+
+    // LER edge-offset tables (nm), indexed relative to the box's
+    // voxel bounds: xoff*[yy - y0], yoff*[xx - x0].  Empty when the
+    // shape rasterizes crisp edges.
+    std::vector<double> xoff0, xoff1, yoff0, yoff1;
+    common::Rect rect; ///< drawn rect (nm), for the rough-edge test
+};
+
 image::Volume3D
-voxelize(const layout::Cell &cell, const common::Rect &bounds,
-         const VoxelizeParams &params)
+rasterize(const layout::Cell &cell, const common::Rect &bounds,
+          const VoxelizeParams &params)
 {
     const telemetry::Span span("fab.voxelize");
-    if (bounds.empty())
-        throw std::invalid_argument("voxelize: empty bounds");
-    if (params.voxelNm <= 0.0)
-        throw std::invalid_argument("voxelize: bad voxel size");
-
     const double v = params.voxelNm;
     const auto nx = static_cast<size_t>(
         std::ceil(bounds.width() / v));
@@ -34,21 +75,29 @@ voxelize(const layout::Cell &cell, const common::Rect &bounds,
     image::Volume3D vol(nx, ny, nz,
                         static_cast<float>(Material::Oxide));
 
+    const double sigma = params.lerSigmaNm;
+    const double corr = std::max(params.lerCorrLenNm, 2.0 * v);
+
     // Clip every drawn shape to voxel index boxes once, serially.
-    struct VoxelBox
-    {
-        size_t x0, x1, y0, y1, z0, z1;
-        float mat;
-    };
     std::vector<VoxelBox> boxes;
+    size_t shape_idx = 0;
     for (const auto &shape : cell.flatten()) {
-        const common::Rect r = shape.rect.intersect(bounds);
-        if (r.empty())
-            continue;
+        const uint64_t sid = shape_idx++;
+        const Material mat = materialForLayer(shape.layer);
+        const double mat_sigma = sigma * lerScale(mat);
         const layout::LayerZ z = layout::layerZ(shape.layer);
 
+        // Inflate the candidate rect by the largest credible edge
+        // excursion so rough edges are not cut at the crisp bbox.
+        const double guard = mat_sigma > 0.0 ? 4.0 * mat_sigma : 0.0;
+        const common::Rect r =
+            shape.rect.inflate(guard).intersect(bounds);
+        if (r.empty())
+            continue;
+
         VoxelBox box;
-        box.mat = static_cast<float>(materialForLayer(shape.layer));
+        box.mat = static_cast<float>(mat);
+        box.rect = shape.rect;
         box.x0 = static_cast<size_t>(
             std::max(0.0, (r.x0 - bounds.x0) / v));
         box.y0 = static_cast<size_t>(
@@ -60,7 +109,33 @@ voxelize(const layout::Cell &cell, const common::Rect &bounds,
             ny, static_cast<size_t>(std::ceil((r.y1 - bounds.y0) / v)));
         box.z1 = std::min(
             nz, static_cast<size_t>(std::ceil(z.z1 / v)));
-        boxes.push_back(box);
+
+        if (mat_sigma > 0.0 && box.x1 > box.x0 && box.y1 > box.y0) {
+            // Precompute the four edge profiles over the box span;
+            // the rasterizer then tests voxel centres against the
+            // perturbed edges.
+            box.xoff0.resize(box.y1 - box.y0);
+            box.xoff1.resize(box.y1 - box.y0);
+            for (size_t yy = box.y0; yy < box.y1; ++yy) {
+                const double cy =
+                    bounds.y0 + (static_cast<double>(yy) + 0.5) * v;
+                box.xoff0[yy - box.y0] = lerOffsetNm(
+                    params.lerSeed, sid, kEdgeX0, cy, corr, mat_sigma);
+                box.xoff1[yy - box.y0] = lerOffsetNm(
+                    params.lerSeed, sid, kEdgeX1, cy, corr, mat_sigma);
+            }
+            box.yoff0.resize(box.x1 - box.x0);
+            box.yoff1.resize(box.x1 - box.x0);
+            for (size_t xx = box.x0; xx < box.x1; ++xx) {
+                const double cx =
+                    bounds.x0 + (static_cast<double>(xx) + 0.5) * v;
+                box.yoff0[xx - box.x0] = lerOffsetNm(
+                    params.lerSeed, sid, kEdgeY0, cx, corr, mat_sigma);
+                box.yoff1[xx - box.x0] = lerOffsetNm(
+                    params.lerSeed, sid, kEdgeY1, cx, corr, mat_sigma);
+            }
+        }
+        boxes.push_back(std::move(box));
     }
 
     // Rasterize z-slab parallel: each slab owns its voxels and paints
@@ -70,13 +145,99 @@ voxelize(const layout::Cell &cell, const common::Rect &bounds,
         for (const auto &box : boxes) {
             const size_t zb = std::max(box.z0, slab0);
             const size_t ze = std::min(box.z1, slab1);
-            for (size_t zz = zb; zz < ze; ++zz)
-                for (size_t yy = box.y0; yy < box.y1; ++yy)
-                    for (size_t xx = box.x0; xx < box.x1; ++xx)
+            if (zb >= ze)
+                continue;
+            if (box.xoff0.empty()) {
+                // Crisp edges: the exact legacy index-box fill.
+                for (size_t zz = zb; zz < ze; ++zz)
+                    for (size_t yy = box.y0; yy < box.y1; ++yy)
+                        for (size_t xx = box.x0; xx < box.x1; ++xx)
+                            vol.at(xx, yy, zz) = box.mat;
+                continue;
+            }
+            for (size_t yy = box.y0; yy < box.y1; ++yy) {
+                const double cy = bounds.y0 +
+                    (static_cast<double>(yy) + 0.5) *
+                        params.voxelNm;
+                const double ex0 =
+                    box.rect.x0 + box.xoff0[yy - box.y0];
+                const double ex1 =
+                    box.rect.x1 + box.xoff1[yy - box.y0];
+                for (size_t xx = box.x0; xx < box.x1; ++xx) {
+                    const double cx = bounds.x0 +
+                        (static_cast<double>(xx) + 0.5) *
+                            params.voxelNm;
+                    if (cx < ex0 || cx >= ex1)
+                        continue;
+                    const double ey0 =
+                        box.rect.y0 + box.yoff0[xx - box.x0];
+                    const double ey1 =
+                        box.rect.y1 + box.yoff1[xx - box.x0];
+                    if (cy < ey0 || cy >= ey1)
+                        continue;
+                    for (size_t zz = zb; zz < ze; ++zz)
                         vol.at(xx, yy, zz) = box.mat;
+                }
+            }
         }
     });
     return vol;
+}
+
+/// Largest distance (nm) a rect extends beyond the bounds.
+double
+boundsOverflowNm(const common::Rect &r, const common::Rect &bounds)
+{
+    return std::max({0.0, bounds.x0 - r.x0, r.x1 - bounds.x1,
+                     bounds.y0 - r.y0, r.y1 - bounds.y1});
+}
+
+} // namespace
+
+image::Volume3D
+voxelize(const layout::Cell &cell, const common::Rect &bounds,
+         const VoxelizeParams &params)
+{
+    if (bounds.empty())
+        throw std::invalid_argument("voxelize: empty bounds");
+    if (params.voxelNm <= 0.0)
+        throw std::invalid_argument("voxelize: bad voxel size");
+    return rasterize(cell, bounds, params);
+}
+
+common::Result<image::Volume3D>
+voxelizeChecked(const layout::Cell &cell, const common::Rect &bounds,
+                const VoxelizeParams &params)
+{
+    using R = common::Result<image::Volume3D>;
+    if (bounds.empty())
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "voxelizeChecked: empty bounds");
+    if (params.voxelNm <= 0.0)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "voxelizeChecked: bad voxel size");
+    if (params.outOfBoundsTolNm < 0.0)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "voxelizeChecked: negative bounds "
+                          "tolerance");
+
+    size_t idx = 0;
+    for (const auto &shape : cell.flatten()) {
+        const double overflow =
+            boundsOverflowNm(shape.rect, bounds);
+        if (overflow > params.outOfBoundsTolNm)
+            return R::failure(
+                common::ErrorCode::FailedPrecondition,
+                "voxelizeChecked: shape #" + std::to_string(idx) +
+                    " on layer " + layout::layerName(shape.layer) +
+                    (shape.net.empty() ? std::string()
+                                       : " (net " + shape.net + ")") +
+                    " extends " + std::to_string(overflow) +
+                    " nm beyond the volume bounds (tolerance " +
+                    std::to_string(params.outOfBoundsTolNm) + " nm)");
+        ++idx;
+    }
+    return R(rasterize(cell, bounds, params));
 }
 
 Material

@@ -2,11 +2,22 @@
  * @file
  * Rasterizes a layout cell into a 3-D material volume, the "silicon"
  * the microscope simulator images.
+ *
+ * With a non-zero line-edge-roughness sigma the drawn edges are
+ * perturbed by a smooth, per-edge value-noise profile (correlation
+ * length `lerCorrLenNm`), scaled per material by fab::lerScale.  All
+ * roughness draws are counter-seeded pure functions of
+ * (lerSeed, shape index, edge, knot), so the rasterized volume is
+ * identical at any thread count and any scenario is reproducible from
+ * its parameters alone.
  */
 
 #ifndef HIFI_FAB_VOXELIZER_HH
 #define HIFI_FAB_VOXELIZER_HH
 
+#include <cstdint>
+
+#include "common/result.hh"
 #include "fab/materials.hh"
 #include "image/volume3d.hh"
 #include "layout/cell.hh"
@@ -24,6 +35,24 @@ struct VoxelizeParams
 
     /// Vertical extent of the volume (nm above substrate).
     double zMaxNm = 270.0;
+
+    /// Line-edge roughness amplitude (nm, 1 sigma); 0 disables and
+    /// keeps the rasterization bit-identical to the clean fab.
+    double lerSigmaNm = 0.0;
+
+    /// LER correlation length along an edge (nm).
+    double lerCorrLenNm = 40.0;
+
+    /// Seed for the roughness draws (counter-seeded per shape/edge).
+    uint64_t lerSeed = 1;
+
+    /**
+     * How far (nm) a drawn shape may extend beyond the volume bounds
+     * before voxelizeChecked treats the clip as an error.  Line-edge
+     * roughness legally pushes edges a few sigma out of bounds, so
+     * callers enabling LER should allow at least ~4 x lerSigmaNm.
+     */
+    double outOfBoundsTolNm = 0.0;
 };
 
 /**
@@ -34,10 +63,24 @@ struct VoxelizeParams
  *
  * The volume origin coincides with `bounds.x0/y0`; voxel (x,y,z)
  * covers [x*v, (x+1)*v) nm etc.
+ *
+ * Shapes crossing the volume boundary are silently clipped (the
+ * legacy contract); use voxelizeChecked to get a typed error instead.
  */
 image::Volume3D voxelize(const layout::Cell &cell,
                          const common::Rect &bounds,
                          const VoxelizeParams &params = {});
+
+/**
+ * Validated rasterization: like voxelize, but invalid inputs (empty
+ * bounds, non-positive voxel size) and shapes that extend beyond the
+ * volume bounds by more than `params.outOfBoundsTolNm` produce a
+ * typed error instead of an exception or a silent clip.  Shapes
+ * within the tolerance are clipped exactly as voxelize clips them.
+ */
+common::Result<image::Volume3D>
+voxelizeChecked(const layout::Cell &cell, const common::Rect &bounds,
+                const VoxelizeParams &params = {});
 
 /// Material of a voxel value (clamped to the enum range).
 Material voxelMaterial(float value);

@@ -7,6 +7,48 @@ namespace hifi
 namespace models
 {
 
+const char *
+cornerName(ProcessCorner corner)
+{
+    switch (corner) {
+      case ProcessCorner::Slow:
+        return "slow";
+      case ProcessCorner::Typical:
+        return "typical";
+      case ProcessCorner::Fast:
+        return "fast";
+      default:
+        return "unknown";
+    }
+}
+
+CornerVariation
+cornerVariation(char vendor, ProcessCorner corner)
+{
+    CornerVariation v;
+    v.corner = corner;
+    if (corner == ProcessCorner::Typical)
+        return v; // nominal process: variation off, clean fab
+
+    // Vendor roughness factor: vendor A runs the most mature process;
+    // B and C (whose materials already image differently, §IV-B) get
+    // progressively rougher corners.
+    double rough = 1.0;
+    if (vendor == 'B')
+        rough = 1.2;
+    else if (vendor == 'C')
+        rough = 1.4;
+
+    const double sign = corner == ProcessCorner::Slow ? 1.0 : -1.0;
+    v.cdBiasFrac = sign * 0.03 * rough;
+    v.cdSigmaFrac = 0.012 * rough;
+    v.lerSigmaNm = 1.2 * rough;
+    v.lerCorrLenNm = 40.0;
+    v.cdDriftFracAcross = 0.02 * rough;
+    v.measureTolScale = 1.0 + 0.35 * rough;
+    return v;
+}
+
 ProcessInfo
 processInfo(const ChipSpec &chip)
 {
@@ -26,6 +68,17 @@ processInfo(const ChipSpec &chip)
         info.cellsPerMat / std::pow(2.0, 30);
     info.capacityRatio =
         info.impliedGbit / static_cast<double>(chip.storageGbit);
+    return info;
+}
+
+ProcessInfo
+processInfo(const ChipSpec &chip, const CornerVariation &variation)
+{
+    ProcessInfo info = processInfo(chip);
+    const double scale = 1.0 + variation.cdBiasFrac;
+    info.featureNm *= scale;
+    info.cellAreaNm2 *= scale * scale;
+    info.wlPitchNm *= scale;
     return info;
 }
 

@@ -21,6 +21,74 @@ namespace hifi
 namespace models
 {
 
+/**
+ * Process corner of a fabricated wafer.  Typical is the nominal
+ * (clean) process the calibrated chip tables describe; Slow and Fast
+ * are the classic worst-case corners where drawn critical dimensions
+ * come out systematically larger (slow transistors) or smaller (fast)
+ * and line-edge roughness grows.
+ */
+enum class ProcessCorner
+{
+    Slow = 0,
+    Typical,
+    Fast,
+    NumCorners
+};
+
+const char *cornerName(ProcessCorner corner);
+
+/**
+ * Process-variation knobs for one fabricated region, derived from a
+ * per-vendor corner preset (cornerVariation) or set directly by a
+ * scenario generator.  All-zero variation reproduces the clean
+ * deterministic fab bit-for-bit; every random draw the fields enable
+ * is counter-seeded, so any scenario is a pure function of
+ * (seed, params).
+ */
+struct CornerVariation
+{
+    ProcessCorner corner = ProcessCorner::Typical;
+
+    /// Systematic critical-dimension bias as a fraction of the drawn
+    /// dimension (slow corner > 0, fast corner < 0).
+    double cdBiasFrac = 0.0;
+
+    /// Random per-device CD sigma as a fraction of the drawn value.
+    double cdSigmaFrac = 0.0;
+
+    /// Line-edge roughness amplitude (nm, 1 sigma) applied by the
+    /// voxelizer; scaled per material by fab::lerScale.
+    double lerSigmaNm = 0.0;
+
+    /// LER correlation length along an edge (nm).
+    double lerCorrLenNm = 40.0;
+
+    /// Cross-wafer CD drift: total fractional CD change across the
+    /// region along X (the drawn value at x is scaled by
+    /// 1 + cdDriftFracAcross * (x/width - 0.5)).
+    double cdDriftFracAcross = 0.0;
+
+    /// Declared measurement-tolerance multiplier for this corner;
+    /// re::dimensionToleranceNm folds it into the pipeline tolerance.
+    double measureTolScale = 1.0;
+
+    bool enabled() const
+    {
+        return cdBiasFrac != 0.0 || cdSigmaFrac != 0.0 ||
+            lerSigmaNm != 0.0 || cdDriftFracAcross != 0.0;
+    }
+};
+
+/**
+ * Per-vendor corner preset (Section IV-B observes vendor-dependent
+ * process behaviour: vendor B/C materials image differently "likely
+ * due to manufacturing processes"; the presets give them slightly
+ * rougher corners).  Typical is the clean nominal process — all
+ * variation off — so existing pipelines stay bit-identical.
+ */
+CornerVariation cornerVariation(char vendor, ProcessCorner corner);
+
 /** Derived process numbers for one chip. */
 struct ProcessInfo
 {
@@ -42,6 +110,14 @@ struct ProcessInfo
 
 /// Derive the process numbers for a chip.
 ProcessInfo processInfo(const ChipSpec &chip);
+
+/**
+ * Corner-aware derivation: the CD bias of the corner widens (slow) or
+ * shrinks (fast) the feature size and everything derived from it,
+ * modelling what the same mask set yields at that corner.
+ */
+ProcessInfo processInfo(const ChipSpec &chip,
+                        const CornerVariation &variation);
 
 } // namespace models
 } // namespace hifi

@@ -112,6 +112,29 @@ toNm(const Component &c, const PlanarScales &s)
                         static_cast<double>(c.y1) * s.yNm);
 }
 
+/**
+ * Vertical mask run at (px, py), robust to degenerate columns.  A
+ * feature whose drawn edge straddles a FIB slice boundary leaves a
+ * partially-filled slice whose diluted intensity fragments the mask,
+ * collapsing the run at that column far below the feature height.
+ * When the centre-column run comes out shorter than 60% of the
+ * component's extent, re-measure across the component's columns and
+ * take the longest run instead.  Healthy features measure identically
+ * (the guard never fires), so the typical-corner path is unchanged.
+ */
+double
+robustVerticalRun(const image::Image2D &intensity,
+                  const image::Image2D &mask, size_t x0, size_t x1,
+                  size_t px, size_t py, size_t extent_rows)
+{
+    double run = measureRun(intensity, mask, px, py, false);
+    if (run >= 0.6 * static_cast<double>(extent_rows))
+        return run;
+    for (size_t x = x0; x <= x1 && x < mask.width(); ++x)
+        run = std::max(run, measureRun(intensity, mask, x, py, false));
+    return run;
+}
+
 } // namespace
 
 RegionAnalysis
@@ -145,12 +168,151 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
     RegionAnalysis out;
 
     // (ii) Bitline anchors: M1 components spanning the region in X.
-    std::vector<common::Rect> bitlines;
+    // Components that deviate from the expected geometry are silicon
+    // defect candidates: a double-height full-span component is two
+    // bitlines merged by a short, and collinear partial components
+    // that reunite to a full span are one bitline broken by an open.
+    std::vector<common::Rect> full_span, partial;
     for (const auto &c : metal.comps) {
         const common::Rect r = toNm(c, scales);
         if (r.width() >= 0.85 * region_w)
-            bitlines.push_back(r);
+            full_span.push_back(r);
+        else if (r.width() >= 0.05 * region_w)
+            partial.push_back(r);
     }
+    std::vector<double> heights;
+    for (const auto &r : full_span)
+        heights.push_back(r.height());
+    for (const auto &r : partial)
+        heights.push_back(r.height());
+    double med_h = 0.0;
+    if (!heights.empty()) {
+        std::sort(heights.begin(), heights.end());
+        med_h = heights[heights.size() / 2];
+    }
+
+    // Defects found while repairing the anchors; bitline indices are
+    // resolved once the repaired list is sorted.
+    struct PendingDefect
+    {
+        fab::DefectKind kind;
+        common::Rect where;
+        double yA, yB; // bitline centre y (nm); yB < 0 if unused
+    };
+    std::vector<PendingDefect> pending;
+
+    std::vector<common::Rect> bitlines;
+    for (const auto &r : full_span) {
+        if (med_h <= 0.0 || r.height() <= 1.75 * med_h) {
+            bitlines.push_back(r);
+            continue;
+        }
+        // Bitline short: split the merged component back into its
+        // two lines and locate the bridge (mask runs at the midline).
+        const common::Rect top(r.x0, r.y0, r.x1, r.y0 + med_h);
+        const common::Rect bot(r.x0, r.y1 - med_h, r.x1, r.y1);
+        bitlines.push_back(top);
+        bitlines.push_back(bot);
+        const auto clamp_py = [&](double y_nm) {
+            return static_cast<size_t>(std::min(
+                y_nm / scales.yNm,
+                static_cast<double>(metal.mask.height() - 1)));
+        };
+        const size_t mid_py = clamp_py(r.center().y);
+        const size_t top_py = clamp_py(top.center().y);
+        const size_t bot_py = clamp_py(bot.center().y);
+        // A column is a bridge only if the mask is on all the way
+        // from one line's centre to the other's — edge fray from
+        // roughness or blur lights the midline without connecting.
+        const auto column_bridges = [&](size_t x) {
+            for (size_t y = top_py; y <= bot_py; ++y)
+                if (metal.mask.at(x, y) <= 0.5f)
+                    return false;
+            return true;
+        };
+        const auto px0 = static_cast<size_t>(r.x0 / scales.xNm);
+        const auto px1 = std::min(
+            static_cast<size_t>(r.x1 / scales.xNm),
+            metal.mask.width());
+        // Report the extent of the bridging columns, not the whole
+        // midline run: roughness fray can stretch the run across the
+        // entire region while only the actual short connects, and a
+        // region-wide rect would mislocate the defect.
+        bool in_run = false;
+        bool run_bridges = false;
+        size_t bridge_x0 = 0, bridge_x1 = 0;
+        for (size_t x = px0; x <= px1; ++x) {
+            const bool on =
+                x < px1 && metal.mask.at(x, mid_py) > 0.5f;
+            if (on && !in_run) {
+                in_run = true;
+                run_bridges = false;
+            }
+            if (on && column_bridges(x)) {
+                if (!run_bridges)
+                    bridge_x0 = x;
+                bridge_x1 = x;
+                run_bridges = true;
+            }
+            if (!on && in_run) {
+                in_run = false;
+                if (!run_bridges)
+                    continue;
+                pending.push_back(
+                    {fab::DefectKind::BitlineShort,
+                     common::Rect(
+                         static_cast<double>(bridge_x0) * scales.xNm,
+                         top.y1,
+                         static_cast<double>(bridge_x1 + 1) *
+                             scales.xNm,
+                         bot.y0),
+                     top.center().y, bot.center().y});
+            }
+        }
+    }
+
+    // Bitline opens: group the partial components by row (same
+    // bitline iff centres within ~half a line height) and reunite
+    // groups that jointly span the region.
+    std::sort(partial.begin(), partial.end(),
+              [](const common::Rect &a, const common::Rect &b) {
+                  return a.center().y < b.center().y;
+              });
+    for (size_t i = 0; i < partial.size();) {
+        size_t j = i + 1;
+        while (j < partial.size() &&
+               partial[j].center().y - partial[i].center().y <
+                   0.75 * med_h)
+            ++j;
+        std::vector<common::Rect> group(partial.begin() + i,
+                                        partial.begin() + j);
+        i = j;
+        double ux0 = group.front().x0, ux1 = group.front().x1;
+        double uy0 = group.front().y0, uy1 = group.front().y1;
+        for (const auto &g : group) {
+            ux0 = std::min(ux0, g.x0);
+            ux1 = std::max(ux1, g.x1);
+            uy0 = std::min(uy0, g.y0);
+            uy1 = std::max(uy1, g.y1);
+        }
+        if (group.size() < 2 || ux1 - ux0 < 0.85 * region_w)
+            continue; // stray fragment, not a broken bitline
+        const common::Rect repaired(ux0, uy0, ux1, uy1);
+        bitlines.push_back(repaired);
+        std::sort(group.begin(), group.end(),
+                  [](const common::Rect &a, const common::Rect &b) {
+                      return a.x0 < b.x0;
+                  });
+        for (size_t k = 0; k + 1 < group.size(); ++k) {
+            if (group[k + 1].x0 <= group[k].x1)
+                continue;
+            pending.push_back({fab::DefectKind::BitlineOpen,
+                               common::Rect(group[k].x1, uy0,
+                                            group[k + 1].x0, uy1),
+                               repaired.center().y, -1.0});
+        }
+    }
+
     std::sort(bitlines.begin(), bitlines.end(),
               [](const common::Rect &a, const common::Rect &b) {
                   return a.y0 < b.y0;
@@ -176,6 +338,31 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
         return best;
     };
 
+    // Resolve the anchor-repair defects to bitline indices now that
+    // the repaired list is sorted.
+    for (const auto &p : pending) {
+        DetectedDefect d;
+        d.kind = p.kind;
+        d.where = p.where;
+        d.bitlineA = bitline_at(p.yA);
+        if (p.yB >= 0.0)
+            d.bitlineB = bitline_at(p.yB);
+        out.defects.push_back(d);
+    }
+
+    // Particle scan: a contact-slab component dwarfing a via is a
+    // conductive particle, not a legitimate contact.  Flag it and
+    // keep it out of the cross-coupling trace below.
+    std::vector<char> is_particle(contact.comps.size(), 0);
+    for (size_t ci = 0; ci < contact.comps.size(); ++ci) {
+        const common::Rect r = toNm(contact.comps[ci], scales);
+        if (std::min(r.width(), r.height()) < 70.0)
+            continue;
+        is_particle[ci] = 1;
+        out.defects.push_back(
+            {fab::DefectKind::Particle, r, -1, -1});
+    }
+
     // (iv) Gate classes: common-gate strips vs small gates.
     std::vector<Component> strips, small_gates;
     for (const auto &c : gate.comps) {
@@ -189,6 +376,54 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
               [](const Component &a, const Component &b) {
                   return a.x0 < b.x0;
               });
+
+    // (iv-b) Rejoin strips severed by the opening.  The classic PEQ
+    // strap lives at the region edge; when a shrunk process corner
+    // leaves it only two voxel rows tall the Y-opening erases it and
+    // the bridged pair shows up as two strips.  The raw (pre-open)
+    // mask still carries the strap, so merge adjacent strips that it
+    // connects wall-to-wall inside an edge band.
+    if (strips.size() >= 2) {
+        const image::Image2D raw_gate = materialMask(
+            gate.intensity, Material::Polysilicon, detector);
+        const size_t ny = raw_gate.height();
+        const auto band = std::max<size_t>(
+            1, static_cast<size_t>(std::ceil(20.0 / scales.yNm)));
+        const auto bridged = [&](const Component &a,
+                                 const Component &b) {
+            if (b.x0 <= a.x1 + 1)
+                return true; // touching or overlapping in x
+            const auto column_on = [&](size_t x, size_t y0,
+                                       size_t y1) {
+                for (size_t y = y0; y < y1; ++y)
+                    if (raw_gate.at(x, y) > 0.5f)
+                        return true;
+                return false;
+            };
+            bool top = true, bottom = true;
+            for (size_t x = a.x1 + 1; x < b.x0 && (top || bottom);
+                 ++x) {
+                if (top && !column_on(x, ny - std::min(band, ny), ny))
+                    top = false;
+                if (bottom && !column_on(x, 0, std::min(band, ny)))
+                    bottom = false;
+            }
+            return top || bottom;
+        };
+        std::vector<Component> merged;
+        for (const auto &s : strips) {
+            if (!merged.empty() && bridged(merged.back(), s)) {
+                Component &m = merged.back();
+                m.x1 = std::max(m.x1, s.x1);
+                m.y0 = std::min(m.y0, s.y0);
+                m.y1 = std::max(m.y1, s.y1);
+                m.pixels += s.pixels;
+            } else {
+                merged.push_back(s);
+            }
+        }
+        strips = std::move(merged);
+    }
     out.commonGateStrips = strips.size();
 
     // (vii) Topology: three independent strips = OCSA; one bridged
@@ -274,8 +509,9 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
             ExtractedDevice dev;
             dev.role = role;
             dev.gate = toNm(a, scales);
-            dev.wNm = measureRun(active.intensity, active.mask,
-                                 bar_cx, cy, false) *
+            dev.wNm = robustVerticalRun(active.intensity, active.mask,
+                                        a.x0, a.x1, bar_cx, cy,
+                                        a.y1 - a.y0 + 1) *
                 scales.yNm;
             dev.lNm = measureRun(gate.intensity, gate.mask, bar_cx,
                                  cy, true) *
@@ -308,6 +544,7 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
     // at the gate's body centre row and L along Y at the body centre
     // column; trace the cross-coupling through contacts.
     std::vector<ExtractedDevice> latch, singles;
+    std::vector<std::pair<double, double>> latch_act_y; // nm, per dev
     for (size_t ai = 0; ai < active.comps.size(); ++ai) {
         const auto &gats = gates_per_active[ai];
         const auto &act = active.comps[ai];
@@ -327,13 +564,18 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
                 dev.wNm = measureRun(gate.intensity, gate.mask, cx,
                                      cy, true) *
                     scales.xNm;
-                dev.lNm = measureRun(gate.intensity, gate.mask, cx,
-                                     cy, false) *
+                dev.lNm = robustVerticalRun(gate.intensity, gate.mask,
+                                            bx0, bx1, cx, cy,
+                                            by1 - by0 + 1) *
                     scales.yNm;
 
                 // Contacts overlapping the gate component trace the
-                // poly tab to the partner bitline.
-                for (const auto &ct : contact.comps) {
+                // poly tab to the partner bitline.  Particle blobs
+                // are not contacts and must not fake a coupling.
+                for (size_t ci = 0; ci < contact.comps.size(); ++ci) {
+                    if (is_particle[ci])
+                        continue;
+                    const auto &ct = contact.comps[ci];
                     const bool overlaps = ct.centerX() >= g->x0 &&
                         ct.centerX() < g->x1 &&
                         ct.centerY() >= g->y0 && ct.centerY() < g->y1;
@@ -345,6 +587,9 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
                         dev.couplesTo = bl;
                 }
                 latch.push_back(dev);
+                latch_act_y.emplace_back(
+                    static_cast<double>(act.y0) * scales.yNm,
+                    static_cast<double>(act.y1) * scales.yNm);
             }
         } else if (gats.size() == 1) {
             const auto *g = gats.front();
@@ -362,6 +607,33 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
     for (size_t i = 0; i + 1 < latch.size(); i += 2) {
         latch[i].bitline = latch[i + 1].couplesTo;
         latch[i + 1].bitline = latch[i].couplesTo;
+    }
+
+    // Missing-via scan: a latch gate with no coupling contact is an
+    // unfilled via.  The partner's own bitline (unresolvable through
+    // the broken link) is repaired from the pair's active extent: the
+    // shared active overlaps exactly the pair's two bitlines.
+    for (size_t i = 0; i + 1 < latch.size(); i += 2) {
+        for (size_t s = 0; s < 2; ++s) {
+            ExtractedDevice &broken = latch[i + s];
+            ExtractedDevice &partner = latch[i + 1 - s];
+            if (broken.couplesTo >= 0)
+                continue;
+            if (partner.bitline < 0) {
+                const auto [ay0, ay1] = latch_act_y[i + s];
+                for (size_t bi = 0; bi < bitlines.size(); ++bi) {
+                    const double cy = bitlines[bi].center().y;
+                    if (cy < ay0 || cy > ay1 ||
+                        static_cast<long>(bi) == broken.bitline)
+                        continue;
+                    partner.bitline = static_cast<long>(bi);
+                    break;
+                }
+            }
+            out.defects.push_back({fab::DefectKind::MissingVia,
+                                   broken.gate, broken.bitline,
+                                   partner.bitline});
+        }
     }
 
     // (viii) nSA vs pSA: split the latch devices by measured width
@@ -420,30 +692,33 @@ analyzeRegion(const image::Volume3D &recon, const PlanarScales &scales,
     const double left_limit = std::min(first_strip_x, latch_min_x);
     for (auto &d : singles) {
         const double cx = d.gate.center().x;
+        const auto px =
+            static_cast<size_t>(d.gate.center().x / scales.xNm);
+        const auto py =
+            static_cast<size_t>(d.gate.center().y / scales.yNm);
+        const auto gx0 =
+            static_cast<size_t>(d.gate.x0 / scales.xNm);
+        const auto gx1 =
+            static_cast<size_t>(d.gate.x1 / scales.xNm);
+        const auto grows = static_cast<size_t>(
+            (d.gate.y1 - d.gate.y0) / scales.yNm) +
+            1;
         if (cx < left_limit || (mirrored && cx > last_strip_x)) {
             d.role = Role::Column;
             // W along Y, L along X (series device in the bitline).
-            const auto px = static_cast<size_t>(
-                d.gate.center().x / scales.xNm);
-            const auto py = static_cast<size_t>(
-                d.gate.center().y / scales.yNm);
-            d.wNm = measureRun(gate.intensity, gate.mask, px, py,
-                               false) *
+            d.wNm = robustVerticalRun(gate.intensity, gate.mask,
+                                      gx0, gx1, px, py, grows) *
                 scales.yNm;
             d.lNm = measureRun(gate.intensity, gate.mask, px, py,
                                true) *
                 scales.xNm;
         } else {
             d.role = Role::Lsa;
-            const auto px = static_cast<size_t>(
-                d.gate.center().x / scales.xNm);
-            const auto py = static_cast<size_t>(
-                d.gate.center().y / scales.yNm);
             d.wNm = measureRun(gate.intensity, gate.mask, px, py,
                                true) *
                 scales.xNm;
-            d.lNm = measureRun(gate.intensity, gate.mask, px, py,
-                               false) *
+            d.lNm = robustVerticalRun(gate.intensity, gate.mask,
+                                      gx0, gx1, px, py, grows) *
                 scales.yNm;
         }
         out.devices.push_back(d);

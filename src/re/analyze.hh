@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/geometry.hh"
+#include "fab/defects.hh"
 #include "image/volume3d.hh"
 #include "models/chip_data.hh"
 
@@ -55,6 +56,19 @@ struct ExtractedDevice
     long couplesTo = -1;    ///< latch: bitline driving the gate
 };
 
+/**
+ * A silicon defect flagged by the analysis.  `where` is the anomaly's
+ * planar footprint: the bridge for a short, the gap for an open, the
+ * orphaned gate for a missing via, the blob for a particle.
+ */
+struct DetectedDefect
+{
+    fab::DefectKind kind = fab::DefectKind::BitlineShort;
+    common::Rect where; ///< nm, planar footprint of the anomaly
+    long bitlineA = -1; ///< affected bitlines, when identifiable
+    long bitlineB = -1;
+};
+
 /** Full analysis result for one region. */
 struct RegionAnalysis
 {
@@ -63,6 +77,13 @@ struct RegionAnalysis
 
     std::vector<common::Rect> bitlines; ///< nm, sorted by Y
     std::vector<ExtractedDevice> devices;
+
+    /// Silicon defects flagged during extraction.  Bitline shorts and
+    /// opens are *repaired* for the rest of the analysis (the merged
+    /// component split, the broken line reunited), so the topology
+    /// and measurements still come out; missing vias leave their
+    /// latch device with couplesTo = -1.
+    std::vector<DetectedDefect> defects;
 
     size_t countRole(models::Role role) const;
 

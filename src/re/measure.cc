@@ -47,16 +47,16 @@ addRecord(Campaign &campaign, common::Rng &rng,
 } // namespace
 
 Campaign
-measurementCampaign(uint64_t seed)
+measurementCampaign(uint64_t seed, const MeasureParams &params)
 {
     const telemetry::Span span("re.measure");
     common::Rng rng(seed);
     Campaign campaign;
 
     for (const auto &chip : models::allChips()) {
-        const double jitter = chip.pixelResNm * 0.5;
+        const double jitter = chip.pixelResNm * params.jitterScale;
 
-        // Transistor dimensions: 10 repetitions per dimension.
+        // Transistor dimensions: `repetitions` per dimension.
         for (size_t ri = 0;
              ri < static_cast<size_t>(models::Role::NumRoles); ++ri) {
             const auto role = static_cast<models::Role>(ri);
@@ -65,10 +65,10 @@ measurementCampaign(uint64_t seed)
                 continue;
             addRecord(campaign, rng, chip.id,
                       models::roleName(role) + ".W", dims->w, jitter,
-                      10);
+                      params.repetitions);
             addRecord(campaign, rng, chip.id,
                       models::roleName(role) + ".L", dims->l, jitter,
-                      10);
+                      params.repetitions);
         }
 
         // Region dimensions: one careful measurement each.
@@ -83,22 +83,27 @@ measurementCampaign(uint64_t seed)
         addRecord(campaign, rng, chip.id, "region.transition",
                   chip.transitionNm, jitter, 1);
         addRecord(campaign, rng, chip.id, "region.blPitch",
-                  chip.blPitchNm, jitter * 0.2, 1);
+                  chip.blPitchNm, jitter * params.regionJitterScale,
+                  1);
         addRecord(campaign, rng, chip.id, "region.blWidth",
-                  chip.blWidthNm, jitter * 0.2, 1);
+                  chip.blWidthNm, jitter * params.regionJitterScale,
+                  1);
         addRecord(campaign, rng, chip.id, "region.m2Width",
-                  chip.m2WidthNm, jitter * 0.2, 1);
+                  chip.m2WidthNm, jitter * params.regionJitterScale,
+                  1);
 
         // Die size (nm-scale number is enormous; store in mm^2-like
         // nominal by measuring the die edge instead).
         addRecord(campaign, rng, chip.id, "die.edge",
-                  std::sqrt(chip.dieAreaNm2()), jitter * 10.0, 1);
+                  std::sqrt(chip.dieAreaNm2()),
+                  jitter * params.dieJitterScale, 1);
     }
 
     // The minimum wire height, observed on B5 (30 nm).
     addRecord(campaign, rng, "B5", "wire.height",
               models::chip("B5").wireHeightNm,
-              models::chip("B5").pixelResNm * 0.25, 1);
+              models::chip("B5").pixelResNm * params.wireJitterScale,
+              1);
 
     return campaign;
 }

@@ -31,6 +31,52 @@ namespace hifi
 namespace re
 {
 
+/**
+ * Campaign knobs, previously hard-coded in the implementation.  The
+ * defaults reproduce the paper's campaign draw-for-draw; the
+ * tolerance scale widens acceptance bands at non-typical process
+ * corners (models::CornerVariation::measureTolScale).
+ */
+struct MeasureParams
+{
+    /// Analyst jitter on a transistor measurement, as a fraction of
+    /// the chip's pixel resolution.
+    double jitterScale = 0.5;
+
+    /// Jitter scale for region-level pitch/width measurements (long
+    /// averaged features are steadier than single edges).
+    double regionJitterScale = 0.2;
+
+    /// Jitter scale for the die-edge measurement.
+    double dieJitterScale = 10.0;
+
+    /// Jitter scale for the minimum-wire-height measurement.
+    double wireJitterScale = 0.25;
+
+    /// Repetitions per transistor dimension.
+    size_t repetitions = 10;
+
+    /**
+     * Corner-aware widening of acceptance tolerances.  1.0 at the
+     * typical corner; slow/fast corners set this from the vendor's
+     * models::CornerVariation::measureTolScale.
+     */
+    double toleranceScale = 1.0;
+
+    /**
+     * Acceptance tolerance (nm) for one recovered dimension, given
+     * the FIB slice pitch and SEM pixel size of the acquisition.
+     * Half-maximum edge interpolation is good to about half a pixel
+     * per edge plus a slice-quantization term; the corner scale
+     * widens the band where line-edge roughness moves real edges.
+     */
+    double
+    dimensionToleranceNm(double sliceNm, double pixelNm) const
+    {
+        return (0.6 * sliceNm + 1.2 * pixelNm) * toleranceScale;
+    }
+};
+
 /** One measured quantity with its repeated samples. */
 struct MeasurementRecord
 {
@@ -51,7 +97,10 @@ struct Campaign
 };
 
 /// Run the full six-chip campaign (deterministic given the seed).
-Campaign measurementCampaign(uint64_t seed = 2024);
+/// The default MeasureParams reproduce the historical campaign
+/// draw-for-draw.
+Campaign measurementCampaign(uint64_t seed = 2024,
+                             const MeasureParams &params = {});
 
 /// The paper's measurement count.
 constexpr size_t kPaperMeasurements = 835;

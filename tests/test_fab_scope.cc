@@ -9,8 +9,10 @@
 
 #include <cstring>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/telemetry.hh"
+#include "fab/defects.hh"
 #include "fab/mat.hh"
 #include "image/noise.hh"
 #include "fab/sa_region.hh"
@@ -194,6 +196,191 @@ TEST(Voxelizer, MaterialDecodingClamps)
     EXPECT_EQ(fab::voxelMaterial(-3.0f), fab::Material::Oxide);
     EXPECT_EQ(fab::voxelMaterial(99.0f), fab::Material::Oxide);
     EXPECT_EQ(fab::voxelMaterial(1.2f), fab::Material::Silicon);
+}
+
+bool
+sameVoxels(const image::Volume3D &a, const image::Volume3D &b)
+{
+    if (a.nx() != b.nx() || a.ny() != b.ny() || a.nz() != b.nz())
+        return false;
+    for (size_t z = 0; z < a.nz(); ++z)
+        for (size_t y = 0; y < a.ny(); ++y)
+            for (size_t x = 0; x < a.nx(); ++x) {
+                const float av = a.at(x, y, z);
+                const float bv = b.at(x, y, z);
+                if (std::memcmp(&av, &bv, sizeof(float)) != 0)
+                    return false;
+            }
+    return true;
+}
+
+TEST(Voxelizer, CheckedRejectsOutOfBoundsShapes)
+{
+    layout::Cell cell("c");
+    cell.addShape(common::Rect(0, 0, 110, 50),
+                  layout::Layer::Metal1); // 10 nm past the bounds
+    const common::Rect bounds(0, 0, 100, 100);
+
+    fab::VoxelizeParams params;
+    params.voxelNm = 10.0;
+    params.outOfBoundsTolNm = 5.0;
+    const auto rejected = fab::voxelizeChecked(cell, bounds, params);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.error().code,
+              common::ErrorCode::FailedPrecondition);
+    EXPECT_NE(rejected.error().message.find("extends"),
+              std::string::npos);
+
+    // Within the tolerance the clip matches the legacy voxelize().
+    params.outOfBoundsTolNm = 20.0;
+    auto clipped = fab::voxelizeChecked(cell, bounds, params);
+    ASSERT_TRUE(clipped.ok());
+    const auto legacy = fab::voxelize(cell, bounds, params);
+    const auto vol = clipped.takeValue();
+    EXPECT_TRUE(sameVoxels(vol, legacy));
+
+    // Invalid inputs are typed errors, not exceptions.
+    EXPECT_FALSE(
+        fab::voxelizeChecked(cell, common::Rect(), params).ok());
+    params.voxelNm = 0.0;
+    EXPECT_FALSE(fab::voxelizeChecked(cell, bounds, params).ok());
+    params.voxelNm = 10.0;
+    params.outOfBoundsTolNm = -1.0;
+    EXPECT_FALSE(fab::voxelizeChecked(cell, bounds, params).ok());
+}
+
+TEST(Voxelizer, ZeroLerSigmaIsBitIdenticalToCleanRaster)
+{
+    fab::SaRegionSpec spec;
+    spec.pairs = 2;
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+
+    fab::VoxelizeParams clean;
+    clean.voxelNm = 5.0;
+    fab::VoxelizeParams ler0 = clean;
+    ler0.lerSigmaNm = 0.0;
+    ler0.lerSeed = 77; // must not matter at sigma = 0
+
+    const auto a = fab::voxelize(*cell, truth.region, clean);
+    const auto b = fab::voxelize(*cell, truth.region, ler0);
+    EXPECT_TRUE(sameVoxels(a, b));
+}
+
+TEST(Voxelizer, LerRasterIsThreadCountInvariant)
+{
+    fab::SaRegionSpec spec;
+    spec.pairs = 2;
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+
+    fab::VoxelizeParams params;
+    params.voxelNm = 5.0;
+    params.lerSigmaNm = 2.0;
+    params.lerCorrLenNm = 40.0;
+    params.lerSeed = 9;
+
+    image::Volume3D one, many;
+    {
+        common::ScopedThreads st(1);
+        one = fab::voxelize(*cell, truth.region, params);
+    }
+    {
+        common::ScopedThreads st(8);
+        many = fab::voxelize(*cell, truth.region, params);
+    }
+    EXPECT_TRUE(sameVoxels(one, many));
+    // And the roughness actually moved some edges.
+    params.lerSeed = 10;
+    const auto other = fab::voxelize(*cell, truth.region, params);
+    EXPECT_FALSE(sameVoxels(one, other));
+}
+
+// ---- silicon defects ---------------------------------------------------
+
+TEST(Defects, PlantsRequestedMixInsideTheRegion)
+{
+    fab::SaRegionSpec spec =
+        fab::SaRegionSpec::fromChip(models::chip("B5"), 4);
+    fab::SaRegionTruth truth;
+    const auto cell = fab::buildSaRegion(spec, truth);
+    fab::VoxelizeParams vparams;
+    vparams.voxelNm = 4.0;
+    auto baseline = fab::voxelize(*cell, truth.region, vparams);
+    auto vol = baseline;
+
+    fab::DefectParams dp;
+    dp.seed = 3;
+    dp.bitlineShorts = 1;
+    dp.bitlineOpens = 1;
+    dp.missingVias = 1;
+    dp.particles = 1;
+    const auto planted =
+        fab::plantDefects(vol, truth, vparams.voxelNm, dp);
+    ASSERT_TRUE(planted.ok()) << planted.error().message;
+    ASSERT_EQ(planted.value().size(), 4u);
+
+    const common::Rect wiggle = truth.region.inflate(1.0);
+    size_t kinds_seen = 0;
+    for (const auto &d : planted.value()) {
+        kinds_seen |= 1u << static_cast<unsigned>(d.kind);
+        EXPECT_FALSE(d.footprint.empty());
+        EXPECT_GE(d.footprint.x0, wiggle.x0);
+        EXPECT_LE(d.footprint.x1, wiggle.x1);
+        if (d.kind == fab::DefectKind::BitlineShort) {
+            ASSERT_GE(d.bitlineA, 0);
+            ASSERT_GE(d.bitlineB, 0);
+            EXPECT_EQ(d.bitlineB, d.bitlineA + 1);
+        }
+    }
+    EXPECT_EQ(kinds_seen, 0b1111u); // every kind planted once
+
+    // The stamp actually changed the silicon.
+    EXPECT_FALSE(sameVoxels(vol, baseline));
+
+    // Same seed, same silicon: the stamping is deterministic.
+    auto again = baseline;
+    const auto replay =
+        fab::plantDefects(again, truth, vparams.voxelNm, dp);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_TRUE(sameVoxels(vol, again));
+}
+
+TEST(Defects, ParamValidationAndTypedErrors)
+{
+    fab::DefectParams dp;
+    dp.particleDiameterNm = 0.0;
+    EXPECT_TRUE(fab::validate(dp).has_value());
+
+    fab::DefectParams many;
+    many.bitlineOpens = 65;
+    EXPECT_TRUE(fab::validate(many).has_value());
+
+    // Empty volume is a typed error, not a crash.
+    image::Volume3D empty;
+    fab::SaRegionTruth truth;
+    fab::DefectParams one;
+    one.particles = 1;
+    const auto r = fab::plantDefects(empty, truth, 5.0, one);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, common::ErrorCode::InvalidArgument);
+
+    // A region with a single bitline cannot host a short.
+    fab::SaRegionSpec spec;
+    spec.pairs = 2;
+    fab::SaRegionTruth small;
+    const auto cell = fab::buildSaRegion(spec, small);
+    fab::VoxelizeParams vparams;
+    auto vol = fab::voxelize(*cell, small.region, vparams);
+    fab::SaRegionTruth no_bl = small;
+    no_bl.bitlines.clear();
+    fab::DefectParams shorts;
+    shorts.bitlineShorts = 1;
+    const auto impossible =
+        fab::plantDefects(vol, no_bl, vparams.voxelNm, shorts);
+    ASSERT_FALSE(impossible.ok());
+    EXPECT_EQ(impossible.error().code,
+              common::ErrorCode::FailedPrecondition);
 }
 
 // ---- scope ------------------------------------------------------------

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the property-based scenario fuzzer (core/fuzz.hh): the
+ * serialized-reproducer round trip, sampler determinism, the greedy
+ * shrinker's mechanics, thread-count purity of the outcome signature,
+ * and a replay of the minimized regression corpus
+ * (tests/fuzz_corpus.txt) that pins every bug the fuzzer has found.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fuzz.hh"
+
+#ifndef HIFI_FUZZ_CORPUS
+#define HIFI_FUZZ_CORPUS "tests/fuzz_corpus.txt"
+#endif
+
+namespace
+{
+
+using namespace hifi;
+using core::ScenarioParams;
+using core::ScenarioResult;
+
+bool
+sameParams(const ScenarioParams &a, const ScenarioParams &b)
+{
+    return a.chipId == b.chipId && a.pairs == b.pairs &&
+        a.stackedSas == b.stackedSas && a.corner == b.corner &&
+        a.bitlineShorts == b.bitlineShorts &&
+        a.bitlineOpens == b.bitlineOpens &&
+        a.missingVias == b.missingVias &&
+        a.particles == b.particles && a.faults == b.faults &&
+        a.fullPipeline == b.fullPipeline && a.seed == b.seed;
+}
+
+std::vector<std::string>
+corpusLines()
+{
+    std::ifstream in(HIFI_FUZZ_CORPUS);
+    EXPECT_TRUE(in.good())
+        << "cannot open corpus " << HIFI_FUZZ_CORPUS;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty() && line[0] != '#')
+            lines.push_back(line);
+    return lines;
+}
+
+TEST(Fuzz, SerializeParseRoundtrip)
+{
+    ScenarioParams p;
+    p.chipId = "C4";
+    p.pairs = 3;
+    p.stackedSas = 2;
+    p.corner = models::ProcessCorner::Fast;
+    p.bitlineShorts = 1;
+    p.bitlineOpens = 2;
+    p.missingVias = 1;
+    p.particles = 1;
+    p.faults = true;
+    p.fullPipeline = true;
+    p.seed = 123456789ull;
+
+    const std::string line = core::serializeScenario(p);
+    auto parsed = core::parseScenario(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_TRUE(sameParams(p, parsed.value())) << line;
+
+    // Defaults round-trip too.
+    const ScenarioParams defaults;
+    auto parsed2 =
+        core::parseScenario(core::serializeScenario(defaults));
+    ASSERT_TRUE(parsed2.ok());
+    EXPECT_TRUE(sameParams(defaults, parsed2.value()));
+}
+
+TEST(Fuzz, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(core::parseScenario("").ok());
+    EXPECT_FALSE(core::parseScenario("chip=B5 pairs=nope").ok());
+    EXPECT_FALSE(core::parseScenario("corner=bogus").ok());
+    EXPECT_FALSE(core::parseScenario("chip").ok());
+    const auto bad = core::parseScenario("pairs=");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, common::ErrorCode::InvalidArgument);
+}
+
+TEST(Fuzz, SampleScenarioIsPureInSeed)
+{
+    for (uint64_t s : {1ull, 42ull, 20125ull}) {
+        const ScenarioParams a = core::sampleScenario(s);
+        const ScenarioParams b = core::sampleScenario(s);
+        EXPECT_TRUE(sameParams(a, b)) << "seed " << s;
+        EXPECT_GE(a.pairs, 2u);
+    }
+    // Different seeds explore the space (at least two distinct
+    // serializations among a small draw).
+    std::set<std::string> distinct;
+    for (uint64_t s = 1; s <= 8; ++s)
+        distinct.insert(
+            core::serializeScenario(core::sampleScenario(s)));
+    EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Fuzz, ShrinkFindsMinimalScenario)
+{
+    // Synthetic failure: anything with >= 3 pairs "fails".  The
+    // shrinker should strip everything else down to defaults while
+    // keeping the smallest still-failing pair count.
+    ScenarioParams big;
+    big.chipId = "C5";
+    big.pairs = 5;
+    big.stackedSas = 2;
+    big.corner = models::ProcessCorner::Slow;
+    big.bitlineShorts = 1;
+    big.particles = 1;
+    big.faults = true;
+    big.fullPipeline = true;
+    big.seed = 7;
+
+    size_t evals = 0;
+    const auto fails = [&](const ScenarioParams &c) {
+        ++evals;
+        return c.pairs >= 3;
+    };
+    const ScenarioParams small = core::shrinkScenario(big, fails);
+    EXPECT_EQ(small.pairs, 3u);
+    EXPECT_EQ(small.stackedSas, 1u);
+    EXPECT_EQ(small.corner, models::ProcessCorner::Typical);
+    EXPECT_EQ(small.defectTotal(), 0u);
+    EXPECT_FALSE(small.faults);
+    EXPECT_FALSE(small.fullPipeline);
+    EXPECT_EQ(small.chipId, "B5");
+    EXPECT_LE(evals, 64u); // respects the evaluation budget
+
+    // Failure tied to one defect kind survives with exactly that
+    // kind.
+    ScenarioParams defecty = big;
+    defecty.bitlineOpens = 2;
+    const ScenarioParams kept = core::shrinkScenario(
+        defecty,
+        [](const ScenarioParams &c) { return c.bitlineOpens >= 1; });
+    EXPECT_GE(kept.bitlineOpens, 1u);
+    EXPECT_EQ(kept.bitlineShorts, 0u);
+    EXPECT_EQ(kept.particles, 0u);
+    EXPECT_EQ(kept.missingVias, 0u);
+}
+
+TEST(Fuzz, ShrinkReturnsInputWhenNothingSimplerFails)
+{
+    ScenarioParams minimal; // defaults, already at the floor
+    minimal.pairs = 2;
+    const ScenarioParams out = core::shrinkScenario(
+        minimal, [](const ScenarioParams &) { return true; });
+    EXPECT_TRUE(sameParams(minimal, out));
+}
+
+TEST(Fuzz, SignatureIsThreadCountInvariant)
+{
+    ScenarioParams p;
+    p.chipId = "B5";
+    p.pairs = 3;
+    p.bitlineShorts = 1;
+    p.missingVias = 1;
+    p.seed = 18;
+
+    const ScenarioResult one = core::runScenario(p, 1);
+    const ScenarioResult many = core::runScenario(p, 4);
+    EXPECT_TRUE(one.passed()) << (one.violations.empty()
+                                      ? ""
+                                      : one.violations.front());
+    EXPECT_TRUE(many.passed());
+    EXPECT_EQ(one.signature, many.signature);
+    EXPECT_NE(one.signature, 0u);
+
+    // And deterministic run-to-run.
+    const ScenarioResult again = core::runScenario(p, 1);
+    EXPECT_EQ(one.signature, again.signature);
+}
+
+TEST(Fuzz, UnknownChipIsAViolationNotACrash)
+{
+    ScenarioParams p;
+    p.chipId = "Z9";
+    const ScenarioResult r = core::runScenario(p);
+    EXPECT_FALSE(r.passed());
+}
+
+TEST(Fuzz, CorpusCoversKindsAndCorners)
+{
+    const auto lines = corpusLines();
+    ASSERT_GE(lines.size(), 15u);
+    std::set<std::string> corners, chips;
+    bool shorts = false, opens = false, vias = false,
+         particles = false, faults = false, full = false;
+    for (const auto &line : lines) {
+        auto parsed = core::parseScenario(line);
+        ASSERT_TRUE(parsed.ok()) << line;
+        const ScenarioParams &p = parsed.value();
+        corners.insert(models::cornerName(p.corner));
+        chips.insert(p.chipId);
+        shorts = shorts || p.bitlineShorts > 0;
+        opens = opens || p.bitlineOpens > 0;
+        vias = vias || p.missingVias > 0;
+        particles = particles || p.particles > 0;
+        faults = faults || p.faults;
+        full = full || p.fullPipeline;
+    }
+    EXPECT_EQ(corners.size(), 3u); // slow, typical, fast
+    EXPECT_EQ(chips.size(), 6u);   // every chip model
+    EXPECT_TRUE(shorts && opens && vias && particles);
+    EXPECT_TRUE(faults); // fault-injected acquisition exercised
+    EXPECT_TRUE(full);   // at least one full-pipeline scenario
+}
+
+TEST(Fuzz, CorpusReplaysClean)
+{
+    for (const auto &line : corpusLines()) {
+        auto parsed = core::parseScenario(line);
+        ASSERT_TRUE(parsed.ok()) << line;
+        const ScenarioResult r = core::runScenario(parsed.value());
+        EXPECT_TRUE(r.passed())
+            << line
+            << (r.violations.empty() ? ""
+                                     : "\n  " + r.violations.front());
+    }
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 #include "image/image2d.hh"
 #include "image/noise.hh"
 #include "image/pgm.hh"
+#include "image/qc.hh"
 #include "image/registration.hh"
 #include "image/volume3d.hh"
 
@@ -543,6 +544,94 @@ TEST(Denoise, DegenerateShapesSurviveTheLoopSplits)
         for (const float v : b.data())
             EXPECT_TRUE(std::isfinite(v));
     }
+}
+
+// ---- QC on degenerate slices ------------------------------------------
+
+bool
+allMetricsFinite(const image::QcMetrics &m)
+{
+    return std::isfinite(m.snr) && std::isfinite(m.focusScore) &&
+        std::isfinite(m.saturationFraction) &&
+        std::isfinite(m.deadRowFraction) &&
+        std::isfinite(m.stripeScore) && std::isfinite(m.miVsPrev);
+}
+
+TEST(Qc, ZeroVarianceSliceYieldsFiniteMetrics)
+{
+    // A single-material frame (constant intensity) has zero scene
+    // variance and zero noise sigma: both SNR numerator and
+    // denominator are degenerate.  The metrics must stay finite and
+    // the dead-row detector must fire instead of dividing by zero.
+    const Image2D flat(64, 48, 0.37f);
+    const auto m = image::computeQcMetrics(flat);
+    EXPECT_TRUE(allMetricsFinite(m));
+    EXPECT_DOUBLE_EQ(m.deadRowFraction, 1.0);
+    EXPECT_TRUE(m.flags & image::kQcDeadRows);
+    EXPECT_DOUBLE_EQ(m.saturationFraction, 0.0);
+}
+
+TEST(Qc, FullySaturatedSliceIsFlaggedWithFiniteMetrics)
+{
+    image::QcThresholds t;
+    const Image2D bloom(
+        64, 48, static_cast<float>(t.saturationLevel) + 0.5f);
+    const auto m = image::computeQcMetrics(bloom, t);
+    EXPECT_TRUE(allMetricsFinite(m));
+    EXPECT_DOUBLE_EQ(m.saturationFraction, 1.0);
+    EXPECT_TRUE(m.flags & image::kQcSaturation);
+    // Saturated-constant is also dead rows; both detectors agree.
+    EXPECT_TRUE(m.flags & image::kQcDeadRows);
+}
+
+TEST(Qc, TinyAndSkinnySlicesSurviveEveryMetric)
+{
+    // 1xN / Nx1 / 1x1 frames exercise the interior-free edge cases of
+    // the Laplacian, gradient, and column-profile kernels.
+    for (const auto &[w, h] : {std::pair<size_t, size_t>{1, 1},
+                               {1, 16},
+                               {16, 1},
+                               {2, 2}}) {
+        Image2D img(w, h);
+        common::Rng rng(7, w * 100 + h);
+        for (float &v : img.data())
+            v = static_cast<float>(rng.uniform());
+        const auto m = image::computeQcMetrics(img);
+        EXPECT_TRUE(allMetricsFinite(m)) << w << "x" << h;
+        EXPECT_TRUE(std::isfinite(image::stripeScore(img)));
+        EXPECT_TRUE(std::isfinite(image::estimateNoiseSigma(img)));
+        EXPECT_TRUE(std::isfinite(image::gradientEnergy(img)));
+    }
+}
+
+TEST(Qc, MonitorHandlesDegenerateHistoryWithoutBlowingUp)
+{
+    // Feed the stateful monitor a run of degenerate slices: constant
+    // reference, then a constant candidate (zero-variance MI), then a
+    // normal frame.  Every evaluation must stay finite and the
+    // monitor must keep accepting input.
+    image::QcMonitor monitor;
+    const Image2D flat(32, 32, 0.5f);
+    auto m0 = monitor.evaluate(flat);
+    EXPECT_TRUE(allMetricsFinite(m0));
+    monitor.accept(flat, m0);
+    ASSERT_TRUE(monitor.hasReference());
+
+    // MI of two identical constant frames is 0 (no information), not
+    // NaN; the relative-MI check needs history and must not fire on
+    // the first reference pair.
+    const auto m1 = monitor.evaluate(flat);
+    EXPECT_TRUE(allMetricsFinite(m1));
+
+    Image2D textured(32, 32);
+    common::Rng rng(11, 0);
+    for (float &v : textured.data())
+        v = static_cast<float>(rng.uniform());
+    const auto m2 = monitor.evaluate(textured);
+    EXPECT_TRUE(allMetricsFinite(m2));
+    monitor.noteRejected(); // rejected-slice path is also finite
+    const auto m3 = monitor.evaluate(textured);
+    EXPECT_TRUE(allMetricsFinite(m3));
 }
 
 } // namespace
