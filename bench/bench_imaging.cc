@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/telemetry.hh"
 #include "fab/voxelizer.hh"
 #include "image/denoise.hh"
@@ -243,7 +244,71 @@ main(int argc, char **argv)
                 fixed, moving, 0, 0, 32);
         }, quick ? 11 : 101);
         check(fast_mi == ref_mi, row.name);
+        row.note = "fused one-shot, no quantized-plane build";
         rows.push_back(row);
+    }
+
+    // ---- SIMD kernels vs forced-portable-scalar --------------------
+    // Each pair runs the same workload on the active ISA and with
+    // ScopedForceScalar, asserting bitwise-identical output (and,
+    // where a reference implementation exists in-binary, agreement
+    // with it on BOTH paths).  On a non-AVX2 host or under
+    // HIFI_SIMD=off the two columns simply coincide.
+    {
+        const std::string isa_note = std::string("isa ") +
+            common::simd::isaName(common::simd::activeIsa()) +
+            ", vs forced scalar";
+        const size_t reps = quick ? 3 : 9;
+        const image::TvParams tv{0.05, 50};
+
+        Image2D tv_fast, tv_scalar;
+        Row row_c;
+        row_c.name = "denoise_chambolle_simd";
+        row_c.fastMs = medianMs([&] {
+            tv_fast = image::denoiseChambolle(fixed, tv);
+        }, reps);
+        {
+            common::simd::ScopedForceScalar off;
+            row_c.referenceMs = medianMs([&] {
+                tv_scalar = image::denoiseChambolle(fixed, tv);
+            }, reps);
+        }
+        check(tv_fast.data() == tv_scalar.data(), row_c.name);
+        row_c.note = isa_note;
+        rows.push_back(row_c);
+
+        Row row_b;
+        row_b.name = "denoise_split_bregman_simd";
+        row_b.fastMs = medianMs([&] {
+            tv_fast = image::denoiseSplitBregman(fixed, tv);
+        }, reps);
+        {
+            common::simd::ScopedForceScalar off;
+            row_b.referenceMs = medianMs([&] {
+                tv_scalar = image::denoiseSplitBregman(fixed, tv);
+            }, reps);
+        }
+        check(tv_fast.data() == tv_scalar.data(), row_b.name);
+        row_b.note = isa_note;
+        rows.push_back(row_b);
+
+        double mi_fast = 0.0, mi_scalar = 0.0;
+        const double mi_ref = image::mutualInformationAtShiftReference(
+            fixed, moving, 0, 0, 32);
+        Row row_mi;
+        row_mi.name = "mutual_information_simd";
+        row_mi.fastMs = medianMs([&] {
+            mi_fast = image::mutualInformation(fixed, moving, 32);
+        }, quick ? 11 : 101);
+        {
+            common::simd::ScopedForceScalar off;
+            row_mi.referenceMs = medianMs([&] {
+                mi_scalar = image::mutualInformation(fixed, moving, 32);
+            }, quick ? 11 : 101);
+        }
+        check(mi_fast == mi_ref && mi_scalar == mi_ref, row_mi.name);
+        row_mi.note = isa_note;
+        rows.push_back(row_mi);
     }
 
     // ---- Clean SEM frame formation: LUT vs per-voxel switch --------
@@ -261,6 +326,28 @@ main(int argc, char **argv)
         }, quick ? 11 : 101);
         check(fast_img.data() == ref_img.data(), row.name);
         rows.push_back(row);
+
+        // SIMD gather-quad kernel vs forced scalar, both against the
+        // per-voxel reference frame computed above.
+        Image2D simd_img, scalar_img;
+        Row row_s;
+        row_s.name = "sem_image_clean_simd";
+        row_s.fastMs = medianMs([&] {
+            simd_img = scope::semImageClean(scene, 0, 8, sem);
+        }, quick ? 11 : 101);
+        {
+            common::simd::ScopedForceScalar off;
+            row_s.referenceMs = medianMs([&] {
+                scalar_img = scope::semImageClean(scene, 0, 8, sem);
+            }, quick ? 11 : 101);
+        }
+        check(simd_img.data() == ref_img.data() &&
+                  scalar_img.data() == ref_img.data(),
+              row_s.name);
+        row_s.note = std::string("isa ") +
+            common::simd::isaName(common::simd::activeIsa()) +
+            ", vs forced scalar";
+        rows.push_back(row_s);
     }
 
     // ---- Denoise (50 iterations, lambda 0.05) ----------------------

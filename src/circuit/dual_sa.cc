@@ -41,9 +41,8 @@ fet(const std::string &name, const MosModel &model, NodeId d, NodeId g,
 
 } // namespace
 
-DualSaRun
-simulateSharedControl(const DualSaParams &params,
-                      const TranParams &tran)
+Netlist
+buildDualSaTestbench(const DualSaParams &params, SaSchedule &schedule)
 {
     const SaParams &p = params.base;
     const auto &sz = p.sizing;
@@ -119,6 +118,18 @@ simulateSharedControl(const DualSaParams &params,
     };
     add_sa("A", params.bitA, true);
     add_sa("B", params.bitB, !params.activateOnlyA);
+
+    schedule = s;
+    return net;
+}
+
+DualSaRun
+simulateSharedControl(const DualSaParams &params,
+                      const TranParams &tran)
+{
+    const SaParams &p = params.base;
+    SaSchedule s;
+    Netlist net = buildDualSaTestbench(params, s);
 
     TranParams tp = tran;
     tp.tstop = s.tEnd;

@@ -1,8 +1,10 @@
 #include "circuit/mismatch.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/batch.hh"
 #include "common/parallel.hh"
 
 namespace hifi
@@ -35,45 +37,88 @@ sensingYield(const SaParams &base, const MismatchParams &params,
     // Chunk grain: the testbench netlist, schedule, and simulator
     // (with its cached matrix structure and symbolic factorization)
     // are built once per chunk; each trial only patches the four
-    // latch vthDelta fields in place.  The grain is a fixed constant,
-    // so the chunk boundaries — and with them the reduction order —
-    // stay independent of the worker thread count.
+    // latch vthDelta fields.  The grain is a fixed constant, so the
+    // chunk boundaries — and with them the reduction order — stay
+    // independent of the worker thread count.
     constexpr size_t kTrialsPerChunk = 16;
 
-    const Accum total = common::parallelReduce(
-        0, params.trials, kTrialsPerChunk, Accum{},
-        [&](size_t t0, size_t t1) {
-            Accum acc;
-            SaTestbench testbench(base);
-            Netlist &net = testbench.netlist();
-
-            // The four latch devices, in netlist order (which is also
-            // the per-trial RNG sampling order).
-            std::vector<size_t> latch;
-            std::vector<double> sigma;
-            for (size_t i = 0; i < net.mosfets().size(); ++i) {
-                const auto &fet = net.mosfets()[i];
-                if (fet.name == "Mn1" || fet.name == "Mn2" ||
-                    fet.name == "Mp1" || fet.name == "Mp2") {
-                    latch.push_back(i);
-                    sigma.push_back(vthSigma(fet.widthNm,
-                                             fet.lengthNm,
-                                             params.avtVnm));
-                }
+    // The four latch devices, in netlist order (which is also the
+    // per-trial RNG sampling order).  Every chunk rebuilds the same
+    // topology, so this scan runs once on a prototype instead of once
+    // per chunk.
+    std::vector<size_t> latch;
+    std::vector<double> sigma;
+    {
+        SaSchedule sched;
+        const Netlist proto = buildSaTestbench(base, sched);
+        for (size_t i = 0; i < proto.mosfets().size(); ++i) {
+            const auto &fet = proto.mosfets()[i];
+            if (fet.name == "Mn1" || fet.name == "Mn2" ||
+                fet.name == "Mp1" || fet.name == "Mp2") {
+                latch.push_back(i);
+                sigma.push_back(vthSigma(fet.widthNm, fet.lengthNm,
+                                         params.avtVnm));
             }
+        }
+    }
 
-            for (size_t trial = t0; trial < t1; ++trial) {
-                common::Rng rng(params.seed, trial);
+    // Lane count: >1 routes chunks through the lockstep BatchSimulator
+    // (bitwise identical per trial); <=1 keeps the per-trial scalar
+    // reference path.
+    const size_t lanes = tran.batchLanes > 1
+        ? static_cast<size_t>(tran.batchLanes) : 1;
+
+    const auto scalarChunk = [&](size_t t0, size_t t1) {
+        Accum acc;
+        SaTestbench testbench(base);
+        Netlist &net = testbench.netlist();
+        for (size_t trial = t0; trial < t1; ++trial) {
+            common::Rng rng(params.seed, trial);
+            for (size_t k = 0; k < latch.size(); ++k)
+                net.mosfet(latch[k]).vthDelta =
+                    rng.gaussian(0.0, sigma[k]);
+
+            const SaRun run = testbench.simulate(tran);
+            if (!run.latchedCorrectly)
+                ++acc.failures;
+            acc.signal += std::abs(run.signalBeforeLatch);
+        }
+        return acc;
+    };
+
+    const auto batchedChunk = [&](size_t t0, size_t t1) {
+        Accum acc;
+        SaSchedule sched;
+        const Netlist net = buildSaTestbench(base, sched);
+        BatchSimulator sim(net, lanes);
+        TranParams tp = tran;
+        tp.tstop = sched.tEnd;
+
+        for (size_t b0 = t0; b0 < t1; b0 += lanes) {
+            const size_t n = std::min(lanes, t1 - b0);
+            for (size_t l = 0; l < n; ++l) {
+                common::Rng rng(params.seed, b0 + l);
                 for (size_t k = 0; k < latch.size(); ++k)
-                    net.mosfet(latch[k]).vthDelta =
-                        rng.gaussian(0.0, sigma[k]);
-
-                const SaRun run = testbench.simulate(tran);
+                    sim.setVthDelta(l, latch[k],
+                                    rng.gaussian(0.0, sigma[k]));
+            }
+            std::vector<TranResult> results = sim.run(tp, n);
+            for (size_t l = 0; l < n; ++l) {
+                const SaRun run = analyzeActivation(
+                    base, sched, std::move(results[l]), tp.dt);
                 if (!run.latchedCorrectly)
                     ++acc.failures;
                 acc.signal += std::abs(run.signalBeforeLatch);
             }
-            return acc;
+        }
+        return acc;
+    };
+
+    const Accum total = common::parallelReduce(
+        0, params.trials, kTrialsPerChunk, Accum{},
+        [&](size_t t0, size_t t1) {
+            return lanes > 1 ? batchedChunk(t0, t1)
+                             : scalarChunk(t0, t1);
         },
         [](Accum a, Accum b) {
             a.failures += b.failures;

@@ -7,6 +7,10 @@
 #include <limits>
 #include <stdexcept>
 
+#if HIFI_SIMD_AVX2_COMPILED
+#include <immintrin.h>
+#endif
+
 #include "common/telemetry.hh"
 
 namespace hifi
@@ -16,9 +20,6 @@ namespace circuit
 
 namespace
 {
-
-/// Below this dimension LinearSolver::Auto picks the dense engine.
-constexpr size_t kSparseCutoff = 8;
 
 /// Pivot magnitude below which a factorization is treated as singular.
 constexpr double kPivotTiny = 1e-18;
@@ -309,6 +310,347 @@ SparseLu::slot(int row, int col) const
     return static_cast<int>(it - colIdx_.begin());
 }
 
+template <size_t L>
+void
+SparseLu::factorLanesFixed(double *values, uint8_t *ok)
+{
+    double inv[L];
+    double f[L];
+    for (const Step &st : steps_) {
+        const double *pv = values + static_cast<size_t>(st.pivotSlot) * L;
+        for (size_t l = 0; l < L; ++l) {
+            const bool good = ok[l] && std::abs(pv[l]) >= kPivotTiny;
+            if (ok[l] && !good)
+                ok[l] = 0;
+            // Dead lanes get inv = 0: the row operations below then
+            // stream every lane branch-free, multiplying dead lanes
+            // by zero instead of testing them.
+            inv[l] = good ? 1.0 / pv[l] : 0.0;
+        }
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            double *fv = values + static_cast<size_t>(op.factorSlot) * L;
+            for (size_t l = 0; l < L; ++l) {
+                f[l] = fv[l] * inv[l];
+                fv[l] = f[l];
+            }
+            for (int q = op.pairBegin; q < op.pairEnd; ++q) {
+                double *tgt =
+                    values + static_cast<size_t>(pairTarget_[q]) * L;
+                const double *src =
+                    values + static_cast<size_t>(pairSrc_[q]) * L;
+                for (size_t l = 0; l < L; ++l)
+                    tgt[l] -= f[l] * src[l];
+            }
+        }
+    }
+}
+
+void
+SparseLu::factorLanesVar(double *values, size_t lanes, uint8_t *ok)
+{
+    const size_t L = lanes;
+    std::vector<double> inv(L), f(L);
+    for (const Step &st : steps_) {
+        const double *pv = values + static_cast<size_t>(st.pivotSlot) * L;
+        for (size_t l = 0; l < L; ++l) {
+            const bool good = ok[l] && std::abs(pv[l]) >= kPivotTiny;
+            if (ok[l] && !good)
+                ok[l] = 0;
+            inv[l] = good ? 1.0 / pv[l] : 0.0;
+        }
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            double *fv = values + static_cast<size_t>(op.factorSlot) * L;
+            for (size_t l = 0; l < L; ++l) {
+                f[l] = fv[l] * inv[l];
+                fv[l] = f[l];
+            }
+            for (int q = op.pairBegin; q < op.pairEnd; ++q) {
+                double *tgt =
+                    values + static_cast<size_t>(pairTarget_[q]) * L;
+                const double *src =
+                    values + static_cast<size_t>(pairSrc_[q]) * L;
+                for (size_t l = 0; l < L; ++l)
+                    tgt[l] -= f[l] * src[l];
+            }
+        }
+    }
+}
+
+#if HIFI_SIMD_AVX2_COMPILED
+
+namespace
+{
+// Lane groups (of 4 doubles) the AVX2 kernels keep in registers; wider
+// batches fall back to the portable forms.
+constexpr size_t kMaxLaneGroups = 16;
+} // namespace
+
+HIFI_AVX2_TARGET void
+SparseLu::factorLanesAvx2(double *values, size_t lanes, uint8_t *ok)
+{
+    const size_t G = lanes / 4;
+    const __m256d tiny = _mm256_set1_pd(kPivotTiny);
+    const __m256d absmask = _mm256_castsi256_pd(
+        _mm256_set1_epi64x(0x7fffffffffffffffLL));
+    const __m256d one = _mm256_set1_pd(1.0);
+
+    // Byte flags -> full-width lane masks, kept in registers across
+    // the elimination program and written back at the end.
+    __m256d okm[kMaxLaneGroups];
+    for (size_t g = 0; g < G; ++g)
+        okm[g] = _mm256_castsi256_pd(_mm256_set_epi64x(
+            ok[g * 4 + 3] ? -1 : 0, ok[g * 4 + 2] ? -1 : 0,
+            ok[g * 4 + 1] ? -1 : 0, ok[g * 4 + 0] ? -1 : 0));
+
+    __m256d inv[kMaxLaneGroups];
+    for (const Step &st : steps_) {
+        const double *pvp =
+            values + static_cast<size_t>(st.pivotSlot) * lanes;
+        for (size_t g = 0; g < G; ++g) {
+            const __m256d pv = _mm256_loadu_pd(pvp + 4 * g);
+            // good = ok && |pivot| >= kPivotTiny (quiet-ordered GE:
+            // NaN pivots fail, like the scalar comparison).
+            const __m256d good = _mm256_and_pd(
+                okm[g], _mm256_cmp_pd(_mm256_and_pd(pv, absmask),
+                                      tiny, _CMP_GE_OQ));
+            okm[g] = good;
+            // Dead lanes get inv = +0.0, the branch-free convention
+            // shared with the portable kernels.
+            inv[g] =
+                _mm256_and_pd(_mm256_div_pd(one, pv), good);
+        }
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            double *fvp =
+                values + static_cast<size_t>(op.factorSlot) * lanes;
+            for (size_t g = 0; g < G; ++g)
+                _mm256_storeu_pd(
+                    fvp + 4 * g,
+                    _mm256_mul_pd(_mm256_loadu_pd(fvp + 4 * g),
+                                  inv[g]));
+            for (int q = op.pairBegin; q < op.pairEnd; ++q) {
+                double *tgt =
+                    values + static_cast<size_t>(pairTarget_[q]) *
+                        lanes;
+                const double *src =
+                    values + static_cast<size_t>(pairSrc_[q]) * lanes;
+                for (size_t g = 0; g < G; ++g)
+                    _mm256_storeu_pd(
+                        tgt + 4 * g,
+                        _mm256_sub_pd(
+                            _mm256_loadu_pd(tgt + 4 * g),
+                            _mm256_mul_pd(
+                                _mm256_loadu_pd(fvp + 4 * g),
+                                _mm256_loadu_pd(src + 4 * g))));
+            }
+        }
+    }
+    for (size_t g = 0; g < G; ++g) {
+        const int m = _mm256_movemask_pd(okm[g]);
+        for (int j = 0; j < 4; ++j)
+            ok[g * 4 + j] = static_cast<uint8_t>((m >> j) & 1);
+    }
+}
+
+HIFI_AVX2_TARGET void
+SparseLu::solveLanesAvx2(const double *values, const double *b,
+                         double *x, size_t lanes)
+{
+    double *y = laneScratch_.data();
+    std::copy(b, b + dim_ * lanes, y);
+    const size_t G = lanes / 4;
+    __m256d piv[kMaxLaneGroups];
+    for (const Step &st : steps_) {
+        const double *py =
+            y + static_cast<size_t>(st.pivotRow) * lanes;
+        for (size_t g = 0; g < G; ++g)
+            piv[g] = _mm256_loadu_pd(py + 4 * g);
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            const double *fv =
+                values + static_cast<size_t>(op.factorSlot) * lanes;
+            double *ry = y + static_cast<size_t>(op.row) * lanes;
+            for (size_t g = 0; g < G; ++g)
+                _mm256_storeu_pd(
+                    ry + 4 * g,
+                    _mm256_sub_pd(
+                        _mm256_loadu_pd(ry + 4 * g),
+                        _mm256_mul_pd(_mm256_loadu_pd(fv + 4 * g),
+                                      piv[g])));
+        }
+    }
+    for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+        const Step &st = *it;
+        const double *py =
+            y + static_cast<size_t>(st.pivotRow) * lanes;
+        const double *pv =
+            values + static_cast<size_t>(st.pivotSlot) * lanes;
+        double *xo = x + static_cast<size_t>(st.pivotCol) * lanes;
+        for (size_t g = 0; g < G; ++g) {
+            __m256d sum = _mm256_loadu_pd(py + 4 * g);
+            for (int q = st.uBegin; q < st.uEnd; ++q) {
+                const double *uv =
+                    values + static_cast<size_t>(uSlots_[q]) * lanes;
+                const double *xv =
+                    x + static_cast<size_t>(uVars_[q]) * lanes;
+                sum = _mm256_sub_pd(
+                    sum, _mm256_mul_pd(_mm256_loadu_pd(uv + 4 * g),
+                                       _mm256_loadu_pd(xv + 4 * g)));
+            }
+            _mm256_storeu_pd(
+                xo + 4 * g,
+                _mm256_div_pd(sum, _mm256_loadu_pd(pv + 4 * g)));
+        }
+    }
+}
+
+#endif // HIFI_SIMD_AVX2_COMPILED
+
+void
+SparseLu::factorLanes(double *values, size_t lanes, uint8_t *ok)
+{
+#if HIFI_SIMD_AVX2_COMPILED
+    if (lanes % 4 == 0 && lanes / 4 <= kMaxLaneGroups &&
+        common::simd::avx2()) {
+        factorLanesAvx2(values, lanes, ok);
+        return;
+    }
+#endif
+    // Fixed-width instantiations give the compiler constant trip
+    // counts on the lane loops (full unroll / vectorization at -O2);
+    // other widths run the generic form with identical arithmetic.
+    switch (lanes) {
+      case 4:
+        factorLanesFixed<4>(values, ok);
+        return;
+      case 8:
+        factorLanesFixed<8>(values, ok);
+        return;
+      case 16:
+        factorLanesFixed<16>(values, ok);
+        return;
+      default:
+        factorLanesVar(values, lanes, ok);
+        return;
+    }
+}
+
+template <size_t L>
+void
+SparseLu::solveLanesFixed(const double *values, const double *b,
+                          double *x)
+{
+    double *y = laneScratch_.data();
+    std::copy(b, b + dim_ * L, y);
+    double piv[L];
+    double sum[L];
+    // Forward: replay the row operations on every lane of the RHS.
+    for (const Step &st : steps_) {
+        const double *py = y + static_cast<size_t>(st.pivotRow) * L;
+        for (size_t l = 0; l < L; ++l)
+            piv[l] = py[l];
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            const double *fv =
+                values + static_cast<size_t>(op.factorSlot) * L;
+            double *ry = y + static_cast<size_t>(op.row) * L;
+            for (size_t l = 0; l < L; ++l)
+                ry[l] -= fv[l] * piv[l];
+        }
+    }
+    // Backward: eliminate unknowns in reverse pivot order.
+    for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+        const Step &st = *it;
+        const double *py = y + static_cast<size_t>(st.pivotRow) * L;
+        for (size_t l = 0; l < L; ++l)
+            sum[l] = py[l];
+        for (int q = st.uBegin; q < st.uEnd; ++q) {
+            const double *uv =
+                values + static_cast<size_t>(uSlots_[q]) * L;
+            const double *xv = x + static_cast<size_t>(uVars_[q]) * L;
+            for (size_t l = 0; l < L; ++l)
+                sum[l] -= uv[l] * xv[l];
+        }
+        const double *pv =
+            values + static_cast<size_t>(st.pivotSlot) * L;
+        double *xo = x + static_cast<size_t>(st.pivotCol) * L;
+        for (size_t l = 0; l < L; ++l)
+            xo[l] = sum[l] / pv[l];
+    }
+}
+
+void
+SparseLu::solveLanesVar(const double *values, const double *b,
+                        double *x, size_t lanes)
+{
+    const size_t L = lanes;
+    double *y = laneScratch_.data();
+    std::copy(b, b + dim_ * L, y);
+    std::vector<double> piv(L), sum(L);
+    for (const Step &st : steps_) {
+        const double *py = y + static_cast<size_t>(st.pivotRow) * L;
+        for (size_t l = 0; l < L; ++l)
+            piv[l] = py[l];
+        for (int oi = st.rowOpBegin; oi < st.rowOpEnd; ++oi) {
+            const RowOp &op = rowOps_[oi];
+            const double *fv =
+                values + static_cast<size_t>(op.factorSlot) * L;
+            double *ry = y + static_cast<size_t>(op.row) * L;
+            for (size_t l = 0; l < L; ++l)
+                ry[l] -= fv[l] * piv[l];
+        }
+    }
+    for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+        const Step &st = *it;
+        const double *py = y + static_cast<size_t>(st.pivotRow) * L;
+        for (size_t l = 0; l < L; ++l)
+            sum[l] = py[l];
+        for (int q = st.uBegin; q < st.uEnd; ++q) {
+            const double *uv =
+                values + static_cast<size_t>(uSlots_[q]) * L;
+            const double *xv = x + static_cast<size_t>(uVars_[q]) * L;
+            for (size_t l = 0; l < L; ++l)
+                sum[l] -= uv[l] * xv[l];
+        }
+        const double *pv =
+            values + static_cast<size_t>(st.pivotSlot) * L;
+        double *xo = x + static_cast<size_t>(st.pivotCol) * L;
+        for (size_t l = 0; l < L; ++l)
+            xo[l] = sum[l] / pv[l];
+    }
+}
+
+void
+SparseLu::solveLanes(const double *values, const double *b, double *x,
+                     size_t lanes)
+{
+    if (laneScratch_.size() < dim_ * lanes)
+        laneScratch_.resize(dim_ * lanes);
+#if HIFI_SIMD_AVX2_COMPILED
+    if (lanes % 4 == 0 && lanes / 4 <= kMaxLaneGroups &&
+        common::simd::avx2()) {
+        solveLanesAvx2(values, b, x, lanes);
+        return;
+    }
+#endif
+    switch (lanes) {
+      case 4:
+        solveLanesFixed<4>(values, b, x);
+        return;
+      case 8:
+        solveLanesFixed<8>(values, b, x);
+        return;
+      case 16:
+        solveLanesFixed<16>(values, b, x);
+        return;
+      default:
+        solveLanesVar(values, b, x, lanes);
+        return;
+    }
+}
+
 bool
 SparseLu::factor(double *values)
 {
@@ -356,6 +698,13 @@ SparseLu::solve(const double *values, const double *b, double *x)
 MosEval
 evalMosfet(const Mosfet &m, double vd, double vg, double vs)
 {
+    return evalMosfet(m, m.vthDelta, vd, vg, vs);
+}
+
+MosEval
+evalMosfet(const Mosfet &m, double vth_delta, double vd, double vg,
+           double vs)
+{
     const double sign = (m.model.type == MosType::Nmos) ? 1.0 : -1.0;
 
     // Map to an NMOS-equivalent frame (negate voltages for PMOS).
@@ -370,7 +719,7 @@ evalMosfet(const Mosfet &m, double vd, double vg, double vs)
 
     const double vgs = eq_g - eq_s;
     const double vds = eq_d - eq_s;
-    const double vth = m.model.vth + m.vthDelta;
+    const double vth = m.model.vth + vth_delta;
     const double beta = m.model.kp * m.wOverL();
     const double vov = vgs - vth;
 
@@ -407,7 +756,7 @@ evalMosfet(const Mosfet &m, double vd, double vg, double vs)
     return ev;
 }
 
-// --- Simulator -------------------------------------------------------
+// --- MnaStructure ----------------------------------------------------
 
 namespace
 {
@@ -420,13 +769,13 @@ rowOf(NodeId n)
 
 } // namespace
 
-Simulator::Simulator(const Netlist &netlist) : netlist_(netlist)
+MnaStructure::MnaStructure(const Netlist &netlist) : net(netlist)
 {
-    const size_t num_nodes = netlist_.numNodes(); // includes ground
-    nv_ = num_nodes - 1;
-    ns_ = netlist_.vsources().size();
-    dim_ = nv_ + ns_;
-    if (dim_ == 0)
+    const size_t num_nodes = net.numNodes(); // includes ground
+    nv = num_nodes - 1;
+    ns = net.vsources().size();
+    dim = nv + ns;
+    if (dim == 0)
         throw std::invalid_argument("Simulator: empty netlist");
 
     // Structural pattern, mirroring the stamping below.
@@ -436,63 +785,65 @@ Simulator::Simulator(const Netlist &netlist) : netlist_(netlist)
             entries.emplace_back(static_cast<int>(r),
                                  static_cast<int>(c));
     };
-    for (size_t n = 0; n < nv_; ++n)
+    for (size_t n = 0; n < nv; ++n)
         add(static_cast<long>(n), static_cast<long>(n));
-    for (const auto &r : netlist_.resistors()) {
+    for (const auto &r : net.resistors()) {
         const long ra = rowOf(r.a), rb = rowOf(r.b);
         add(ra, ra);
         add(rb, rb);
         add(ra, rb);
         add(rb, ra);
     }
-    for (const auto &c : netlist_.capacitors()) {
+    for (const auto &c : net.capacitors()) {
         const long ra = rowOf(c.a), rb = rowOf(c.b);
         add(ra, ra);
         add(rb, rb);
         add(ra, rb);
         add(rb, ra);
     }
-    for (const auto &m : netlist_.mosfets()) {
+    for (const auto &m : net.mosfets()) {
         const long rd = rowOf(m.drain), rg = rowOf(m.gate),
                    rs = rowOf(m.source);
         for (const long row : {rd, rs})
             for (const long col : {rd, rg, rs})
                 add(row, col);
     }
-    for (size_t si = 0; si < ns_; ++si) {
-        const auto &src = netlist_.vsources()[si];
-        const long brow = static_cast<long>(nv_ + si);
+    for (size_t si = 0; si < ns; ++si) {
+        const auto &src = net.vsources()[si];
+        const long brow = static_cast<long>(nv + si);
         const long rp = rowOf(src.pos), rn = rowOf(src.neg);
         add(rp, brow);
         add(brow, rp);
         add(rn, brow);
         add(brow, rn);
     }
-    lu_.analyze(dim_, entries);
+    lu.analyze(dim, entries);
 
     // Stamp slot tables over the analyzed pattern.
-    auto slot = [&](long r, long c) -> int {
+    auto slotOf = [&](long r, long c) -> int {
         return (r >= 0 && c >= 0)
-            ? lu_.slot(static_cast<int>(r), static_cast<int>(c))
+            ? lu.slot(static_cast<int>(r), static_cast<int>(c))
             : -1;
     };
-    gminSlots_.resize(nv_);
-    for (size_t n = 0; n < nv_; ++n)
-        gminSlots_[n] = slot(static_cast<long>(n), static_cast<long>(n));
-    resistorSlots_.clear();
-    for (const auto &r : netlist_.resistors()) {
+    gminSlots.resize(nv);
+    for (size_t n = 0; n < nv; ++n)
+        gminSlots[n] =
+            slotOf(static_cast<long>(n), static_cast<long>(n));
+    resistorSlots.clear();
+    for (const auto &r : net.resistors()) {
         const long ra = rowOf(r.a), rb = rowOf(r.b);
-        resistorSlots_.push_back({slot(ra, ra), slot(rb, rb),
-                                  slot(ra, rb), slot(rb, ra)});
+        resistorSlots.push_back({slotOf(ra, ra), slotOf(rb, rb),
+                                 slotOf(ra, rb), slotOf(rb, ra)});
     }
-    capacitorSlots_.clear();
-    for (const auto &c : netlist_.capacitors()) {
+    capacitorSlots.clear();
+    for (const auto &c : net.capacitors()) {
         const long ra = rowOf(c.a), rb = rowOf(c.b);
-        capacitorSlots_.push_back({slot(ra, ra), slot(rb, rb),
-                                   slot(ra, rb), slot(rb, ra), ra, rb});
+        capacitorSlots.push_back({slotOf(ra, ra), slotOf(rb, rb),
+                                  slotOf(ra, rb), slotOf(rb, ra), ra,
+                                  rb});
     }
-    mosfetSlots_.clear();
-    for (const auto &m : netlist_.mosfets()) {
+    mosfetSlots.clear();
+    for (const auto &m : net.mosfets()) {
         const long rows[2] = {rowOf(m.drain), rowOf(m.source)};
         const long cols[3] = {rowOf(m.drain), rowOf(m.gate),
                               rowOf(m.source)};
@@ -500,50 +851,35 @@ Simulator::Simulator(const Netlist &netlist) : netlist_(netlist)
         for (int r = 0; r < 2; ++r) {
             ms.rhs[r] = rows[r];
             for (int c = 0; c < 3; ++c)
-                ms.m[r][c] = slot(rows[r], cols[c]);
+                ms.m[r][c] = slotOf(rows[r], cols[c]);
         }
-        mosfetSlots_.push_back(ms);
+        mosfetSlots.push_back(ms);
     }
-    sourceSlots_.clear();
-    for (size_t si = 0; si < ns_; ++si) {
-        const auto &src = netlist_.vsources()[si];
-        const long brow = static_cast<long>(nv_ + si);
+    sourceSlots.clear();
+    for (size_t si = 0; si < ns; ++si) {
+        const auto &src = net.vsources()[si];
+        const long brow = static_cast<long>(nv + si);
         const long rp = rowOf(src.pos), rn = rowOf(src.neg);
-        sourceSlots_.push_back({slot(rp, brow), slot(brow, rp),
-                                slot(rn, brow), slot(brow, rn),
-                                nv_ + si});
+        sourceSlots.push_back({slotOf(rp, brow), slotOf(brow, rp),
+                               slotOf(rn, brow), slotOf(brow, rn),
+                               nv + si});
     }
-
-    // Workspace.
-    baseVals_.assign(lu_.slots(), 0.0);
-    baseValsStep0_.assign(lu_.slots(), 0.0);
-    workVals_.assign(lu_.slots(), 0.0);
-    rhsStep_.assign(dim_, 0.0);
-    rhsWork_.assign(dim_, 0.0);
-    x_.assign(dim_, 0.0);
-    v_.assign(num_nodes, 0.0);
-    capPrev_.assign(netlist_.capacitors().size(), 0.0);
-    capIPrev_.assign(netlist_.capacitors().size(), 0.0);
-    capGeq_.assign(netlist_.capacitors().size(), 0.0);
-    branchCurrents_.assign(ns_, 0.0);
-    denseA_.assign(dim_ * dim_, 0.0);
-    denseB_.assign(dim_, 0.0);
 }
 
 void
-Simulator::assembleBase(const TranParams &params, bool step0,
-                        std::vector<double> &base) const
+MnaStructure::assembleBase(const TranParams &params, bool step0,
+                           std::vector<double> &base) const
 {
     std::fill(base.begin(), base.end(), 0.0);
 
     // gmin to ground on every node.
-    for (size_t n = 0; n < nv_; ++n)
-        base[gminSlots_[n]] += params.gmin;
+    for (size_t n = 0; n < nv; ++n)
+        base[gminSlots[n]] += params.gmin;
 
     // Resistors.
-    for (size_t ri = 0; ri < resistorSlots_.size(); ++ri) {
-        const auto &sl = resistorSlots_[ri];
-        const double g = 1.0 / netlist_.resistors()[ri].ohms;
+    for (size_t ri = 0; ri < resistorSlots.size(); ++ri) {
+        const auto &sl = resistorSlots[ri];
+        const double g = 1.0 / net.resistors()[ri].ohms;
         if (sl.aa >= 0)
             base[sl.aa] += g;
         if (sl.bb >= 0)
@@ -560,10 +896,10 @@ Simulator::assembleBase(const TranParams &params, bool step0,
     const double k =
         params.integrator == Integrator::Trapezoidal ? 2.0 : 1.0;
     const double scale = step0 ? 1e3 : 1.0;
-    for (size_t ci = 0; ci < capacitorSlots_.size(); ++ci) {
-        const auto &sl = capacitorSlots_[ci];
+    for (size_t ci = 0; ci < capacitorSlots.size(); ++ci) {
+        const auto &sl = capacitorSlots[ci];
         const double geq =
-            scale * k * netlist_.capacitors()[ci].farads / params.dt;
+            scale * k * net.capacitors()[ci].farads / params.dt;
         if (sl.aa >= 0)
             base[sl.aa] += geq;
         if (sl.bb >= 0)
@@ -575,7 +911,7 @@ Simulator::assembleBase(const TranParams &params, bool step0,
     }
 
     // Voltage-source incidence.
-    for (const auto &sl : sourceSlots_) {
+    for (const auto &sl : sourceSlots) {
         if (sl.pb >= 0) {
             base[sl.pb] += 1.0;
             base[sl.bp] += 1.0;
@@ -587,23 +923,43 @@ Simulator::assembleBase(const TranParams &params, bool step0,
     }
 }
 
-void
-Simulator::solveDenseFallback(const std::vector<double> &vals)
+// --- Simulator -------------------------------------------------------
+
+Simulator::Simulator(const Netlist &netlist)
+    : netlist_(netlist), st_(netlist)
 {
-    const size_t n = dim_;
-    std::fill(denseA_.begin(), denseA_.end(), 0.0);
+    // Workspace (sized once here, reused across runs).
+    baseVals_.assign(st_.lu.slots(), 0.0);
+    baseValsStep0_.assign(st_.lu.slots(), 0.0);
+    workVals_.assign(st_.lu.slots(), 0.0);
+    rhsStep_.assign(st_.dim, 0.0);
+    rhsWork_.assign(st_.dim, 0.0);
+    x_.assign(st_.dim, 0.0);
+    v_.assign(netlist_.numNodes(), 0.0);
+    capPrev_.assign(netlist_.capacitors().size(), 0.0);
+    capIPrev_.assign(netlist_.capacitors().size(), 0.0);
+    capGeq_.assign(netlist_.capacitors().size(), 0.0);
+    branchCurrents_.assign(st_.ns, 0.0);
+    denseA_.assign(st_.dim * st_.dim, 0.0);
+    denseB_.assign(st_.dim, 0.0);
+}
+
+void
+solveDenseCsr(const SparseLu &lu, const double *vals,
+              const double *rhs, double *x, double *a, double *b)
+{
+    const size_t n = lu.dim();
+    std::fill(a, a + n * n, 0.0);
     for (size_t row = 0; row < n; ++row) {
         // Scatter the CSR row into the dense scratch.
-        // (lu_ keeps the pattern; fill slots hold zeros.)
-        for (int idx = lu_.rowPtr()[row]; idx < lu_.rowPtr()[row + 1];
+        // (lu keeps the pattern; fill slots hold zeros.)
+        for (int idx = lu.rowPtr()[row]; idx < lu.rowPtr()[row + 1];
              ++idx)
-            denseA_[row * n + static_cast<size_t>(lu_.colIdx()[idx])] =
+            a[row * n + static_cast<size_t>(lu.colIdx()[idx])] =
                 vals[static_cast<size_t>(idx)];
     }
-    std::copy(rhsWork_.begin(), rhsWork_.end(), denseB_.begin());
+    std::copy(rhs, rhs + n, b);
 
-    double *a = denseA_.data();
-    double *b = denseB_.data();
     for (size_t col = 0; col < n; ++col) {
         size_t pivot = col;
         double best = std::abs(a[col * n + col]);
@@ -632,9 +988,16 @@ Simulator::solveDenseFallback(const std::vector<double> &vals)
     for (size_t i = n; i-- > 0;) {
         double sum = b[i];
         for (size_t k = i + 1; k < n; ++k)
-            sum -= a[i * n + k] * x_[k];
-        x_[i] = sum / a[i * n + i];
+            sum -= a[i * n + k] * x[k];
+        x[i] = sum / a[i * n + i];
     }
+}
+
+void
+Simulator::solveDenseFallback(const std::vector<double> &vals)
+{
+    solveDenseCsr(st_.lu, vals.data(), rhsWork_.data(), x_.data(),
+                  denseA_.data(), denseB_.data());
 }
 
 TranResult
@@ -649,7 +1012,7 @@ Simulator::run(const TranParams &params)
     const size_t num_nodes = netlist_.numNodes();
     const bool trap = params.integrator == Integrator::Trapezoidal;
     const bool sparse = params.solver == LinearSolver::Sparse ||
-        (params.solver == LinearSolver::Auto && dim_ >= kSparseCutoff);
+        (params.solver == LinearSolver::Auto && st_.dim >= kSparseCutoff);
 
     // Reset the reusable state.
     std::fill(v_.begin(), v_.end(), 0.0);
@@ -659,8 +1022,8 @@ Simulator::run(const TranParams &params)
         capIPrev_[ci] = 0.0;
         capGeq_[ci] = (trap ? 2.0 : 1.0) * caps[ci].farads / params.dt;
     }
-    assembleBase(params, true, baseValsStep0_);
-    assembleBase(params, false, baseVals_);
+    st_.assembleBase(params, true, baseValsStep0_);
+    st_.assembleBase(params, false, baseVals_);
 
     const size_t steps =
         static_cast<size_t>(std::ceil(params.tstop / params.dt));
@@ -670,7 +1033,7 @@ Simulator::run(const TranParams &params)
     // the pointers survive later insertions).
     TranResult result;
     std::vector<Trace *> nodeTrace(num_nodes, nullptr);
-    std::vector<Trace *> srcTrace(ns_, nullptr);
+    std::vector<Trace *> srcTrace(st_.ns, nullptr);
     for (size_t n = 1; n < num_nodes; ++n) {
         Trace t;
         t.name = netlist_.nodeName(static_cast<NodeId>(n));
@@ -678,7 +1041,7 @@ Simulator::run(const TranParams &params)
             result.traces.emplace(t.name, std::move(t));
         nodeTrace[n] = &it->second;
     }
-    for (size_t si = 0; si < ns_; ++si) {
+    for (size_t si = 0; si < st_.ns; ++si) {
         Trace t;
         t.name = "I(" + netlist_.vsources()[si].name + ")";
         auto [it, inserted] =
@@ -698,7 +1061,7 @@ Simulator::run(const TranParams &params)
         std::copy(rhsStep_.begin(), rhsStep_.end(), rhsWork_.begin());
         for (size_t mi = 0; mi < mosfets.size(); ++mi) {
             const auto &m = mosfets[mi];
-            const auto &sl = mosfetSlots_[mi];
+            const auto &sl = st_.mosfetSlots[mi];
             const double vd = v_[static_cast<size_t>(m.drain)];
             const double vg = v_[static_cast<size_t>(m.gate)];
             const double vs = v_[static_cast<size_t>(m.source)];
@@ -730,7 +1093,7 @@ Simulator::run(const TranParams &params)
         // Per-step RHS: capacitor companion currents and source values.
         std::fill(rhsStep_.begin(), rhsStep_.end(), 0.0);
         for (size_t ci = 0; ci < caps.size(); ++ci) {
-            const auto &sl = capacitorSlots_[ci];
+            const auto &sl = st_.capacitorSlots[ci];
             const double geq = geq_scale * capGeq_[ci];
             const double ieq = geq * capPrev_[ci] +
                 (trap && step > 0 ? capIPrev_[ci] : 0.0);
@@ -739,8 +1102,8 @@ Simulator::run(const TranParams &params)
             if (sl.rb >= 0)
                 rhsStep_[static_cast<size_t>(sl.rb)] -= ieq;
         }
-        for (size_t si = 0; si < ns_; ++si)
-            rhsStep_[nv_ + si] +=
+        for (size_t si = 0; si < st_.ns; ++si)
+            rhsStep_[st_.nv + si] +=
                 netlist_.vsources()[si].waveform.value(t);
 
         bool converged = false;
@@ -752,9 +1115,9 @@ Simulator::run(const TranParams &params)
             restamp();
 
             if (sparse) {
-                if (lu_.factor(workVals_.data())) {
+                if (st_.lu.factor(workVals_.data())) {
                     ++lu_refactorizations;
-                    lu_.solve(workVals_.data(), rhsWork_.data(),
+                    st_.lu.solve(workVals_.data(), rhsWork_.data(),
                               x_.data());
                 } else {
                     // Numerically bad static pivot: re-stamp (factor
@@ -775,12 +1138,12 @@ Simulator::run(const TranParams &params)
             // variable is the current flowing from + through the
             // source to -, i.e. INTO the positive node; the delivered
             // current is its negation.
-            for (size_t si = 0; si < ns_; ++si)
-                branchCurrents_[si] = -x_[nv_ + si];
+            for (size_t si = 0; si < st_.ns; ++si)
+                branchCurrents_[si] = -x_[st_.nv + si];
 
             // Damped update and convergence check.
             double max_delta = 0.0;
-            for (size_t n = 0; n < nv_; ++n) {
+            for (size_t n = 0; n < st_.nv; ++n) {
                 double delta = x_[n] - v_[n + 1];
                 max_delta = std::max(max_delta, std::abs(delta));
                 delta = std::clamp(delta, -params.maxStepVolts,
@@ -820,7 +1183,7 @@ Simulator::run(const TranParams &params)
             nodeTrace[n]->times.push_back(t);
             nodeTrace[n]->values.push_back(v_[n]);
         }
-        for (size_t si = 0; si < ns_; ++si) {
+        for (size_t si = 0; si < st_.ns; ++si) {
             srcTrace[si]->times.push_back(t);
             srcTrace[si]->values.push_back(branchCurrents_[si]);
         }

@@ -34,6 +34,7 @@
 
 #include "circuit/netlist.hh"
 #include "circuit/waveform.hh"
+#include "common/simd.hh"
 
 namespace hifi
 {
@@ -54,6 +55,10 @@ enum class LinearSolver
     Dense,  ///< in-place Gaussian elimination with partial pivoting
     Sparse, ///< cached-symbolic sparse LU (static pivot order)
 };
+
+/// Below this dimension LinearSolver::Auto picks the dense engine
+/// (shared by the scalar and batched simulators).
+inline constexpr size_t kSparseCutoff = 8;
 
 /** Transient analysis parameters. */
 struct TranParams
@@ -80,6 +85,15 @@ struct TranParams
 
     /// Per-iteration voltage-update clamp (V), damps oscillation.
     double maxStepVolts = 0.3;
+
+    /**
+     * Monte-Carlo batching width: how many trials the mismatch sweep
+     * solves in lockstep per BatchSimulator block (see batch.hh).
+     * Each lane runs the exact scalar arithmetic, so results are
+     * bitwise identical at any width; <= 1 selects the per-trial
+     * scalar engine (the retained reference path).
+     */
+    int batchLanes = 8;
 };
 
 /**
@@ -172,11 +186,54 @@ class SparseLu
      */
     void solve(const double *values, const double *b, double *x);
 
+    /**
+     * Batched numeric factorization over an SoA value block laid out
+     * `values[slot * lanes + lane]`: replays the cached elimination
+     * program once, streaming every lane through each row operation
+     * (accumulate-and-reduce over the lane axis).  Lanes with
+     * ok[lane] == 0 on entry are skipped; a lane that hits a
+     * numerically negligible pivot gets ok[lane] cleared and its
+     * values are garbage from then on (callers re-stamp those lanes
+     * for the dense fallback, exactly like the scalar path).  For
+     * surviving lanes the per-lane arithmetic — operand order
+     * included — is identical to factor(), so the factors are
+     * bitwise equal to lanes-many scalar factorizations.
+     */
+    void factorLanes(double *values, size_t lanes, uint8_t *ok);
+
+    /**
+     * Batched substitution over factorLanes() output: `b` and `x`
+     * are `[row * lanes + lane]`.  Lanes whose factorization failed
+     * produce garbage that callers must ignore.
+     */
+    void solveLanes(const double *values, const double *b, double *x,
+                    size_t lanes);
+
     /// CSR layout of the analyzed (post-fill) pattern.
     const std::vector<int> &rowPtr() const { return rowPtr_; }
     const std::vector<int> &colIdx() const { return colIdx_; }
 
   private:
+    template <size_t L>
+    void factorLanesFixed(double *values, uint8_t *ok);
+    void factorLanesVar(double *values, size_t lanes, uint8_t *ok);
+    template <size_t L>
+    void solveLanesFixed(const double *values, const double *b,
+                         double *x);
+    void solveLanesVar(const double *values, const double *b,
+                       double *x, size_t lanes);
+#if HIFI_SIMD_AVX2_COMPILED
+    // AVX2 forms of the lane kernels (4 lanes per ymm register,
+    // element-wise ops only — bitwise identical to the portable
+    // forms).  Selected at runtime when the CPU reports AVX2 and
+    // HIFI_SIMD does not force scalar; lanes must be a multiple of 4.
+    HIFI_AVX2_TARGET void factorLanesAvx2(double *values, size_t lanes,
+                                          uint8_t *ok);
+    HIFI_AVX2_TARGET void solveLanesAvx2(const double *values,
+                                         const double *b, double *x,
+                                         size_t lanes);
+#endif
+
     size_t dim_ = 0;
 
     // Full (post-fill) pattern in CSR form.
@@ -209,7 +266,74 @@ class SparseLu
     std::vector<int> uVars_;
 
     std::vector<double> scratch_; ///< permuted RHS during solve()
+    std::vector<double> laneScratch_; ///< SoA RHS during solveLanes()
 };
+
+/**
+ * Cached MNA structure shared by the scalar Simulator and the
+ * lockstep BatchSimulator: the matrix dimensions, the analyzed
+ * symbolic LU, and the stamp slot tables that map every device onto
+ * value-array slots and RHS rows.  Built once per netlist topology;
+ * both engines then only fill in numbers.
+ */
+struct MnaStructure
+{
+    explicit MnaStructure(const Netlist &netlist);
+
+    const Netlist &net; ///< must outlive the structure
+
+    size_t nv = 0;  ///< unknown node voltages
+    size_t ns = 0;  ///< voltage-source branch currents
+    size_t dim = 0; ///< nv + ns
+
+    SparseLu lu;
+
+    // Stamp slot tables (indices into the value array; -1 = ground).
+    std::vector<int> gminSlots;
+    struct ResistorSlots
+    {
+        int aa, bb, ab, ba;
+    };
+    struct CapacitorSlots
+    {
+        int aa, bb, ab, ba;
+        long ra, rb; ///< RHS rows (-1 = ground)
+    };
+    struct MosfetSlots
+    {
+        int m[2][3]; ///< [drain row, source row] x [vd, vg, vs] slots
+        long rhs[2]; ///< RHS rows for the drain/source stamp
+    };
+    struct SourceSlots
+    {
+        int pb, bp, nb, bn;
+        size_t brow; ///< branch row index
+    };
+    std::vector<ResistorSlots> resistorSlots;
+    std::vector<CapacitorSlots> capacitorSlots;
+    std::vector<MosfetSlots> mosfetSlots;
+    std::vector<SourceSlots> sourceSlots;
+
+    /**
+     * Assemble the static stamp (gmin, resistors, capacitor companion
+     * conductances, source incidence) into `base` (size lu.slots()).
+     * The IC-pinning step-0 variant scales the capacitor companions.
+     */
+    void assembleBase(const TranParams &params, bool step0,
+                      std::vector<double> &base) const;
+};
+
+/**
+ * Dense solve of the CSR-stamped system: scatters `vals` (laid out by
+ * `lu`'s pattern) into the `a` scratch (dim x dim row-major), copies
+ * `rhs` into `b`, and runs in-place Gaussian elimination with partial
+ * pivoting.  Writes the solution into `x` (size dim).  Throws
+ * std::runtime_error on a singular matrix.  This is *the* dense
+ * engine: the scalar Simulator's fallback and the per-lane batched
+ * fallback both call it, so their arithmetic is identical.
+ */
+void solveDenseCsr(const SparseLu &lu, const double *vals,
+                   const double *rhs, double *x, double *a, double *b);
 
 /**
  * Transient simulator over a fixed netlist.
@@ -230,44 +354,12 @@ class Simulator
     TranResult run(const TranParams &params);
 
   private:
-    void assembleBase(const TranParams &params, bool step0,
-                      std::vector<double> &base) const;
     /// Dense fallback: scatter `vals` + solve; writes x_. Throws when
     /// singular.
     void solveDenseFallback(const std::vector<double> &vals);
 
     const Netlist &netlist_;
-    size_t nv_ = 0;  ///< unknown node voltages
-    size_t ns_ = 0;  ///< voltage-source branch currents
-    size_t dim_ = 0; ///< nv_ + ns_
-
-    SparseLu lu_;
-
-    // Stamp slot tables (indices into the value array; -1 = ground).
-    std::vector<int> gminSlots_;
-    struct ResistorSlots
-    {
-        int aa, bb, ab, ba;
-    };
-    struct CapacitorSlots
-    {
-        int aa, bb, ab, ba;
-        long ra, rb; ///< RHS rows (-1 = ground)
-    };
-    struct MosfetSlots
-    {
-        int m[2][3];   ///< [drain row, source row] x [vd, vg, vs] slots
-        long rhs[2];   ///< RHS rows for the drain/source stamp
-    };
-    struct SourceSlots
-    {
-        int pb, bp, nb, bn;
-        size_t brow; ///< branch row index
-    };
-    std::vector<ResistorSlots> resistorSlots_;
-    std::vector<CapacitorSlots> capacitorSlots_;
-    std::vector<MosfetSlots> mosfetSlots_;
-    std::vector<SourceSlots> sourceSlots_;
+    MnaStructure st_; ///< shared structure (dims, LU, slot tables)
 
     // Reusable workspace (sized at construction, reused across runs).
     std::vector<double> baseVals_;     ///< static stamp, steady steps
@@ -301,6 +393,16 @@ struct MosEval
 };
 
 MosEval evalMosfet(const Mosfet &m, double vd, double vg, double vs);
+
+/**
+ * Same evaluation with the threshold offset supplied by the caller
+ * instead of read from `m.vthDelta`: the batched engine keeps one
+ * offset per (device, lane) without mutating the shared netlist.
+ * evalMosfet(m, vd, vg, vs) == evalMosfet(m, m.vthDelta, vd, vg, vs)
+ * bit for bit.
+ */
+MosEval evalMosfet(const Mosfet &m, double vth_delta, double vd,
+                   double vg, double vs);
 
 } // namespace circuit
 } // namespace hifi

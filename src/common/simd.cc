@@ -1,0 +1,79 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hifi
+{
+namespace common
+{
+namespace simd
+{
+
+namespace
+{
+
+/// Nesting depth of active ScopedForceScalar guards (process-wide).
+std::atomic<int> g_forceScalar{0};
+
+bool
+envDisabled()
+{
+    const char *env = std::getenv("HIFI_SIMD");
+    if (!env)
+        return false;
+    return std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "scalar") == 0;
+}
+
+/// Hardware + environment capability, resolved once per process.
+Isa
+detectIsa()
+{
+    if (envDisabled())
+        return Isa::Scalar;
+#if HIFI_SIMD_AVX2_COMPILED
+    if (__builtin_cpu_supports("avx2"))
+        return Isa::Avx2;
+#endif
+    return Isa::Scalar;
+}
+
+} // namespace
+
+Isa
+activeIsa()
+{
+    static const Isa detected = detectIsa();
+    if (detected != Isa::Scalar &&
+        g_forceScalar.load(std::memory_order_relaxed) > 0)
+        return Isa::Scalar;
+    return detected;
+}
+
+bool
+avx2()
+{
+    return activeIsa() == Isa::Avx2;
+}
+
+const char *
+isaName(Isa isa)
+{
+    return isa == Isa::Avx2 ? "avx2" : "scalar";
+}
+
+ScopedForceScalar::ScopedForceScalar()
+{
+    g_forceScalar.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedForceScalar::~ScopedForceScalar()
+{
+    g_forceScalar.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace simd
+} // namespace common
+} // namespace hifi

@@ -6,6 +6,11 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "common/simd.hh"
+
+#if HIFI_SIMD_AVX2_COMPILED
+#include <immintrin.h>
+#endif
 
 namespace hifi
 {
@@ -30,39 +35,6 @@ constexpr size_t kRowGrain = 16;
  * identical; tests/test_image.cc pins this down.
  */
 
-/**
- * Backward-difference divergence of the dual field (px, py) for one
- * row: out[x] = dx-part + dy-part.  `py_prev` is the previous row of
- * py, or an all-zero row when y == 0; `last_row` selects the y == h-1
- * boundary form.
- */
-inline void
-divergenceRow(const float *px_row, const float *py_row,
-              const float *py_prev, bool last_row, size_t w, float *out)
-{
-    if (last_row) {
-        if (w == 1) {
-            out[0] = -0.0f + -(py_prev[0]);
-            return;
-        }
-        out[0] = (px_row[0] - 0.0f) + -(py_prev[0]);
-        for (size_t x = 1; x + 1 < w; ++x)
-            out[x] = (px_row[x] - px_row[x - 1]) + -(py_prev[x]);
-        out[w - 1] = -(px_row[w - 2]) + -(py_prev[w - 1]);
-    } else {
-        if (w == 1) {
-            out[0] = -0.0f + (py_row[0] - py_prev[0]);
-            return;
-        }
-        out[0] = (px_row[0] - 0.0f) + (py_row[0] - py_prev[0]);
-        for (size_t x = 1; x + 1 < w; ++x)
-            out[x] = (px_row[x] - px_row[x - 1]) +
-                (py_row[x] - py_prev[x]);
-        out[w - 1] = -(px_row[w - 2]) +
-            (py_row[w - 1] - py_prev[w - 1]);
-    }
-}
-
 /// One dual-field pixel update; returns the max component change when
 /// Track (for the tolerance early-exit), 0 otherwise.
 template <bool Track>
@@ -81,6 +53,231 @@ chambollePoint(float gx, float gy, float tau, float &px_v, float &py_v)
     return delta;
 }
 
+/// Soft-threshold for the split-Bregman d-step.
+inline float
+shrink(float v, float t)
+{
+    if (v > t)
+        return v - t;
+    if (v < -t)
+        return v + t;
+    return 0.0f;
+}
+
+#if HIFI_SIMD_AVX2_COMPILED
+
+/*
+ * AVX2 row kernels.  Each reproduces the scalar loop's per-element
+ * operation sequence exactly: float add/sub/mul/div/sqrt are IEEE
+ * exactly-rounded element-wise, negation is a sign-bit xor, and every
+ * branch becomes a quiet-ordered compare + blend pair, so the stored
+ * bits match the scalar path bit for bit (no FMA contraction — these
+ * are discrete intrinsics).  The max-delta reductions use max_ps,
+ * which matches the scalar std::max chain for the non-negative finite
+ * magnitudes these loops produce.
+ */
+
+/// Interior columns [1, w-1) of divergenceRow.
+HIFI_AVX2_TARGET inline void
+divergenceInteriorAvx2(const float *px_row, const float *py_row,
+                       const float *py_prev, bool last_row, size_t w,
+                       float *out)
+{
+    const __m256 signbit = _mm256_set1_ps(-0.0f);
+    size_t x = 1;
+    if (last_row) {
+        for (; x + 8 <= w - 1; x += 8) {
+            const __m256 ddx =
+                _mm256_sub_ps(_mm256_loadu_ps(px_row + x),
+                              _mm256_loadu_ps(px_row + x - 1));
+            const __m256 ndy =
+                _mm256_xor_ps(_mm256_loadu_ps(py_prev + x), signbit);
+            _mm256_storeu_ps(out + x, _mm256_add_ps(ddx, ndy));
+        }
+        for (; x + 1 < w; ++x)
+            out[x] = (px_row[x] - px_row[x - 1]) + -(py_prev[x]);
+    } else {
+        for (; x + 8 <= w - 1; x += 8) {
+            const __m256 ddx =
+                _mm256_sub_ps(_mm256_loadu_ps(px_row + x),
+                              _mm256_loadu_ps(px_row + x - 1));
+            const __m256 ddy =
+                _mm256_sub_ps(_mm256_loadu_ps(py_row + x),
+                              _mm256_loadu_ps(py_prev + x));
+            _mm256_storeu_ps(out + x, _mm256_add_ps(ddx, ddy));
+        }
+        for (; x + 1 < w; ++x)
+            out[x] = (px_row[x] - px_row[x - 1]) +
+                (py_row[x] - py_prev[x]);
+    }
+}
+
+/// Columns [0, n) of the Chambolle dual update (n = w - 1; the caller
+/// peels the last column, whose gx is 0).  Returns the max dual change
+/// when Track.
+template <bool Track>
+HIFI_AVX2_TARGET inline float
+chambolleInteriorAvx2(const float *g_row, const float *g_next,
+                      bool last_row, size_t n, float tau, float *px_row,
+                      float *py_row)
+{
+    const __m256 vtau = _mm256_set1_ps(tau);
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 vdelta = _mm256_setzero_ps();
+    float delta = 0.0f;
+    size_t x = 0;
+    for (; x + 8 <= n; x += 8) {
+        const __m256 g0 = _mm256_loadu_ps(g_row + x);
+        const __m256 gx =
+            _mm256_sub_ps(_mm256_loadu_ps(g_row + x + 1), g0);
+        const __m256 gy = last_row
+            ? _mm256_setzero_ps()
+            : _mm256_sub_ps(_mm256_loadu_ps(g_next + x), g0);
+        const __m256 mag = _mm256_sqrt_ps(_mm256_add_ps(
+            _mm256_mul_ps(gx, gx), _mm256_mul_ps(gy, gy)));
+        const __m256 denom =
+            _mm256_add_ps(one, _mm256_mul_ps(vtau, mag));
+        const __m256 opx = _mm256_loadu_ps(px_row + x);
+        const __m256 opy = _mm256_loadu_ps(py_row + x);
+        const __m256 npx = _mm256_div_ps(
+            _mm256_add_ps(opx, _mm256_mul_ps(vtau, gx)), denom);
+        const __m256 npy = _mm256_div_ps(
+            _mm256_add_ps(opy, _mm256_mul_ps(vtau, gy)), denom);
+        _mm256_storeu_ps(px_row + x, npx);
+        _mm256_storeu_ps(py_row + x, npy);
+        if constexpr (Track) {
+            const __m256 adx =
+                _mm256_and_ps(_mm256_sub_ps(npx, opx), absmask);
+            const __m256 ady =
+                _mm256_and_ps(_mm256_sub_ps(npy, opy), absmask);
+            vdelta = _mm256_max_ps(vdelta, _mm256_max_ps(adx, ady));
+        }
+    }
+    if constexpr (Track) {
+        alignas(32) float lanes[8];
+        _mm256_store_ps(lanes, vdelta);
+        for (int i = 0; i < 8; ++i)
+            delta = std::max(delta, lanes[i]);
+    }
+    for (; x < n; ++x) {
+        const float d = chambollePoint<Track>(
+            g_row[x + 1] - g_row[x],
+            last_row ? 0.0f : g_next[x] - g_row[x], tau, px_row[x],
+            py_row[x]);
+        if constexpr (Track)
+            delta = std::max(delta, d);
+    }
+    return delta;
+}
+
+/// Vector shrink(): the two exclusive threshold branches as blends.
+HIFI_AVX2_TARGET inline __m256
+shrinkAvx2(__m256 v, __m256 t, __m256 nt, __m256 zero)
+{
+    const __m256 hi = _mm256_cmp_ps(v, t, _CMP_GT_OQ);
+    const __m256 lo = _mm256_cmp_ps(v, nt, _CMP_LT_OQ);
+    const __m256 r = _mm256_blendv_ps(zero, _mm256_sub_ps(v, t), hi);
+    return _mm256_blendv_ps(r, _mm256_add_ps(v, t), lo);
+}
+
+/// Split-Bregman shrinkage + Bregman update for one full row.
+HIFI_AVX2_TARGET inline void
+bregmanShrinkRowAvx2(const float *u_row, const float *u_down, size_t w,
+                     float inv_lam, float *dx_row, float *bx_row,
+                     float *dy_row, float *by_row)
+{
+    const __m256 t = _mm256_set1_ps(inv_lam);
+    const __m256 nt = _mm256_xor_ps(t, _mm256_set1_ps(-0.0f));
+    const __m256 zero = _mm256_setzero_ps();
+    size_t x = 0;
+    const size_t n = w - 1; // gx reads u_row[x + 1]
+    for (; x + 8 <= n; x += 8) {
+        const __m256 u0 = _mm256_loadu_ps(u_row + x);
+        const __m256 gx =
+            _mm256_sub_ps(_mm256_loadu_ps(u_row + x + 1), u0);
+        const __m256 gy = u_down
+            ? _mm256_sub_ps(_mm256_loadu_ps(u_down + x), u0)
+            : zero;
+        const __m256 vbx = _mm256_loadu_ps(bx_row + x);
+        const __m256 vby = _mm256_loadu_ps(by_row + x);
+        const __m256 ndx = shrinkAvx2(_mm256_add_ps(gx, vbx), t, nt,
+                                      zero);
+        const __m256 ndy = shrinkAvx2(_mm256_add_ps(gy, vby), t, nt,
+                                      zero);
+        _mm256_storeu_ps(dx_row + x, ndx);
+        _mm256_storeu_ps(dy_row + x, ndy);
+        _mm256_storeu_ps(
+            bx_row + x, _mm256_add_ps(vbx, _mm256_sub_ps(gx, ndx)));
+        _mm256_storeu_ps(
+            by_row + x, _mm256_add_ps(vby, _mm256_sub_ps(gy, ndy)));
+    }
+    for (; x < w; ++x) {
+        const float gx = x + 1 < w ? u_row[x + 1] - u_row[x] : 0.0f;
+        const float gy = u_down ? u_down[x] - u_row[x] : 0.0f;
+        dx_row[x] = shrink(gx + bx_row[x], inv_lam);
+        dy_row[x] = shrink(gy + by_row[x], inv_lam);
+        bx_row[x] += gx - dx_row[x];
+        by_row[x] += gy - dy_row[x];
+    }
+}
+
+#endif // HIFI_SIMD_AVX2_COMPILED
+
+/// Interior columns of divergenceRow, dispatched on the active ISA.
+inline void
+divergenceInterior(const float *px_row, const float *py_row,
+                   const float *py_prev, bool last_row, size_t w,
+                   float *out)
+{
+#if HIFI_SIMD_AVX2_COMPILED
+    if (common::simd::avx2()) {
+        divergenceInteriorAvx2(px_row, py_row, py_prev, last_row, w,
+                               out);
+        return;
+    }
+#endif
+    if (last_row) {
+        for (size_t x = 1; x + 1 < w; ++x)
+            out[x] = (px_row[x] - px_row[x - 1]) + -(py_prev[x]);
+    } else {
+        for (size_t x = 1; x + 1 < w; ++x)
+            out[x] = (px_row[x] - px_row[x - 1]) +
+                (py_row[x] - py_prev[x]);
+    }
+}
+
+/**
+ * Backward-difference divergence of the dual field (px, py) for one
+ * row: out[x] = dx-part + dy-part.  `py_prev` is the previous row of
+ * py, or an all-zero row when y == 0; `last_row` selects the y == h-1
+ * boundary form.
+ */
+inline void
+divergenceRow(const float *px_row, const float *py_row,
+              const float *py_prev, bool last_row, size_t w, float *out)
+{
+    if (last_row) {
+        if (w == 1) {
+            out[0] = -0.0f + -(py_prev[0]);
+            return;
+        }
+        out[0] = (px_row[0] - 0.0f) + -(py_prev[0]);
+        divergenceInterior(px_row, py_row, py_prev, true, w, out);
+        out[w - 1] = -(px_row[w - 2]) + -(py_prev[w - 1]);
+    } else {
+        if (w == 1) {
+            out[0] = -0.0f + (py_row[0] - py_prev[0]);
+            return;
+        }
+        out[0] = (px_row[0] - 0.0f) + (py_row[0] - py_prev[0]);
+        divergenceInterior(px_row, py_row, py_prev, false, w, out);
+        out[w - 1] = -(px_row[w - 2]) +
+            (py_row[w - 1] - py_prev[w - 1]);
+    }
+}
+
 /**
  * Dual update p = (p + tau grad g) / (1 + tau |grad g|) for one row.
  * `g_next` is the next row of g (unused when last_row: the forward
@@ -93,6 +290,18 @@ chambolleRow(const float *g_row, const float *g_next, bool last_row,
              size_t w, float tau, float *px_row, float *py_row)
 {
     float row_delta = 0.0f;
+#if HIFI_SIMD_AVX2_COMPILED
+    if (common::simd::avx2()) {
+        row_delta = chambolleInteriorAvx2<Track>(
+            g_row, g_next, last_row, w - 1, tau, px_row, py_row);
+        const float d = chambollePoint<Track>(
+            0.0f, last_row ? 0.0f : g_next[w - 1] - g_row[w - 1], tau,
+            px_row[w - 1], py_row[w - 1]);
+        if constexpr (Track)
+            row_delta = std::max(row_delta, d);
+        return row_delta;
+    }
+#endif
     if (last_row) {
         for (size_t x = 0; x + 1 < w; ++x) {
             const float d = chambollePoint<Track>(
@@ -189,16 +398,6 @@ denoiseChambolleImpl(const Image2D &input, const TvParams &params)
         }
     });
     return out;
-}
-
-inline float
-shrink(float v, float t)
-{
-    if (v > t)
-        return v - t;
-    if (v < -t)
-        return v + t;
-    return 0.0f;
 }
 
 /// Per-row state handed to the split-Bregman relaxation helpers.
@@ -347,17 +546,26 @@ denoiseSplitBregmanImpl(const Image2D &input, const TvParams &params)
                         y + 1 < h ? u.row(y + 1) : nullptr;
                     float *dx_row = dx.row(y), *bx_row = bx.row(y);
                     float *dy_row = dy.row(y), *by_row = by.row(y);
-                    for (size_t x = 0; x < w; ++x) {
-                        const float gx = x + 1 < w
-                            ? u_row[x + 1] - u_row[x] : 0.0f;
-                        const float gy =
-                            u_down ? u_down[x] - u_row[x] : 0.0f;
-                        dx_row[x] =
-                            shrink(gx + bx_row[x], 1.0f / lam);
-                        dy_row[x] =
-                            shrink(gy + by_row[x], 1.0f / lam);
-                        bx_row[x] += gx - dx_row[x];
-                        by_row[x] += gy - dy_row[x];
+#if HIFI_SIMD_AVX2_COMPILED
+                    if (common::simd::avx2()) {
+                        bregmanShrinkRowAvx2(u_row, u_down, w,
+                                             1.0f / lam, dx_row,
+                                             bx_row, dy_row, by_row);
+                    } else
+#endif
+                    {
+                        for (size_t x = 0; x < w; ++x) {
+                            const float gx = x + 1 < w
+                                ? u_row[x + 1] - u_row[x] : 0.0f;
+                            const float gy =
+                                u_down ? u_down[x] - u_row[x] : 0.0f;
+                            dx_row[x] =
+                                shrink(gx + bx_row[x], 1.0f / lam);
+                            dy_row[x] =
+                                shrink(gy + by_row[x], 1.0f / lam);
+                            bx_row[x] += gx - dx_row[x];
+                            by_row[x] += gy - dy_row[x];
+                        }
                     }
                     if constexpr (Track) {
                         const float *p_row = u_prev.row(y);

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/telemetry.hh"
+
+#if HIFI_SIMD_AVX2_COMPILED
+#include <immintrin.h>
+#endif
 
 namespace hifi
 {
@@ -115,43 +121,104 @@ miAtShiftRef(const Image2D &a, const Image2D &b, const MiRanges &r,
 struct MiWorkspace
 {
     std::vector<uint32_t> joint;
+    std::vector<uint32_t> idx; ///< per-row joint indices (SIMD path)
     std::vector<double> pa, pb;
 };
 
+/// SIMD bin-index math runs in epi32 lanes: gate at 4096 bins so
+/// ia * bins + ib stays far below 2^31 (4096^2 ~ 2^24).  Larger bin
+/// counts (rare; quantizePlane allows up to 65535) take the scalar
+/// loop, which uses size_t throughout.
+constexpr size_t kMiSimdMaxBins = 4096;
+
+#if HIFI_SIMD_AVX2_COMPILED
+
+/// idx[k] = ra[k] * bins + rb[k] over pre-quantized uint16 rows,
+/// eight pairs per step.  Pure integer arithmetic, so the indices are
+/// trivially identical to the scalar loop's.
+HIFI_AVX2_TARGET inline void
+jointIndicesAvx2(const uint16_t *ra, const uint16_t *rb, size_t count,
+                 uint32_t bins, uint32_t *out)
+{
+    const __m256i vbins = _mm256_set1_epi32(static_cast<int>(bins));
+    size_t k = 0;
+    for (; k + 8 <= count; k += 8) {
+        const __m256i ia = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(ra + k)));
+        const __m256i ib = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rb + k)));
+        const __m256i idx =
+            _mm256_add_epi32(_mm256_mullo_epi32(ia, vbins), ib);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + k), idx);
+    }
+    for (; k < count; ++k)
+        out[k] = static_cast<uint32_t>(ra[k]) * bins + rb[k];
+}
+
 /**
- * Fast MI at a shift over pre-quantized planes.  The joint histogram
- * is accumulated as integers (each reference bin count is a double
- * incremented by 1.0, hence an exact integer), and the marginal / MI
- * arithmetic below mirrors the reference loop structure term for
- * term, so the returned score is bitwise identical to miAtShiftRef.
+ * Vector form of quantize() for four floats: the float subtract /
+ * multiply, the widening to double, the std::clamp comparison order,
+ * and the truncating cast are each reproduced exactly, so every lane
+ * lands in the same bin the scalar call would pick.
+ */
+HIFI_AVX2_TARGET inline __m128i
+quantize4Avx2(__m128 v, __m128 vlo, __m128 vinv, __m256d vbins,
+              __m256d zero, __m256d top)
+{
+    const __m128 tf = _mm_mul_ps(_mm_sub_ps(v, vlo), vinv);
+    __m256d t = _mm256_cvtps_pd(tf);
+    t = _mm256_blendv_pd(t, zero, _mm256_cmp_pd(t, zero, _CMP_LT_OQ));
+    t = _mm256_blendv_pd(t, top, _mm256_cmp_pd(top, t, _CMP_LT_OQ));
+    return _mm256_cvttpd_epi32(_mm256_mul_pd(t, vbins));
+}
+
+/// Fused one-shot row kernel: quantize both images on the fly and emit
+/// joint indices, no intermediate QuantizedPlane.
+HIFI_AVX2_TARGET inline void
+quantIndicesAvx2(const float *pa, const float *pb, size_t count,
+                 const MiRanges &r, uint32_t bins, uint32_t *out)
+{
+    const __m128 alo = _mm_set1_ps(r.alo), ainv = _mm_set1_ps(r.ainv);
+    const __m128 blo = _mm_set1_ps(r.blo), binv = _mm_set1_ps(r.binv);
+    const __m256d vbins = _mm256_set1_pd(static_cast<double>(bins));
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d top = _mm256_set1_pd(1.0 - 1e-9);
+    const __m256i ibins = _mm256_set1_epi32(static_cast<int>(bins));
+    size_t k = 0;
+    for (; k + 8 <= count; k += 8) {
+        const __m256i ia = _mm256_set_m128i(
+            quantize4Avx2(_mm_loadu_ps(pa + k + 4), alo, ainv, vbins,
+                          zero, top),
+            quantize4Avx2(_mm_loadu_ps(pa + k), alo, ainv, vbins, zero,
+                          top));
+        const __m256i ib = _mm256_set_m128i(
+            quantize4Avx2(_mm_loadu_ps(pb + k + 4), blo, binv, vbins,
+                          zero, top),
+            quantize4Avx2(_mm_loadu_ps(pb + k), blo, binv, vbins, zero,
+                          top));
+        const __m256i idx =
+            _mm256_add_epi32(_mm256_mullo_epi32(ia, ibins), ib);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + k), idx);
+    }
+    for (; k < count; ++k) {
+        out[k] = static_cast<uint32_t>(
+                     quantize(pa[k], r.alo, r.ainv, bins)) * bins +
+            static_cast<uint32_t>(quantize(pb[k], r.blo, r.binv, bins));
+    }
+}
+
+#endif // HIFI_SIMD_AVX2_COMPILED
+
+/**
+ * Marginals + entropy sum over an integer joint histogram.  Shared by
+ * every quantized path (pre-quantized planes and the fused one-shot)
+ * so they cannot drift: the loop structure mirrors miAtShiftRef term
+ * for term, and each uint32 count converts to the same double the
+ * reference accumulated by repeated `+= 1.0`.
  */
 double
-miAtShiftQ(const QuantizedPlane &a, const QuantizedPlane &b, long dx,
-           long dy, MiWorkspace &ws)
+miFromJointCounts(MiWorkspace &ws, size_t bins, size_t n)
 {
-    const size_t bins = a.bins;
-    const long w = static_cast<long>(a.width);
-    const long h = static_cast<long>(a.height);
-
-    const long x0 = std::max(0l, dx), x1 = std::min(w, w + dx);
-    const long y0 = std::max(0l, dy), y1 = std::min(h, h + dy);
-    if (x0 >= x1 || y0 >= y1)
-        return 0.0;
-
-    ws.joint.assign(bins * bins, 0);
-    for (long y = y0; y < y1; ++y) {
-        const uint16_t *ra =
-            a.idx.data() + static_cast<size_t>(y) * a.width;
-        const uint16_t *rb =
-            b.idx.data() + static_cast<size_t>(y - dy) * b.width;
-        for (long x = x0; x < x1; ++x) {
-            ++ws.joint[static_cast<size_t>(ra[x]) * bins +
-                       rb[x - dx]];
-        }
-    }
-    const size_t n = static_cast<size_t>(x1 - x0) *
-        static_cast<size_t>(y1 - y0);
-
     const double inv_n = 1.0 / static_cast<double>(n);
     ws.pa.assign(bins, 0.0);
     ws.pb.assign(bins, 0.0);
@@ -175,6 +242,112 @@ miAtShiftQ(const QuantizedPlane &a, const QuantizedPlane &b, long dx,
         }
     }
     return mi;
+}
+
+/**
+ * Fast MI at a shift over pre-quantized planes.  The joint histogram
+ * is accumulated as integers (each reference bin count is a double
+ * incremented by 1.0, hence an exact integer), and the marginal / MI
+ * arithmetic below mirrors the reference loop structure term for
+ * term, so the returned score is bitwise identical to miAtShiftRef.
+ */
+double
+miAtShiftQ(const QuantizedPlane &a, const QuantizedPlane &b, long dx,
+           long dy, MiWorkspace &ws)
+{
+    const size_t bins = a.bins;
+    const long w = static_cast<long>(a.width);
+    const long h = static_cast<long>(a.height);
+
+    const long x0 = std::max(0l, dx), x1 = std::min(w, w + dx);
+    const long y0 = std::max(0l, dy), y1 = std::min(h, h + dy);
+    if (x0 >= x1 || y0 >= y1)
+        return 0.0;
+
+    ws.joint.assign(bins * bins, 0);
+    const size_t count = static_cast<size_t>(x1 - x0);
+#if HIFI_SIMD_AVX2_COMPILED
+    if (common::simd::avx2() && bins <= kMiSimdMaxBins) {
+        ws.idx.resize(count);
+        for (long y = y0; y < y1; ++y) {
+            const uint16_t *ra =
+                a.idx.data() + static_cast<size_t>(y) * a.width + x0;
+            const uint16_t *rb = b.idx.data() +
+                static_cast<size_t>(y - dy) * b.width + (x0 - dx);
+            jointIndicesAvx2(ra, rb, count,
+                             static_cast<uint32_t>(bins),
+                             ws.idx.data());
+            for (size_t k = 0; k < count; ++k)
+                ++ws.joint[ws.idx[k]];
+        }
+    } else
+#endif
+    {
+        for (long y = y0; y < y1; ++y) {
+            const uint16_t *ra =
+                a.idx.data() + static_cast<size_t>(y) * a.width;
+            const uint16_t *rb =
+                b.idx.data() + static_cast<size_t>(y - dy) * b.width;
+            for (long x = x0; x < x1; ++x) {
+                ++ws.joint[static_cast<size_t>(ra[x]) * bins +
+                           rb[x - dx]];
+            }
+        }
+    }
+    return miFromJointCounts(ws, bins,
+                             count * static_cast<size_t>(y1 - y0));
+}
+
+/**
+ * Fused one-shot MI: quantizes both images on the fly straight into
+ * the integer joint histogram, skipping the QuantizedPlane
+ * allocations entirely.  For a single evaluation (mutualInformation /
+ * mutualInformationAtShift) the plane build costs more than it saves,
+ * so this path undoes that regression; quantize() arithmetic is
+ * shared, so the bin counts — and via miFromJointCounts the score —
+ * are bitwise identical to the pre-quantized and reference paths.
+ */
+double
+miOneShotQ(const Image2D &a, const Image2D &b, long dx, long dy,
+           size_t bins, MiWorkspace &ws)
+{
+    const MiRanges r = miRanges(a, b);
+    const long w = static_cast<long>(a.width());
+    const long h = static_cast<long>(a.height());
+    const long x0 = std::max(0l, dx), x1 = std::min(w, w + dx);
+    const long y0 = std::max(0l, dy), y1 = std::min(h, h + dy);
+    if (x0 >= x1 || y0 >= y1)
+        return 0.0;
+
+    ws.joint.assign(bins * bins, 0);
+    const size_t count = static_cast<size_t>(x1 - x0);
+#if HIFI_SIMD_AVX2_COMPILED
+    if (common::simd::avx2() && bins <= kMiSimdMaxBins) {
+        ws.idx.resize(count);
+        for (long y = y0; y < y1; ++y) {
+            const float *pa = a.row(static_cast<size_t>(y)) + x0;
+            const float *pb =
+                b.row(static_cast<size_t>(y - dy)) + (x0 - dx);
+            quantIndicesAvx2(pa, pb, count, r,
+                             static_cast<uint32_t>(bins),
+                             ws.idx.data());
+            for (size_t k = 0; k < count; ++k)
+                ++ws.joint[ws.idx[k]];
+        }
+    } else
+#endif
+    {
+        for (long y = y0; y < y1; ++y) {
+            const float *pa = a.row(static_cast<size_t>(y));
+            const float *pb = b.row(static_cast<size_t>(y - dy));
+            for (long x = x0; x < x1; ++x) {
+                ++ws.joint[quantize(pa[x], r.alo, r.ainv, bins) * bins +
+                           quantize(pb[x - dx], r.blo, r.binv, bins)];
+            }
+        }
+    }
+    return miFromJointCounts(ws, bins,
+                             count * static_cast<size_t>(y1 - y0));
 }
 
 /// Score candidate shifts (dx, dy) in parallel over quantized planes.
@@ -344,9 +517,11 @@ mutualInformation(const Image2D &a, const Image2D &b, size_t bins)
         throw std::invalid_argument("mutualInformation: shape mismatch");
     if (bins < 2)
         throw std::invalid_argument("mutualInformation: bins < 2");
+    if (bins > 65535)
+        throw std::invalid_argument("mutualInformation: too many bins");
+    // One evaluation: the fused path skips the quantized-plane build.
     MiWorkspace ws;
-    return miAtShiftQ(quantizePlane(a, bins), quantizePlane(b, bins),
-                      0, 0, ws);
+    return miOneShotQ(a, b, 0, 0, bins, ws);
 }
 
 double
@@ -356,9 +531,14 @@ mutualInformationAtShift(const Image2D &a, const Image2D &b, long dx,
     if (a.width() != b.width() || a.height() != b.height())
         throw std::invalid_argument(
             "mutualInformationAtShift: shape mismatch");
+    if (bins < 2)
+        throw std::invalid_argument(
+            "mutualInformationAtShift: bins < 2");
+    if (bins > 65535)
+        throw std::invalid_argument(
+            "mutualInformationAtShift: too many bins");
     MiWorkspace ws;
-    return miAtShiftQ(quantizePlane(a, bins), quantizePlane(b, bins),
-                      dx, dy, ws);
+    return miOneShotQ(a, b, dx, dy, bins, ws);
 }
 
 double

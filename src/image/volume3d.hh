@@ -46,6 +46,10 @@ class Volume3D
         return data_[(z * ny_ + y) * nx_ + x];
     }
 
+    /// Raw storage, laid out (z * ny + y) * nx + x — for kernels that
+    /// stride across rows (e.g. the SEM shading gather loop).
+    const float *data() const { return data_.data(); }
+
     /// Cross-section at a given X: image over (Y, Z).
     Image2D crossSection(size_t x) const;
 

@@ -1,18 +1,85 @@
 #include "scope/sem.hh"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 #include "common/parallel.hh"
+#include "common/simd.hh"
 
 #include "fab/voxelizer.hh"
 
 #include "image/noise.hh"
 
+#if HIFI_SIMD_AVX2_COMPILED
+#include <immintrin.h>
+#endif
+
 namespace hifi
 {
 namespace scope
 {
+
+namespace
+{
+
+#if HIFI_SIMD_AVX2_COMPILED
+
+/**
+ * Four adjacent Y pixels of one SEM output row in lockstep.  Each lane
+ * keeps its own accumulator and walks x in the scalar order, so every
+ * pixel's sum is the identical sequential chain of double adds the
+ * scalar loop performs; only lanes are parallel, never the reduction.
+ *
+ * Material decode: fab::voxelMaterial rounds with std::lround (ties
+ * away from zero).  Voxel codes are small non-negative reals, so
+ * trunc(v + 0.5) in double — exact at these magnitudes — picks the
+ * same code for every in-range value, and all out-of-range codes
+ * collapse to index 0, which IS Material::Oxide, matching the scalar
+ * fallback.
+ */
+HIFI_AVX2_TARGET inline void
+semRowQuadAvx2(const float *base, int nx, size_t x0, size_t x1,
+               const double *shaded, double count, float *out)
+{
+    const __m128i lane_off =
+        _mm_set_epi32(3 * nx, 2 * nx, 1 * nx, 0);
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m128i zero32 = _mm_setzero_si128();
+    const __m128i maxCode =
+        _mm_set1_epi32(static_cast<int>(fab::kNumMaterials) - 1);
+    // Mask-gather with an all-ones mask == plain gather, but avoids
+    // GCC's spurious maybe-uninitialized warning on the pass-through
+    // operand of the unmasked intrinsic.
+    const __m128 all_ps =
+        _mm_castsi128_ps(_mm_set1_epi32(-1));
+    const __m256d all_pd =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    __m256d sum = _mm256_setzero_pd();
+    for (size_t x = x0; x < x1; ++x) {
+        const __m128 v = _mm_mask_i32gather_ps(
+            _mm_setzero_ps(), base + x, lane_off, all_ps, 4);
+        const __m256d c =
+            _mm256_add_pd(_mm256_cvtps_pd(v), half);
+        __m128i code = _mm256_cvttpd_epi32(c);
+        const __m128i bad = _mm_or_si128(
+            _mm_cmplt_epi32(code, zero32),
+            _mm_cmpgt_epi32(code, maxCode));
+        code = _mm_andnot_si128(bad, code);
+        sum = _mm256_add_pd(
+            sum, _mm256_mask_i32gather_pd(_mm256_setzero_pd(),
+                                          shaded, code, all_pd, 8));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, sum);
+    for (int j = 0; j < 4; ++j)
+        out[j] = static_cast<float>(lanes[j] / count);
+}
+
+#endif // HIFI_SIMD_AVX2_COMPILED
+
+} // namespace
 
 double
 materialContrast(fab::Material material, models::Detector detector)
@@ -126,8 +193,22 @@ semImageClean(const image::Volume3D &materials, size_t x0,
     // writes its own pixels: row-band parallel, scheduling-invariant.
     common::parallelFor(0, materials.nz(), 4,
                         [&](size_t z0, size_t z1) {
+        const size_t ny = materials.ny();
         for (size_t z = z0; z < z1; ++z) {
-            for (size_t y = 0; y < materials.ny(); ++y) {
+            size_t y = 0;
+#if HIFI_SIMD_AVX2_COMPILED
+            if (common::simd::avx2()) {
+                for (; y + 4 <= ny; y += 4) {
+                    semRowQuadAvx2(
+                        materials.data() +
+                            (z * ny + y) * materials.nx(),
+                        static_cast<int>(materials.nx()), x0, x1,
+                        shaded.data(),
+                        static_cast<double>(x1 - x0), &img.at(y, z));
+                }
+            }
+#endif
+            for (; y < ny; ++y) {
                 double sum = 0.0;
                 for (size_t x = x0; x < x1; ++x) {
                     sum += shaded[static_cast<size_t>(

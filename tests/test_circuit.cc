@@ -7,9 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "circuit/batch.hh"
 #include "circuit/dual_sa.hh"
 #include "circuit/mismatch.hh"
 #include "circuit/netlist.hh"
@@ -19,6 +24,8 @@
 #include "circuit/vcd.hh"
 #include "circuit/waveform.hh"
 #include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/simd.hh"
 
 namespace
 {
@@ -1147,6 +1154,205 @@ TEST(Spice, FileExportForBothTopologies)
             EXPECT_NE(all.find("MMoc1"), std::string::npos);
         else
             EXPECT_NE(all.find("MMeq"), std::string::npos);
+    }
+}
+
+// ---- BatchSimulator: lockstep lanes vs the per-trial scalar engine --
+
+/// Every trace, bit for bit, plus the Newton bookkeeping.
+void
+expectBitwiseEqual(const TranResult &batch, const TranResult &scalar,
+                   const std::string &what)
+{
+    ASSERT_EQ(batch.traces.size(), scalar.traces.size()) << what;
+    for (const auto &[name, tr] : scalar.traces) {
+        const auto it = batch.traces.find(name);
+        ASSERT_NE(it, batch.traces.end()) << what << " " << name;
+        ASSERT_EQ(it->second.values.size(), tr.values.size())
+            << what << " " << name;
+        EXPECT_EQ(std::memcmp(it->second.values.data(),
+                              tr.values.data(),
+                              tr.values.size() * sizeof(double)),
+                  0)
+            << what << ": trace " << name << " bits differ";
+    }
+    EXPECT_EQ(batch.nonConvergedSteps, scalar.nonConvergedSteps)
+        << what;
+    EXPECT_EQ(batch.totalNewtonIterations,
+              scalar.totalNewtonIterations)
+        << what;
+}
+
+/// Run `lanes` mismatch trials through BatchSimulator and through one
+/// scalar Simulator per lane (same per-lane vthDelta patches), and
+/// require bitwise-identical results.
+void
+runBatchVsScalar(const Netlist &net, const TranParams &tp,
+                 size_t maxLanes, size_t lanes,
+                 const std::string &what)
+{
+    BatchSimulator sim(net, maxLanes);
+    std::vector<Netlist> patched(lanes, net);
+    for (size_t l = 0; l < lanes; ++l) {
+        hifi::common::Rng rng(99, l);
+        for (size_t mi = 0; mi < net.mosfets().size(); ++mi) {
+            const double delta = rng.gaussian(0.0, 0.03);
+            sim.setVthDelta(l, mi, delta);
+            patched[l].mosfet(mi).vthDelta = delta;
+        }
+    }
+    const std::vector<TranResult> got = sim.run(tp, lanes);
+    ASSERT_EQ(got.size(), lanes) << what;
+    for (size_t l = 0; l < lanes; ++l) {
+        const TranResult ref = Simulator(patched[l]).run(tp);
+        expectBitwiseEqual(got[l], ref,
+                           what + " lane " + std::to_string(l));
+    }
+}
+
+TEST(Batch, LanesMatchScalarBitwiseAcrossTopologies)
+{
+    for (const SaTopology topo :
+         {SaTopology::Classic, SaTopology::OffsetCancellation}) {
+        SaParams p;
+        p.topology = topo;
+        SaSchedule sched;
+        const Netlist net = buildSaTestbench(p, sched);
+        TranParams tp = defaultSaTran();
+        tp.dt = 50e-12;
+        tp.tstop = sched.tEnd;
+        runBatchVsScalar(net, tp, 4, 4, saTopologyName(topo));
+    }
+}
+
+TEST(Batch, DualSaTestbenchMatchesScalarWithOddLaneCount)
+{
+    // Three of five lanes: odd widths exercise the non-AVX2 lane
+    // loops and the lanes < maxLanes stride handling.
+    const DualSaParams dp;
+    SaSchedule sched;
+    const Netlist net = buildDualSaTestbench(dp, sched);
+    TranParams tp = defaultSaTran();
+    tp.dt = 50e-12;
+    tp.tstop = sched.tEnd;
+    runBatchVsScalar(net, tp, 5, 3, "dual-sa");
+}
+
+TEST(Batch, SingleLaneMatchesScalarSimulator)
+{
+    SaParams p;
+    SaSchedule sched;
+    const Netlist net = buildSaTestbench(p, sched);
+    TranParams tp = defaultSaTran();
+    tp.dt = 50e-12;
+    tp.tstop = sched.tEnd;
+    runBatchVsScalar(net, tp, 1, 1, "single-lane");
+}
+
+TEST(Batch, PortableLanesMatchSimdLanesBitwise)
+{
+    SaParams p;
+    SaSchedule sched;
+    const Netlist net = buildSaTestbench(p, sched);
+    TranParams tp = defaultSaTran();
+    tp.dt = 50e-12;
+    tp.tstop = sched.tEnd;
+    {
+        hifi::common::simd::ScopedForceScalar off;
+        runBatchVsScalar(net, tp, 4, 4, "portable-batch");
+    }
+}
+
+TEST(Batch, ForcedDenseFallbackLaneStaysBitwise)
+{
+    // A lane forced through the dense fallback must reproduce the
+    // scalar Dense engine bit for bit, and must not perturb its
+    // sparse-path neighbours.
+    SaParams p;
+    SaSchedule sched;
+    const Netlist net = buildSaTestbench(p, sched);
+    TranParams tp = defaultSaTran();
+    tp.dt = 50e-12;
+    tp.tstop = sched.tEnd;
+
+    const size_t lanes = 4;
+    BatchSimulator sim(net, lanes);
+    std::vector<Netlist> patched(lanes, net);
+    for (size_t l = 0; l < lanes; ++l) {
+        hifi::common::Rng rng(7, l);
+        for (size_t mi = 0; mi < net.mosfets().size(); ++mi) {
+            const double delta = rng.gaussian(0.0, 0.03);
+            sim.setVthDelta(l, mi, delta);
+            patched[l].mosfet(mi).vthDelta = delta;
+        }
+    }
+    sim.setForceDenseFallback(2, true);
+    const std::vector<TranResult> got = sim.run(tp, lanes);
+
+    for (size_t l = 0; l < lanes; ++l) {
+        TranParams stp = tp;
+        stp.solver =
+            l == 2 ? LinearSolver::Dense : LinearSolver::Sparse;
+        const TranResult ref = Simulator(patched[l]).run(stp);
+        expectBitwiseEqual(got[l], ref,
+                           "dense-fallback lane " +
+                               std::to_string(l));
+    }
+}
+
+TEST(Batch, LaneAndMosfetIndexValidation)
+{
+    SaParams p;
+    SaSchedule sched;
+    const Netlist net = buildSaTestbench(p, sched);
+    EXPECT_THROW(BatchSimulator(net, 0), std::invalid_argument);
+    BatchSimulator sim(net, 2);
+    EXPECT_THROW(sim.setVthDelta(2, 0, 0.0), std::out_of_range);
+    EXPECT_THROW(sim.setVthDelta(0, net.mosfets().size(), 0.0),
+                 std::out_of_range);
+    EXPECT_THROW(sim.setForceDenseFallback(2, true),
+                 std::out_of_range);
+    const TranParams tp = defaultSaTran();
+    EXPECT_THROW(sim.run(tp, 0), std::invalid_argument);
+    EXPECT_THROW(sim.run(tp, 3), std::invalid_argument);
+}
+
+TEST(Batch, SensingYieldIsLaneWidthInvariant)
+{
+    // 24 trials split into Monte-Carlo chunks of 16 + 8; lane widths
+    // 3 and 5 leave remainders in both chunks, 8 divides neither
+    // evenly either. All must reproduce the per-trial scalar sweep
+    // exactly: same failure count, bitwise-identical mean signal.
+    const SaParams sa;
+    MismatchParams mc;
+    mc.avtVnm = 9.0;
+    mc.trials = 24;
+    TranParams tran = defaultSaTran();
+    tran.dt = 50e-12;
+
+    tran.batchLanes = 1;
+    const YieldResult ref = sensingYield(sa, mc, tran);
+
+    for (const int lanes : {3, 5, 8}) {
+        tran.batchLanes = lanes;
+        const YieldResult got = sensingYield(sa, mc, tran);
+        EXPECT_EQ(got.trials, ref.trials) << "lanes " << lanes;
+        EXPECT_EQ(got.failures, ref.failures) << "lanes " << lanes;
+        EXPECT_EQ(std::memcmp(&got.meanSignal, &ref.meanSignal,
+                              sizeof(double)),
+                  0)
+            << "lanes " << lanes << ": meanSignal bits differ";
+    }
+
+    // And the portable (SIMD-off) batched path.
+    {
+        hifi::common::simd::ScopedForceScalar off;
+        tran.batchLanes = 8;
+        const YieldResult got = sensingYield(sa, mc, tran);
+        EXPECT_EQ(got.failures, ref.failures);
+        EXPECT_EQ(std::memcmp(&got.meanSignal, &ref.meanSignal,
+                              sizeof(double)),
+                  0);
     }
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/telemetry.hh"
 #include "fab/defects.hh"
 #include "fab/mat.hh"
@@ -785,6 +786,38 @@ TEST(Fib, CleanFrameCacheCountersAppearInTelemetry)
     // Misses cannot exceed one clean render per slice.
     EXPECT_LE(counters.at("sem.clean_cache.miss"),
               robust.stack.slices.size());
+}
+
+TEST(Sem, SimdShadingMatchesPortableScalarBitwise)
+{
+    // Odd dims plus fractional and out-of-range voxel codes: the
+    // gathered LUT path must decode (round, clamp-to-Oxide) exactly
+    // like the scalar voxelMaterial() loop, bit for bit.
+    image::Volume3D vol(19, 13, 7);
+    common::Rng rng(3, 1);
+    for (size_t z = 0; z < 7; ++z)
+        for (size_t y = 0; y < 13; ++y)
+            for (size_t x = 0; x < 19; ++x) {
+                const double u = rng.uniform();
+                vol.at(x, y, z) = static_cast<float>(
+                    u < 0.1 ? -2.0 + u : u * 8.0 - 0.49);
+            }
+    scope::SemParams sp;
+    for (auto det : {Detector::Se, Detector::Bse}) {
+        sp.detector = det;
+        const image::Image2D fast =
+            scope::semImageClean(vol, 2, 15, sp);
+        common::simd::ScopedForceScalar off;
+        const image::Image2D portable =
+            scope::semImageClean(vol, 2, 15, sp);
+        ASSERT_EQ(fast.width(), portable.width());
+        ASSERT_EQ(fast.height(), portable.height());
+        EXPECT_EQ(std::memcmp(fast.data().data(),
+                              portable.data().data(),
+                              fast.size() * sizeof(float)),
+                  0)
+            << "detector " << (det == Detector::Se ? "SE" : "BSE");
+    }
 }
 
 } // namespace

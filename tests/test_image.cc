@@ -8,9 +8,12 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/telemetry.hh"
 #include "image/denoise.hh"
 #include "image/image2d.hh"
@@ -632,6 +635,121 @@ TEST(Qc, MonitorHandlesDegenerateHistoryWithoutBlowingUp)
     monitor.noteRejected(); // rejected-slice path is also finite
     const auto m3 = monitor.evaluate(textured);
     EXPECT_TRUE(allMetricsFinite(m3));
+}
+
+// ---- SIMD kernels vs the portable scalar path -----------------------
+
+Image2D
+simdNoisy(size_t w, size_t h, uint64_t seed)
+{
+    Image2D img(w, h);
+    Rng rng(seed, 0);
+    for (size_t y = 0; y < h; ++y)
+        for (size_t x = 0; x < w; ++x)
+            img.at(x, y) = static_cast<float>(rng.uniform()) +
+                ((x / 7 + y / 5) % 2 ? 0.5f : 0.0f);
+    return img;
+}
+
+void
+expectBitwiseEqual(const Image2D &a, const Image2D &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.width(), b.width()) << what;
+    ASSERT_EQ(a.height(), b.height()) << what;
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.size() * sizeof(float)),
+              0)
+        << what << ": bits differ";
+}
+
+TEST(Simd, TvKernelsMatchPortableScalarBitwise)
+{
+    // Odd widths, single-row/column frames, borders, unaligned
+    // sizes — the interior kernels' remainder loops all get hit.
+    const size_t dims[][2] = {{48, 40}, {37, 23}, {8, 8}, {1, 9},
+                              {9, 1},   {17, 3},  {3, 17}};
+    for (const auto &d : dims) {
+        const Image2D in = simdNoisy(d[0], d[1], 77);
+        image::TvParams tv;
+        tv.iterations = 12;
+        tv.lambda = 0.15;
+        tv.tolerance = 0.0;
+        image::TvParams tvTol = tv;
+        tvTol.tolerance = 1e-5; // delta-tracking variant
+
+        const Image2D c1 = image::denoiseChambolle(in, tv);
+        const Image2D b1 = image::denoiseSplitBregman(in, tv);
+        const Image2D ct1 = image::denoiseChambolle(in, tvTol);
+        const Image2D bt1 = image::denoiseSplitBregman(in, tvTol);
+
+        common::simd::ScopedForceScalar off;
+        const std::string tag = std::to_string(d[0]) + "x" +
+            std::to_string(d[1]);
+        expectBitwiseEqual(c1, image::denoiseChambolle(in, tv),
+                           "chambolle " + tag);
+        expectBitwiseEqual(b1, image::denoiseSplitBregman(in, tv),
+                           "bregman " + tag);
+        expectBitwiseEqual(ct1, image::denoiseChambolle(in, tvTol),
+                           "chambolle-tol " + tag);
+        expectBitwiseEqual(bt1, image::denoiseSplitBregman(in, tvTol),
+                           "bregman-tol " + tag);
+    }
+}
+
+TEST(Simd, MutualInformationMatchesReferenceOnBothPaths)
+{
+    const Image2D a = simdNoisy(37, 29, 5);
+    const Image2D b = simdNoisy(37, 29, 6);
+    for (const size_t bins : {16u, 64u, 256u}) {
+        for (const long dy : {-3l, 0l, 2l})
+            for (const long dx : {-2l, 0l, 5l}) {
+                const double ref =
+                    image::mutualInformationAtShiftReference(
+                        a, b, dx, dy, bins);
+                const double fast =
+                    image::mutualInformationAtShift(a, b, dx, dy,
+                                                    bins);
+                double portable;
+                {
+                    common::simd::ScopedForceScalar off;
+                    portable = image::mutualInformationAtShift(
+                        a, b, dx, dy, bins);
+                }
+                EXPECT_EQ(std::memcmp(&ref, &fast, sizeof(double)),
+                          0)
+                    << "bins " << bins << " shift " << dx << ","
+                    << dy;
+                EXPECT_EQ(
+                    std::memcmp(&ref, &portable, sizeof(double)), 0)
+                    << "bins " << bins << " shift " << dx << ","
+                    << dy << " (portable)";
+            }
+        // The fused one-shot entry point is the same computation.
+        const double one = image::mutualInformation(a, b, bins);
+        const double oneRef =
+            image::mutualInformationAtShiftReference(a, b, 0, 0,
+                                                     bins);
+        EXPECT_EQ(std::memcmp(&one, &oneRef, sizeof(double)), 0)
+            << "one-shot bins " << bins;
+    }
+}
+
+TEST(Simd, RegisterShiftMiAgreesWithReferenceOnBothPaths)
+{
+    const Image2D fixed = simdNoisy(64, 48, 9);
+    Image2D moving(64, 48, 0.0f);
+    for (size_t y = 0; y < 48; ++y)
+        for (size_t x = 0; x < 64; ++x)
+            moving.at(x, y) = fixed.at((x + 61) % 64, (y + 2) % 48);
+    image::MiParams mp;
+    mp.maxShift = 4;
+    mp.bins = 32;
+    const auto want = image::registerShiftMiReference(fixed, moving,
+                                                      mp);
+    EXPECT_EQ(image::registerShiftMi(fixed, moving, mp), want);
+    common::simd::ScopedForceScalar off;
+    EXPECT_EQ(image::registerShiftMi(fixed, moving, mp), want);
 }
 
 } // namespace
