@@ -109,6 +109,11 @@ struct ThreadPool::Impl
         std::atomic<size_t> done{0};
         std::atomic<bool> abort{false};
         std::exception_ptr error; // guarded by the pool mutex
+
+        /// Telemetry session binding of the submitting thread,
+        /// re-applied on every worker so spans/metrics produced by
+        /// the fan-out are attributed to the submitting job.
+        uint64_t telemetryBinding = 0;
     };
 
     std::mutex mutex;
@@ -128,6 +133,8 @@ struct ThreadPool::Impl
     work(Job &j)
     {
         const bool instrumented = telemetry::enabled();
+        const telemetry::detail::ScopedSessionBinding bind(
+            j.telemetryBinding);
         const uint64_t t0 = instrumented ? busyClockNs() : 0;
         size_t executed = 0;
 
@@ -271,6 +278,7 @@ ThreadPool::run(size_t chunks, const std::function<void(size_t)> &body)
     auto job = std::make_shared<Impl::Job>();
     job->body = &body;
     job->chunks = chunks;
+    job->telemetryBinding = telemetry::detail::currentSessionBinding();
     {
         std::lock_guard<std::mutex> lock(impl_->mutex);
         impl_->start();

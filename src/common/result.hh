@@ -30,6 +30,9 @@ enum class ErrorCode
     FailedPrecondition, ///< inputs are individually valid but inconsistent
     DataLoss,        ///< an acquisition lost data beyond recovery
     Internal,        ///< unexpected failure inside the pipeline
+    ResourceExhausted, ///< a queue/budget limit rejected the request
+    Cancelled,         ///< the caller cancelled the work in flight
+    DeadlineExceeded,  ///< a stage overran its configured deadline
 };
 
 inline const char *
@@ -46,8 +49,33 @@ errorCodeName(ErrorCode code)
         return "data-loss";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::ResourceExhausted:
+        return "resource-exhausted";
+      case ErrorCode::Cancelled:
+        return "cancelled";
+      case ErrorCode::DeadlineExceeded:
+        return "deadline-exceeded";
     }
     return "unknown";
+}
+
+/**
+ * Retry classification for the campaign service: transient failures
+ * (flaky acquisition internals, lost data, overruns) are worth a
+ * bounded retry; everything else is a permanent property of the
+ * request and retrying cannot change the outcome.
+ */
+inline bool
+isTransient(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Internal:
+      case ErrorCode::DataLoss:
+      case ErrorCode::DeadlineExceeded:
+        return true;
+      default:
+        return false;
+    }
 }
 
 /** One typed error: a code plus a human-readable message. */

@@ -24,8 +24,6 @@ std::atomic<bool> g_enabled{false};
 namespace
 {
 
-std::atomic<uint64_t> g_sessionStartNs{0};
-
 uint64_t
 nowNs()
 {
@@ -35,6 +33,47 @@ nowNs()
             .count());
 }
 
+/// Session id the calling thread is bound to (0 = unbound).
+thread_local uint64_t t_boundSession = 0;
+
+/**
+ * Registry of the currently active sessions.  The hot paths only
+ * read the two atomics; the set behind the mutex is touched on
+ * session construction / teardown.  `sole` caches the id of the
+ * single active session (0 when none or several), which is what
+ * unbound threads attribute their records to.
+ */
+struct ActiveSessions
+{
+    std::mutex mu;
+    std::vector<uint64_t> ids;
+    std::atomic<uint64_t> sole{0};
+    std::atomic<uint64_t> nextId{1};
+};
+
+ActiveSessions &
+activeSessions()
+{
+    static ActiveSessions *active = new ActiveSessions;
+    return *active;
+}
+
+/// Per-histogram routed accumulation (buckets mirror the global
+/// histogram's layout).
+struct HistogramAccum
+{
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/// One session's routed metric deltas on one thread.
+struct SessionDelta
+{
+    std::map<const Counter *, uint64_t> counters;
+    std::map<const Histogram *, HistogramAccum> histograms;
+};
+
 /// One thread's span buffer.  Appends are owner-thread-only except
 /// for the mutex, which a drain takes briefly; buffers are leaked on
 /// purpose (bounded by the number of threads ever created) so worker
@@ -43,6 +82,7 @@ struct ThreadBuffer
 {
     std::mutex mu;
     std::vector<SpanRecord> records;
+    std::map<uint64_t, SessionDelta> deltas; ///< by session id
     uint32_t tid = 0;
     uint32_t depth = 0; ///< owner thread only
 };
@@ -73,6 +113,41 @@ localBuffer()
         return b;
     }();
     return *buf;
+}
+
+/**
+ * Instrument pointer -> registered name, populated by the Registry
+ * on first registration.  Routed deltas are keyed by pointer on the
+ * hot path and materialized to names only at session finish.
+ */
+struct InstrumentNames
+{
+    std::mutex mu;
+    std::map<const void *, std::string> names;
+};
+
+InstrumentNames &
+instrumentNames()
+{
+    static InstrumentNames *names = new InstrumentNames;
+    return *names;
+}
+
+void
+recordInstrumentName(const void *instrument, const std::string &name)
+{
+    InstrumentNames &reg = instrumentNames();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.names.emplace(instrument, name);
+}
+
+std::string
+lookupInstrumentName(const void *instrument)
+{
+    InstrumentNames &reg = instrumentNames();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.names.find(instrument);
+    return it != reg.names.end() ? it->second : std::string();
 }
 
 /// CAS add for pre-C++20-libstdc++ compatibility on atomic<double>.
@@ -137,13 +212,18 @@ Span::end()
     const uint64_t end_ns = nowNs();
     ThreadBuffer &buf = localBuffer();
     --buf.depth;
-    const uint64_t origin = g_sessionStartNs.load();
     SpanRecord rec;
     rec.name = name_;
     rec.tid = buf.tid;
     rec.depth = depth_;
-    rec.startNs = startNs_ > origin ? startNs_ - origin : 0;
+    // Absolute timestamp; the owning session subtracts its own
+    // origin when it drains (sessions can overlap, so there is no
+    // single global origin any more).
+    rec.startNs = startNs_;
     rec.durationNs = end_ns > startNs_ ? end_ns - startNs_ : 0;
+    rec.session = t_boundSession
+        ? t_boundSession
+        : activeSessions().sole.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(buf.mu);
     buf.records.push_back(rec);
 }
@@ -156,7 +236,75 @@ clearTrace()
     for (ThreadBuffer *buf : reg.buffers) {
         std::lock_guard<std::mutex> blk(buf->mu);
         buf->records.clear();
+        buf->deltas.clear();
     }
+}
+
+// ---- Session binding and routed deltas -----------------------------
+
+namespace detail
+{
+
+void
+routeCounterAdd(const Counter *counter, uint64_t n)
+{
+    const uint64_t session = t_boundSession;
+    if (session == 0)
+        return;
+    ThreadBuffer &buf = localBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.deltas[session].counters[counter] += n;
+}
+
+void
+routeHistogramObserve(const Histogram *histogram, double x)
+{
+    const uint64_t session = t_boundSession;
+    if (session == 0)
+        return;
+    ThreadBuffer &buf = localBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    HistogramAccum &acc = buf.deltas[session].histograms[histogram];
+    const std::vector<double> &edges = histogram->edges();
+    if (acc.buckets.empty())
+        acc.buckets.assign(edges.size() + 1, 0);
+    size_t i = 0;
+    while (i < edges.size() && x > edges[i])
+        ++i;
+    ++acc.buckets[i];
+    ++acc.count;
+    acc.sum += x;
+}
+
+uint64_t
+currentSessionBinding()
+{
+    return t_boundSession;
+}
+
+ScopedSessionBinding::ScopedSessionBinding(uint64_t session)
+    : previous_(t_boundSession)
+{
+    t_boundSession = session;
+}
+
+ScopedSessionBinding::~ScopedSessionBinding()
+{
+    t_boundSession = previous_;
+}
+
+} // namespace detail
+
+SessionBind::SessionBind(Session &session)
+    : previous_(t_boundSession)
+{
+    t_boundSession = session.id();
+    session.bound_.store(true, std::memory_order_relaxed);
+}
+
+SessionBind::~SessionBind()
+{
+    t_boundSession = previous_;
 }
 
 // ---- Histogram -----------------------------------------------------
@@ -179,6 +327,8 @@ Histogram::observe(double x)
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     atomicAdd(sum_, x);
+    if (enabled())
+        detail::routeHistogramObserve(this, x);
 }
 
 std::vector<uint64_t>
@@ -232,8 +382,10 @@ Registry::counter(const std::string &name)
     Impl &i = impl();
     std::lock_guard<std::mutex> lock(i.mu);
     auto &slot = i.counters[name];
-    if (!slot)
+    if (!slot) {
         slot.reset(new Counter);
+        recordInstrumentName(slot.get(), name);
+    }
     return *slot;
 }
 
@@ -255,8 +407,10 @@ Registry::histogram(const std::string &name,
     Impl &i = impl();
     std::lock_guard<std::mutex> lock(i.mu);
     auto &slot = i.histograms[name];
-    if (!slot)
+    if (!slot) {
         slot.reset(new Histogram(std::move(upperEdges)));
+        recordInstrumentName(slot.get(), name);
+    }
     return *slot;
 }
 
@@ -401,18 +555,104 @@ writeTextFile(const std::string &path, const std::string &text)
 
 // ---- Session -------------------------------------------------------
 
+namespace
+{
+
+/// Register / deregister one session; keeps the `sole` cache and the
+/// global enable flag consistent with the active set.
+void
+registerSession(uint64_t id)
+{
+    ActiveSessions &active = activeSessions();
+    std::lock_guard<std::mutex> lock(active.mu);
+    if (active.ids.empty())
+        clearTrace(); // no reader left for stale records
+    active.ids.push_back(id);
+    active.sole.store(active.ids.size() == 1 ? active.ids.front() : 0,
+                      std::memory_order_relaxed);
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+deregisterSession(uint64_t id)
+{
+    ActiveSessions &active = activeSessions();
+    std::lock_guard<std::mutex> lock(active.mu);
+    active.ids.erase(
+        std::remove(active.ids.begin(), active.ids.end(), id),
+        active.ids.end());
+    active.sole.store(active.ids.size() == 1 ? active.ids.front() : 0,
+                      std::memory_order_relaxed);
+    if (active.ids.empty())
+        detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+/// Merge every thread's routed deltas for `id` into one snapshot
+/// (erasing them from the buffers), with gauges copied from the
+/// current registry values (they are instantaneous, like since()).
+MetricsSnapshot
+drainRoutedDeltas(uint64_t id)
+{
+    std::map<const Counter *, uint64_t> counters;
+    std::map<const Histogram *, HistogramAccum> histograms;
+    {
+        BufferRegistry &reg = bufferRegistry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        for (ThreadBuffer *buf : reg.buffers) {
+            std::lock_guard<std::mutex> blk(buf->mu);
+            const auto it = buf->deltas.find(id);
+            if (it == buf->deltas.end())
+                continue;
+            for (const auto &[c, n] : it->second.counters)
+                counters[c] += n;
+            for (const auto &[h, acc] : it->second.histograms) {
+                HistogramAccum &dst = histograms[h];
+                if (dst.buckets.empty())
+                    dst.buckets.assign(acc.buckets.size(), 0);
+                for (size_t i = 0; i < acc.buckets.size(); ++i)
+                    dst.buckets[i] += acc.buckets[i];
+                dst.count += acc.count;
+                dst.sum += acc.sum;
+            }
+            buf->deltas.erase(it);
+        }
+    }
+
+    MetricsSnapshot snap;
+    for (const auto &[c, n] : counters) {
+        const std::string name = lookupInstrumentName(c);
+        if (!name.empty())
+            snap.counters[name] = n;
+    }
+    for (const auto &[h, acc] : histograms) {
+        const std::string name = lookupInstrumentName(h);
+        if (name.empty())
+            continue;
+        HistogramSnapshot hs;
+        hs.edges = h->edges();
+        hs.buckets = acc.buckets;
+        hs.count = acc.count;
+        hs.sum = acc.sum;
+        snap.histograms[name] = std::move(hs);
+    }
+    snap.gauges = registry().snapshot().gauges;
+    return snap;
+}
+
+} // namespace
+
 Session::Session()
 {
+    id_ = activeSessions().nextId.fetch_add(1);
+    startNs_ = nowNs();
     baseline_ = registry().snapshot();
-    clearTrace();
-    g_sessionStartNs.store(nowNs());
-    detail::g_enabled.store(true, std::memory_order_relaxed);
+    registerSession(id_);
 }
 
 Session::~Session()
 {
     if (!finished_)
-        detail::g_enabled.store(false, std::memory_order_relaxed);
+        deregisterSession(id_);
 }
 
 std::shared_ptr<const PipelineTelemetry>
@@ -421,18 +661,28 @@ Session::finish(const TelemetryConfig &config)
     if (finished_)
         return result_;
     finished_ = true;
-    detail::g_enabled.store(false, std::memory_order_relaxed);
+    deregisterSession(id_);
 
     auto out = std::make_shared<PipelineTelemetry>();
     {
+        // Claim only this session's records; concurrent sessions keep
+        // theirs buffered for their own finish().
         BufferRegistry &reg = bufferRegistry();
         std::lock_guard<std::mutex> lock(reg.mu);
         for (ThreadBuffer *buf : reg.buffers) {
             std::lock_guard<std::mutex> blk(buf->mu);
-            out->spans.insert(out->spans.end(),
-                              buf->records.begin(),
-                              buf->records.end());
-            buf->records.clear();
+            auto keep = buf->records.begin();
+            for (SpanRecord &rec : buf->records) {
+                if (rec.session == id_) {
+                    rec.startNs = rec.startNs > startNs_
+                        ? rec.startNs - startNs_
+                        : 0;
+                    out->spans.push_back(rec);
+                } else {
+                    *keep++ = rec;
+                }
+            }
+            buf->records.erase(keep, buf->records.end());
         }
     }
     std::sort(out->spans.begin(), out->spans.end(),
@@ -448,7 +698,12 @@ Session::finish(const TelemetryConfig &config)
         ++t.count;
         t.wallNs += s.durationNs;
     }
-    out->metrics = registry().snapshot().since(baseline_);
+    // A session that was ever bound to a thread collects the routed
+    // per-session deltas (safe under concurrency); an unbound one
+    // keeps the legacy whole-registry baseline diff.
+    out->metrics = bound_.load(std::memory_order_relaxed)
+        ? drainRoutedDeltas(id_)
+        : registry().snapshot().since(baseline_);
 
     if (!config.tracePath.empty())
         writeTextFile(config.tracePath, out->traceJson());

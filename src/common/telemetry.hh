@@ -23,13 +23,25 @@
  * When disabled (the default), every instrumentation site reduces to
  * one relaxed atomic load and a predictable branch.
  *
- * Collection is scoped by a `Session`: construction clears the trace
- * buffers, snapshots the metric baselines and flips the enable flag;
- * finish() flips it back, drains the buffers and returns (optionally
- * writes) the run's trace and metric deltas.  Sessions are
- * process-global and non-reentrant — a second concurrent Session
- * observes and records into the same stream (documented limitation;
- * the pipeline runs them sequentially).
+ * Collection is scoped by a `Session`.  Sessions may now run
+ * concurrently (the campaign service traces every job): each session
+ * has a unique id, span records are tagged with the session that owns
+ * them, and finish() drains only that session's records.  Attribution
+ * rules:
+ *
+ *  - A thread bound via `SessionBind` tags its spans and metric
+ *    deltas with the bound session.  The thread pool propagates the
+ *    submitting thread's binding to its workers, so fan-outs stay
+ *    attributed to the job that launched them.
+ *  - An unbound thread attributes to the *sole* active session when
+ *    exactly one is active (the classic single-session flow needs no
+ *    binding and behaves exactly as before); with several concurrent
+ *    sessions, unbound records are unattributed and dropped.
+ *  - Metric deltas: an unbound session computes registry deltas from
+ *    its construction-time baseline (the legacy behaviour).  A
+ *    session that was ever bound collects per-thread routed deltas
+ *    instead, so two concurrent jobs cannot corrupt each other's
+ *    counts.  Gauges stay global last-write-wins either way.
  */
 
 #ifndef HIFI_COMMON_TELEMETRY_HH
@@ -49,9 +61,41 @@ namespace telemetry
 
 // ---- The switch ----------------------------------------------------
 
+class Counter;
+class Histogram;
+class Session;
+
 namespace detail
 {
 extern std::atomic<bool> g_enabled;
+
+/// Accumulate a counter increment into the calling thread's routed
+/// delta store for its bound session; no-op when the thread is
+/// unbound.  Only called while telemetry is enabled.
+void routeCounterAdd(const Counter *counter, uint64_t n);
+
+/// Same for one histogram observation.
+void routeHistogramObserve(const Histogram *histogram, double x);
+
+/// Session id the calling thread is bound to (0 = unbound).
+uint64_t currentSessionBinding();
+
+/// RAII re-application of a binding captured with
+/// currentSessionBinding() on another thread (used by the thread
+/// pool to attribute worker-side records to the submitting job).
+class ScopedSessionBinding
+{
+  public:
+    explicit ScopedSessionBinding(uint64_t session);
+    ~ScopedSessionBinding();
+
+    ScopedSessionBinding(const ScopedSessionBinding &) = delete;
+    ScopedSessionBinding &operator=(const ScopedSessionBinding &) =
+        delete;
+
+  private:
+    uint64_t previous_ = 0;
+};
 } // namespace detail
 
 /// True while a collection session is active.  Relaxed load: the
@@ -72,6 +116,11 @@ struct SpanRecord
     uint32_t depth = 0;     ///< nesting depth on its thread
     uint64_t startNs = 0;   ///< ns since session start
     uint64_t durationNs = 0;
+
+    /// Owning session id; 0 while buffered means unattributed (the
+    /// record was produced with several sessions active and no
+    /// thread binding).  finish() only claims its own records.
+    uint64_t session = 0;
 };
 
 /**
@@ -120,6 +169,10 @@ class Counter
     add(uint64_t n = 1)
     {
         value_.fetch_add(n, std::memory_order_relaxed);
+        // Routed per-session delta for bound threads; one TLS load
+        // and a predictable branch when the thread is unbound.
+        if (enabled())
+            detail::routeCounterAdd(this, n);
     }
 
     uint64_t
@@ -278,10 +331,14 @@ struct PipelineTelemetry
 };
 
 /**
- * RAII collection scope.  Construction clears the span buffers,
+ * RAII collection scope.  Construction registers the session as
+ * active (clearing stale span buffers when it is the first one),
  * snapshots the metrics baseline and enables collection; finish()
- * (or destruction) disables it.  finish() drains the spans, computes
- * metric deltas and writes the files named by `config`.
+ * (or destruction) deregisters it, disabling collection when no
+ * session remains.  finish() drains this session's spans, computes
+ * metric deltas and writes the files named by `config`.  Concurrent
+ * sessions are supported — see the file comment for the attribution
+ * rules.
  */
 class Session
 {
@@ -292,15 +349,43 @@ class Session
     Session(const Session &) = delete;
     Session &operator=(const Session &) = delete;
 
+    /// Unique id of this session (never 0).
+    uint64_t id() const { return id_; }
+
     /// End collection and package the results (idempotent: the
     /// second call returns the same object).
     std::shared_ptr<const PipelineTelemetry>
     finish(const TelemetryConfig &config);
 
   private:
+    friend class SessionBind;
+
     MetricsSnapshot baseline_;
     std::shared_ptr<const PipelineTelemetry> result_;
+    uint64_t id_ = 0;
+    uint64_t startNs_ = 0;
+    std::atomic<bool> bound_{false};
     bool finished_ = false;
+};
+
+/**
+ * Bind the calling thread to a session: spans ended and counter /
+ * histogram updates made on this thread (and on pool workers running
+ * fan-outs it submits) are attributed to the session, even while
+ * other sessions run concurrently on other threads.  Restores the
+ * previous binding on destruction.
+ */
+class SessionBind
+{
+  public:
+    explicit SessionBind(Session &session);
+    ~SessionBind();
+
+    SessionBind(const SessionBind &) = delete;
+    SessionBind &operator=(const SessionBind &) = delete;
+
+  private:
+    uint64_t previous_ = 0;
 };
 
 /// Drop all buffered span records (used by tests and Session).

@@ -5,19 +5,15 @@
 #include <stdexcept>
 #include <utility>
 
-#include "common/log.hh"
 #include "common/parallel.hh"
-#include "common/rng.hh"
+#include "core/stages.hh"
 #include "fab/voxelizer.hh"
-#include "re/topology_match.hh"
 #include "scope/fib.hh"
 
 namespace hifi
 {
 namespace core
 {
-
-using models::Role;
 
 std::optional<common::Error>
 validateConfig(const PipelineConfig &config)
@@ -119,199 +115,43 @@ scoreSiliconDefects(SiliconDefectReport &rep)
 namespace
 {
 
-/// Pipeline body; assumes the configuration already validated.
-PipelineReport
+/**
+ * Pipeline body; assumes the configuration already validated.  The
+ * stage bodies live in core/stages.cc — this runner drives them
+ * back-to-back through one span and one thread-count override, so an
+ * uninterrupted run produces the exact trace shape (and, stage by
+ * stage, the exact report) the monolithic implementation did.  The
+ * campaign service drives the same bodies one runStage call at a
+ * time, checkpointing between them.
+ */
+common::Result<PipelineReport>
 runValidatedPipeline(const PipelineConfig &config)
 {
     const telemetry::Span span("pipeline.run");
     const common::ScopedThreads threads(config.threads);
+
+    StagedState state;
     const models::ChipSpec &chip = models::chip(config.chipId);
+    state.report.chipId = chip.id;
+    state.report.trueTopology = chip.topology;
+    while (state.next != Stage::Done)
+        if (const auto err = detail::runStageUnguarded(config, state))
+            return common::Result<PipelineReport>(*err);
+    return common::Result<PipelineReport>(std::move(state.report));
+}
 
-    PipelineReport report;
-    report.chipId = chip.id;
-    report.trueTopology = chip.topology;
-
-    // ---- 1. Virtual fab -------------------------------------------
-    // Pick a voxel small enough to resolve the bitline gaps.
-    double voxel = config.voxelNm;
-    if (voxel <= 0.0) {
-        const double bl_gap = chip.blPitchNm - chip.blWidthNm;
-        voxel = std::min({chip.pixelResNm, bl_gap / 2.5, 5.0});
-    }
-
-    const models::CornerVariation variation =
-        models::cornerVariation(chip.vendor, config.corner);
-
-    fab::SaRegionSpec spec =
-        fab::SaRegionSpec::fromChip(chip, config.pairs);
-    spec.stackedSas = config.stackedSas;
-    spec.minGapNm = std::max(spec.minGapNm, 4.0 * voxel);
-    spec.variation = variation;
-    spec.jitterSeed = config.seed;
-
-    fab::SaRegionTruth truth;
-    const auto cell = fab::buildSaRegion(spec, truth);
-    report.trueCommonGateStrips = truth.commonGateComponents;
-    report.trueDevices = truth.devices.size();
-    report.bitlinesTrue = truth.bitlines.size();
-
-    fab::VoxelizeParams vox;
-    vox.voxelNm = voxel;
-    vox.lerSigmaNm = variation.lerSigmaNm;
-    vox.lerCorrLenNm = variation.lerCorrLenNm;
-    vox.lerSeed = config.seed;
-    image::Volume3D materials =
-        fab::voxelize(*cell, truth.region, vox);
-
-    if (config.defects.any()) {
-        auto planted = fab::plantDefects(materials, truth, voxel,
-                                         config.defects);
-        if (!planted.ok())
-            throw std::invalid_argument(planted.error().message);
-        for (auto &p : planted.value())
-            report.siliconDefects.planted.push_back({p, false});
-    }
-
-    // ---- 2. FIB/SEM acquisition ------------------------------------
-    scope::FibSemParams fib;
-    fib.sem.detector = chip.detector;
-    if (config.detectorOverride == 0)
-        fib.sem.detector = models::Detector::Se;
-    else if (config.detectorOverride == 1)
-        fib.sem.detector = models::Detector::Bse;
-    fib.sem.dwellUs = chip.dwellUs;
-    fib.sem.seQuality = chip.seQuality;
-    fib.sliceVoxels = std::max<size_t>(
-        1, static_cast<size_t>(std::lround(chip.sliceNm / voxel)));
-    fib.driftProbability = config.driftProbability;
-
-    common::inform("pipeline " + chip.id + ": acquiring " +
-                   std::to_string(materials.nx() / fib.sliceVoxels) +
-                   " slices");
-    image::SliceStack stack;
-    if (config.faults.enabled) {
-        // Production path: fault injection, per-slice QC, bounded
-        // re-imaging, neighbour interpolation.  Counter-seeded, so
-        // the whole recovery log is a pure function of the seed.
-        scope::RobustAcquisition robust = scope::acquireRobust(
-            materials, fib, config.faults, config.recovery,
-            config.seed);
-        stack = std::move(robust.stack);
-        report.slicesRetried = robust.slicesRetried;
-        report.retries = robust.retries;
-        report.slicesInterpolated = robust.slicesInterpolated;
-        report.interpolatedSlices =
-            std::move(robust.interpolatedSlices);
-        report.slicesUnrecoverable = robust.slicesUnrecoverable;
-        report.faultsInjected = robust.faultsInjected;
-        report.faultsDetected = robust.faultsDetected;
-        report.qcConfidence = robust.qcConfidence;
-        report.qcAudit = std::move(robust.audit);
-        report.degraded = robust.slicesInterpolated > 0 ||
-            robust.slicesUnrecoverable > 0;
-        if (report.degraded)
-            common::warn("pipeline " + chip.id + ": degraded (" +
-                         std::to_string(robust.slicesInterpolated) +
-                         " interpolated, " +
-                         std::to_string(robust.slicesUnrecoverable) +
-                         " unrecoverable slices)");
-    } else {
-        // Legacy fault-free path, bit-identical to the pre-robustness
-        // pipeline: one sequential generator threads drift and frame
-        // seeds exactly as before.
-        common::Rng rng(config.seed);
-        stack = scope::acquire(materials, fib, rng);
-    }
-    stack.sliceThicknessNm =
-        static_cast<double>(fib.sliceVoxels) * voxel;
-    stack.pixelResolutionNm = voxel;
-    report.slices = stack.slices.size();
-    report.campaign = scope::campaignCost(chip);
-    scope::chargeRetries(report.campaign, report.retries);
-
-    // ---- 3. Post-processing ----------------------------------------
-    scope::PostprocessParams post;
-    post.algo = config.denoise;
-    post.mi.bins = 16;
-    post.mi.maxShift = 6;
-    const scope::PostprocessResult processed =
-        scope::postprocess(stack, post);
-    report.alignmentResidualPx = processed.alignmentResidualPx;
-    report.alignmentBudgetMet = processed.meetsAlignmentBudget(
-        stack.slices.front().height());
-    if (!report.alignmentBudgetMet)
-        common::warn("pipeline " + chip.id +
-                     ": alignment residual exceeds the 0.77% budget");
-
-    // ---- 4. Reverse engineering -------------------------------------
-    re::PlanarScales scales;
-    scales.xNm = stack.sliceThicknessNm;
-    scales.yNm = voxel;
-    scales.zNm = voxel;
-    report.analysis =
-        re::analyzeRegion(processed.volume, scales, fib.sem.detector);
-
-    // ---- 5. Validation against the fab truth -------------------------
-    report.extractedTopology = report.analysis.topology;
-    report.topologyCorrect =
-        report.extractedTopology == report.trueTopology;
-    if (!report.topologyCorrect)
-        common::warn("pipeline " + chip.id +
-                     ": extracted topology disagrees with the truth");
-    report.extractedCommonGateStrips =
-        report.analysis.commonGateStrips;
-    report.extractedDevices = report.analysis.devices.size();
-    report.bitlinesFound = report.analysis.bitlines.size();
-    report.crossCouplingConsistent =
-        report.analysis.crossCouplingConsistent();
-
-    const auto matches = re::matchTopology(report.analysis);
-    if (!matches.empty()) {
-        report.matchedTemplate = matches.front().candidate->name;
-        report.matchScore = matches.front().score;
-    }
-
-    // Silicon defect scoring: planted ground truth vs RE detections.
-    report.siliconDefects.detected = report.analysis.defects;
-    scoreSiliconDefects(report.siliconDefects);
-    if (!report.siliconDefects.allDetected())
-        common::warn(
-            "pipeline " + chip.id + ": " +
-            std::to_string(report.siliconDefects.planted.size() -
-                           report.siliconDefects.matched) +
-            " planted silicon defect(s) escaped detection");
-
-    // Per-role dimension recovery vs. the generated (clipped) truth.
-    std::map<Role, std::pair<double, double>> truth_sum;
-    std::map<Role, size_t> truth_n;
-    for (const auto &d : truth.devices) {
-        const bool latch_like =
-            d.role == Role::Nsa || d.role == Role::Psa ||
-            d.role == Role::Lsa;
-        // Drawn gate rects encode W x L per orientation.
-        const double w =
-            latch_like ? d.gate.width() : d.gate.height();
-        const double l =
-            latch_like ? d.gate.height() : d.gate.width();
-        truth_sum[d.role].first += w;
-        truth_sum[d.role].second += l;
-        ++truth_n[d.role];
-    }
-
-    for (const auto &[role, sums] : truth_sum) {
-        RoleRecovery rec;
-        const auto n = static_cast<double>(truth_n[role]);
-        rec.trueW = sums.first / n;
-        rec.trueL = sums.second / n;
-        if (const auto dims = report.analysis.meanDims(role)) {
-            rec.measuredW = dims->w;
-            rec.measuredL = dims->l;
-            report.maxDimErrorNm = std::max(
-                {report.maxDimErrorNm, rec.errW(), rec.errL()});
-        }
-        report.roles[role] = rec;
-    }
-    return report;
+/// Map a typed error onto the exception taxonomy the throwing entry
+/// point has always used: unknown ids surface as std::out_of_range,
+/// bad parameters as std::invalid_argument.
+[[noreturn]] void
+throwLegacy(const common::Error &err)
+{
+    if (err.code == common::ErrorCode::NotFound)
+        throw std::out_of_range(err.message);
+    if (err.code == common::ErrorCode::InvalidArgument ||
+        err.code == common::ErrorCode::FailedPrecondition)
+        throw std::invalid_argument(err.message);
+    throw std::runtime_error(err.message);
 }
 
 /**
@@ -334,21 +174,24 @@ finishTelemetry(telemetry::Session &session,
 PipelineReport
 runPipeline(const PipelineConfig &config)
 {
+    // Bind the session to this thread (and, via the pool, to every
+    // fan-out it spawns) so concurrent runs attribute their spans
+    // and metric deltas to their own sessions.
     std::optional<telemetry::Session> session;
-    if (config.telemetry.enabled)
+    std::optional<telemetry::SessionBind> bind;
+    if (config.telemetry.enabled) {
         session.emplace();
+        bind.emplace(*session);
+    }
     {
         const telemetry::Span vspan("pipeline.validate");
-        if (const auto err = validateConfig(config)) {
-            // Preserve the legacy exception taxonomy: unknown chip
-            // ids used to surface as std::out_of_range from
-            // models::chip.
-            if (err->code == common::ErrorCode::NotFound)
-                throw std::out_of_range(err->message);
-            throw std::invalid_argument(err->message);
-        }
+        if (const auto err = validateConfig(config))
+            throwLegacy(*err);
     }
-    PipelineReport report = runValidatedPipeline(config);
+    auto result = runValidatedPipeline(config);
+    if (!result.ok())
+        throwLegacy(result.error());
+    PipelineReport report = result.takeValue();
     if (session)
         finishTelemetry(*session, config, report);
     return report;
@@ -358,15 +201,21 @@ common::Result<PipelineReport>
 runPipelineChecked(const PipelineConfig &config)
 {
     std::optional<telemetry::Session> session;
-    if (config.telemetry.enabled)
+    std::optional<telemetry::SessionBind> bind;
+    if (config.telemetry.enabled) {
         session.emplace();
+        bind.emplace(*session);
+    }
     {
         const telemetry::Span vspan("pipeline.validate");
         if (const auto err = validateConfig(config))
             return common::Result<PipelineReport>(*err);
     }
     try {
-        PipelineReport report = runValidatedPipeline(config);
+        auto result = runValidatedPipeline(config);
+        if (!result.ok())
+            return result;
+        PipelineReport report = result.takeValue();
         if (session)
             finishTelemetry(*session, config, report);
         return common::Result<PipelineReport>(std::move(report));

@@ -97,6 +97,10 @@ validate(const RecoveryParams &params)
         return Error{ErrorCode::InvalidArgument,
                      "RecoveryParams: maxRetries must be < " +
                          std::to_string(kMaxAttemptsPerSlice)};
+    if (params.cleanCacheCapacity < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "RecoveryParams: cleanCacheCapacity must be "
+                     ">= 1"};
     const image::QcThresholds &qc = params.qc;
     if (qc.miBins < 2)
         return Error{ErrorCode::InvalidArgument,
@@ -114,6 +118,101 @@ validate(const RecoveryParams &params)
                      "undetectable"};
     return std::nullopt;
 }
+
+// ---- Clean-frame LRU cache -----------------------------------------
+
+CleanFrameCache::CleanFrameCache(size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+image::Image2D
+CleanFrameCache::fetch(uint64_t key,
+                       const std::function<image::Image2D()> &render)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            if (telemetry::enabled())
+                telemetry::registry()
+                    .counter("sem.clean_cache.hit")
+                    .add(1);
+            return it->second->second;
+        }
+    }
+    // Render outside the lock: the value is a pure function of the
+    // key, so two threads racing on the same miss both produce the
+    // identical frame and either insert wins.
+    image::Image2D frame = render();
+    if (telemetry::enabled())
+        telemetry::registry().counter("sem.clean_cache.miss").add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.find(key) == index_.end()) {
+        lru_.emplace_front(key, frame);
+        index_[key] = lru_.begin();
+        while (lru_.size() > capacity_) {
+            index_.erase(lru_.back().first);
+            lru_.pop_back();
+            ++evictions_;
+            if (telemetry::enabled())
+                telemetry::registry()
+                    .counter("sem.clean_cache.evicted")
+                    .add(1);
+        }
+    }
+    return frame;
+}
+
+size_t
+CleanFrameCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+uint64_t
+CleanFrameCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+namespace
+{
+
+/// FNV-1a mix for clean-frame cache keys.
+uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    h ^= v;
+    return h * 1099511628211ull;
+}
+
+/// Digest of everything a clean frame depends on besides the volume:
+/// mill position, slice thickness and the SEM imaging parameters.
+uint64_t
+cleanFrameKey(uint64_t volume_key, size_t x, size_t slice_voxels,
+              const SemParams &sem)
+{
+    uint64_t h = 1469598103934665603ull;
+    h = fnvMix(h, volume_key);
+    h = fnvMix(h, static_cast<uint64_t>(x));
+    h = fnvMix(h, static_cast<uint64_t>(slice_voxels));
+    h = fnvMix(h, static_cast<uint64_t>(sem.detector));
+    uint64_t bits = 0;
+    const double fields[] = {sem.dwellUs, sem.electronsPerUs,
+                             sem.readNoise, sem.seQuality};
+    for (const double f : fields) {
+        static_assert(sizeof(bits) == sizeof(f), "bit pun");
+        __builtin_memcpy(&bits, &f, sizeof(bits));
+        h = fnvMix(h, bits);
+    }
+    return h;
+}
+
+} // namespace
 
 image::SliceStack
 acquire(const image::Volume3D &materials, const FibSemParams &params,
@@ -147,7 +246,8 @@ acquire(const image::Volume3D &materials, const FibSemParams &params,
 RobustAcquisition
 acquireRobust(const image::Volume3D &materials,
               const FibSemParams &params, const FaultParams &faults,
-              const RecoveryParams &recovery, uint64_t seed)
+              const RecoveryParams &recovery, uint64_t seed,
+              CleanFrameCache *sharedCleanFrames, uint64_t volumeKey)
 {
     if (const auto err = validate(params))
         throw std::invalid_argument("acquireRobust: " + err->message);
@@ -207,13 +307,17 @@ acquireRobust(const image::Volume3D &materials,
     // agree" needs slack or it degenerates into a coin flip.
     constexpr double kAttemptAgreementRatio = 0.85;
 
-    // Single-entry clean-frame cache: re-imaging attempts (and
-    // skip-overshoot collisions) at the same mill position re-render
-    // the identical deterministic clean frame, so keep the last one.
-    // Noise and faults are still applied per attempt.
-    constexpr size_t kNoCachedPosition = static_cast<size_t>(-1);
-    size_t cached_x = kNoCachedPosition;
-    image::Image2D cached_clean;
+    // Clean-frame cache: re-imaging attempts (and skip-overshoot
+    // collisions) at the same mill position re-render the identical
+    // deterministic clean frame, so cache the rendered faces.  Noise
+    // and faults are still applied per attempt.  A shared cache (the
+    // campaign service) spans jobs; otherwise a private bounded LRU
+    // covers this acquisition alone.
+    std::optional<CleanFrameCache> local_cache;
+    CleanFrameCache *clean_cache = sharedCleanFrames;
+    if (clean_cache == nullptr && recovery.reuseCleanFrames)
+        clean_cache =
+            &local_cache.emplace(recovery.cleanCacheCapacity);
 
     for (size_t s = 0; s < positions.size(); ++s) {
         const telemetry::Span slice_span("scope.slice");
@@ -254,24 +358,19 @@ acquireRobust(const image::Volume3D &materials,
             image::Image2D img;
             {
                 const telemetry::Span image_span("scope.sem_image");
-                if (recovery.reuseCleanFrames && cached_x == x) {
-                    img = cached_clean;
-                    if (telemetry::enabled())
-                        telemetry::registry()
-                            .counter("sem.clean_cache.hit")
-                            .add(1);
+                if (recovery.reuseCleanFrames && clean_cache) {
+                    img = clean_cache->fetch(
+                        cleanFrameKey(volumeKey, x,
+                                      params.sliceVoxels, params.sem),
+                        [&] {
+                            return semImageClean(materials, x,
+                                                 params.sliceVoxels,
+                                                 params.sem);
+                        });
                 } else {
                     img = semImageClean(materials, x,
                                         params.sliceVoxels,
                                         params.sem);
-                    if (recovery.reuseCleanFrames) {
-                        cached_clean = img;
-                        cached_x = x;
-                    }
-                    if (telemetry::enabled())
-                        telemetry::registry()
-                            .counter("sem.clean_cache.miss")
-                            .add(1);
                 }
                 const uint64_t frame_seed =
                     common::Rng(seed,

@@ -9,6 +9,10 @@
 #ifndef HIFI_SCOPE_FIB_HH
 #define HIFI_SCOPE_FIB_HH
 
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
 #include <optional>
 
 #include "common/result.hh"
@@ -75,11 +79,55 @@ struct RecoveryParams
      * renders the identical frame — the cache returns that exact
      * frame and only the per-attempt noise/fault overlay is redone.
      * Bitwise-identical output either way (asserted in
-     * tests/test_fab_scope.cc); hit/miss counts are reported through
-     * the "sem.clean_cache.hit"/"sem.clean_cache.miss" telemetry
-     * counters.
+     * tests/test_fab_scope.cc); hit/miss/eviction counts are
+     * reported through the "sem.clean_cache.hit" / ".miss" /
+     * ".evicted" telemetry counters.
      */
     bool reuseCleanFrames = true;
+
+    /**
+     * Capacity (distinct mill positions) of the clean-frame cache
+     * used when no shared cache is passed to acquireRobust.  Cached
+     * entries are exact pure-function outputs, so any capacity >= 1
+     * yields bitwise-identical acquisitions; larger caches only
+     * change the hit rate.  Must be >= 1 (validated).
+     */
+    size_t cleanCacheCapacity = 4;
+};
+
+/**
+ * Bounded LRU cache of clean SEM frames, shareable across concurrent
+ * acquisitions (the campaign service hands one instance to every
+ * job).  Keys are content digests (volume identity x mill position x
+ * imaging params), values are the exact semImageClean outputs, so a
+ * hit returns a bitwise-identical frame and the cache can never
+ * change a result — only skip a render.  Thread-safe; eviction is
+ * least-recently-used.  Counters: "sem.clean_cache.hit" / ".miss" /
+ * ".evicted".
+ */
+class CleanFrameCache
+{
+  public:
+    explicit CleanFrameCache(size_t capacity = 4);
+
+    /// Frame for `key`, rendered with `render` on a miss.
+    image::Image2D fetch(uint64_t key,
+                         const std::function<image::Image2D()> &render);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /// Lifetime eviction count (also mirrored into telemetry).
+    uint64_t evictions() const;
+
+  private:
+    mutable std::mutex mu_;
+    size_t capacity_ = 4;
+    uint64_t evictions_ = 0;
+    std::list<std::pair<uint64_t, image::Image2D>> lru_;
+    std::map<uint64_t,
+             std::list<std::pair<uint64_t, image::Image2D>>::iterator>
+        index_;
 };
 
 /// Fixed RNG substream stride: attempts per slice are capped at this.
@@ -166,12 +214,21 @@ struct RobustAcquisition
  *
  * Throws std::invalid_argument when any parameter set fails
  * validation (use the validate() overloads for typed errors).
+ *
+ * @param sharedCleanFrames optional shared clean-frame cache; when
+ *        null a private cache of recovery.cleanCacheCapacity entries
+ *        is used.  Sharing requires `volumeKey` to identify the
+ *        material volume so jobs imaging different volumes can never
+ *        collide on a cache key.
  */
 RobustAcquisition acquireRobust(const image::Volume3D &materials,
                                 const FibSemParams &params,
                                 const FaultParams &faults,
                                 const RecoveryParams &recovery,
-                                uint64_t seed);
+                                uint64_t seed,
+                                CleanFrameCache *sharedCleanFrames =
+                                    nullptr,
+                                uint64_t volumeKey = 0);
 
 /** Cost model of a volumetric acquisition campaign. */
 struct CampaignCost

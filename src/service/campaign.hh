@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Fault-tolerant campaign service: a long-running, multi-tenant
+ * front-end to the HiFi-DRAM pipeline.
+ *
+ * Research campaigns run many pipeline configurations for hours
+ * (Table I: a single 100 um^2 ROI scan exceeds 24 h), so the service
+ * wraps the staged pipeline (core/stages.hh) with the operational
+ * machinery a batch of such jobs needs:
+ *
+ *  - a bounded job queue with worker threads, admission control from
+ *    the Table-I cost model, and backpressure (typed
+ *    ResourceExhausted rejection or blocking submit);
+ *  - per-job robustness: a watchdog that flags stage-deadline
+ *    overruns, bounded retries with exponential backoff and
+ *    deterministic jitter, cooperative cancellation — every failure
+ *    is a typed common::Error classified by common::isTransient;
+ *  - crash-safe progress: a checkpoint after every completed stage
+ *    (service/checkpoint.hh); a killed service replays only the
+ *    unfinished stages on restart, and the resumed report is
+ *    bitwise-identical to an uninterrupted run;
+ *  - shared bounded caches: a content-addressed post-Fab volume
+ *    cache (jobs with the same fab identity skip the fab stage) and
+ *    a shared scope::CleanFrameCache for the acquisition stage —
+ *    both exact, so sharing never changes a report;
+ *  - observability: "service.*" counters in the global telemetry
+ *    registry and a healthJson() snapshot.
+ *
+ * Determinism: job seeds come from a counter-seeded namespace
+ * (common::Rng(namespace, submissionIndex)), stage bodies are pure,
+ * and chaos injection (testing only) is counter-seeded per
+ * (job, stage, attempt) — so a whole campaign, including its
+ * failures, retries and resumes, replays bit-for-bit.
+ */
+
+#ifndef HIFI_SERVICE_CAMPAIGN_HH
+#define HIFI_SERVICE_CAMPAIGN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stages.hh"
+
+namespace hifi
+{
+namespace service
+{
+
+/** Bounded-retry policy with exponential backoff and jitter. */
+struct RetryPolicy
+{
+    /// Total attempts per job (first try included).  Transient
+    /// failures (common::isTransient) retry until this is spent;
+    /// permanent ones fail immediately.
+    size_t maxAttempts = 3;
+
+    double backoffBaseMs = 20.0; ///< delay before the 2nd attempt
+    double backoffFactor = 2.0;  ///< multiplier per further attempt
+
+    /// Full-width fractional jitter: the delay is scaled by a
+    /// deterministic factor in [1 - j/2, 1 + j/2] drawn from
+    /// Rng(seed, job<<8 | attempt), decorrelating retry storms
+    /// without losing replayability.
+    double jitterFrac = 0.25;
+
+    uint64_t seed = 0x7e7271ull;
+};
+
+/** Deterministic failure injection for soak tests (off by default). */
+struct ChaosOptions
+{
+    bool enabled = false;
+
+    /// Probability that the service "crashes" a job at a stage
+    /// boundary (after the checkpoint is saved): the attempt aborts
+    /// with a transient Internal error and the retry resumes from
+    /// the checkpoint, exercising the recovery path.
+    double killProbability = 0.2;
+
+    /// Probability of a stall at a stage boundary (sleeps in small
+    /// cancellable ticks), exercising the watchdog.
+    double stallProbability = 0.0;
+
+    double stallMs = 50.0;
+
+    /// Chaos decisions are drawn from Rng(seed ^ jobSeed,
+    /// stage << 8 | attempt): a fixed seed replays the same kills.
+    uint64_t seed = 0xc4405ull;
+};
+
+/** Service-wide configuration. */
+struct ServiceConfig
+{
+    size_t workers = 2;
+
+    /// Queue bound (jobs admitted but not yet terminal).  Submits
+    /// beyond it are rejected with ResourceExhausted, or block when
+    /// `blockWhenFull` is set.
+    size_t maxQueueDepth = 64;
+    bool blockWhenFull = false;
+
+    /// Admission control from the Table-I cost model: reject any job
+    /// whose estimated campaign exceeds `maxJobHours`, and reject
+    /// (backpressure) when the summed cost of non-terminal jobs
+    /// would exceed `maxQueuedHours`.  0 disables either check.
+    double maxJobHours = 0.0;
+    double maxQueuedHours = 0.0;
+
+    RetryPolicy retry;
+
+    /// Watchdog deadline per pipeline stage (seconds); a stage
+    /// overrun fails the attempt with DeadlineExceeded (transient,
+    /// so it retries).  0 disables the watchdog.
+    double stageTimeoutSec = 0.0;
+
+    /// Directory for per-job checkpoints; empty disables
+    /// checkpointing (retries then restart from scratch — still
+    /// deterministic, just slower).
+    std::string checkpointDir;
+
+    /// Capacity of the content-addressed post-Fab volume cache
+    /// (entries; 0 disables).  Keyed by fabDigest, exact by
+    /// construction.
+    size_t volumeCacheCapacity = 2;
+
+    /// Capacity of the shared clean-frame cache handed to every
+    /// acquisition (distinct mill positions; 0 gives each job its
+    /// private per-acquisition cache).
+    size_t cleanFrameCacheCapacity = 0;
+
+    /**
+     * Seed namespace: when non-zero, job i's config.seed is replaced
+     * by Rng(seedNamespace, i).next() at submission — tenants get
+     * decorrelated, reproducible seed streams without coordinating
+     * seeds.  0 keeps each submitted config's own seed.
+     */
+    uint64_t seedNamespace = 0;
+
+    ChaosOptions chaos;
+};
+
+/** Job lifecycle states. */
+enum class JobState
+{
+    Queued,      ///< admitted, waiting for a worker
+    Running,     ///< a worker is executing stages
+    Backoff,     ///< waiting out a retry delay
+    Interrupted, ///< service shut down mid-job; checkpoint on disk
+    Completed,   ///< report ready
+    Failed,      ///< typed terminal error
+    Cancelled,   ///< cancelled before completion
+};
+
+const char *jobStateName(JobState state);
+
+/// True for states a job can no longer leave.
+inline bool
+isTerminal(JobState s)
+{
+    return s == JobState::Completed || s == JobState::Failed ||
+        s == JobState::Cancelled;
+}
+
+/** Point-in-time status of one job. */
+struct JobStatus
+{
+    uint64_t id = 0;
+    std::string name;
+    JobState state = JobState::Queued;
+
+    size_t attempts = 0;        ///< attempts started so far
+    size_t stagesRun = 0;       ///< stage executions (all attempts)
+    size_t checkpointsSaved = 0;
+    size_t resumes = 0;         ///< attempts seeded from a checkpoint
+    size_t chaosKills = 0;      ///< injected crashes survived
+    size_t timeouts = 0;        ///< watchdog deadline overruns
+
+    core::Stage cursor = core::Stage::Fab; ///< next stage to run
+
+    uint64_t effectiveSeed = 0; ///< seed after namespace mapping
+    double costHours = 0.0;     ///< Table-I campaign estimate
+
+    /// Set when state == Completed.
+    uint64_t reportDigest = 0;
+    bool degraded = false;
+
+    /// Set when state == Failed (and for cancelled jobs).
+    std::optional<common::Error> error;
+};
+
+/**
+ * The campaign service.  Thread-safe; one instance owns its worker
+ * fleet, watchdog, queue and caches.  Destruction (or shutdown())
+ * stops the workers at the next stage boundary — in-flight jobs are
+ * checkpointed and marked Interrupted, and a new service pointed at
+ * the same checkpoint directory resumes them where they stopped.
+ */
+class CampaignService
+{
+  public:
+    explicit CampaignService(ServiceConfig config);
+    ~CampaignService();
+
+    CampaignService(const CampaignService &) = delete;
+    CampaignService &operator=(const CampaignService &) = delete;
+
+    /**
+     * Validate, apply the seed namespace, and enqueue a job.  `name`
+     * keys the checkpoint file, so resubmitting the same name and
+     * config to a service sharing the checkpoint directory resumes
+     * the earlier progress.  Typed failures: validateConfig errors
+     * pass through; queue/cost rejections are ResourceExhausted.
+     * Returns the job id.
+     */
+    common::Result<uint64_t> submit(const std::string &name,
+                                    const core::PipelineConfig &config);
+
+    /// Request cooperative cancellation; the job stops at the next
+    /// stage boundary (queued jobs cancel immediately).  False when
+    /// the id is unknown or the job is already terminal.
+    bool cancel(uint64_t id);
+
+    /// Status snapshot (throws std::out_of_range on unknown id).
+    JobStatus status(uint64_t id) const;
+
+    /// Status of every job, in submission order.
+    std::vector<JobStatus> statuses() const;
+
+    /// Completed report (copy), or the job's typed terminal error;
+    /// FailedPrecondition when the job is not terminal yet.
+    common::Result<core::PipelineReport> result(uint64_t id) const;
+
+    /// Block until the job is terminal (or `timeoutSec` elapses when
+    /// >= 0).  Returns whether the job is terminal.
+    bool wait(uint64_t id, double timeoutSec = -1.0);
+
+    /// Block until every submitted job is terminal.
+    void drain();
+
+    /**
+     * Stop the fleet: workers finish (and checkpoint) their current
+     * stage, running jobs become Interrupted, queued jobs stay
+     * Queued.  Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    /// Jobs admitted and not yet terminal.
+    size_t queueDepth() const;
+
+    /// Health/metrics snapshot as JSON: queue depth, per-state job
+    /// counts, and the "service.*" counters.
+    std::string healthJson() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace service
+} // namespace hifi
+
+#endif // HIFI_SERVICE_CAMPAIGN_HH

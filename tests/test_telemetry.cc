@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hh"
@@ -498,6 +500,110 @@ TEST(PipelineTelemetry, TraceCoversThePipelineStages)
     // Pool instrumentation flowed into the same export.
     EXPECT_TRUE(t.metrics.counters.count("pool.jobs"));
     EXPECT_GT(t.metrics.counters.at("pool.jobs"), 0u);
+}
+
+// ---- Concurrent sessions -------------------------------------------
+
+namespace concurrent_sessions
+{
+
+/**
+ * The seed-deterministic portion of a run's telemetry: how many times
+ * each span name fired, and every counter delta that is a pure
+ * function of the seed (timing counters, which end in "_ns", are
+ * excluded).  Two runs of the same config must agree on this
+ * signature no matter what ran beside them.
+ */
+struct Signature
+{
+    std::map<std::string, size_t> spanCounts;
+    std::map<std::string, uint64_t> counters;
+
+    bool operator==(const Signature &o) const
+    {
+        return spanCounts == o.spanCounts && counters == o.counters;
+    }
+};
+
+Signature
+signatureOf(const core::PipelineReport &report)
+{
+    Signature sig;
+    EXPECT_TRUE(report.telemetry != nullptr);
+    if (!report.telemetry)
+        return sig;
+    for (const auto &span : report.telemetry->spans)
+        ++sig.spanCounts[span.name];
+    for (const auto &[name, value] :
+         report.telemetry->metrics.counters) {
+        if (name.size() > 3 &&
+            name.compare(name.size() - 3, 3, "_ns") == 0)
+            continue;
+        sig.counters[name] = value;
+    }
+    return sig;
+}
+
+} // namespace concurrent_sessions
+
+TEST(PipelineTelemetry, ConcurrentSessionsDoNotCrossTalk)
+{
+    // Two jobs tracing simultaneously (the campaign-service workload)
+    // must not interleave spans or corrupt each other's metric
+    // deltas: every concurrent report carries exactly the telemetry
+    // its solo run carries.  Different seeds make the signatures
+    // differ between the jobs, so leakage in either direction shows.
+    using concurrent_sessions::Signature;
+    using concurrent_sessions::signatureOf;
+
+    core::PipelineConfig config;
+    config.chipId = "C5";
+    config.pairs = 2;
+    config.faults.enabled = true;
+    config.telemetry.enabled = true;
+    config.threads = 2;
+
+    const uint64_t seeds[2] = {23, 24};
+    Signature solo[2];
+    for (int i = 0; i < 2; ++i) {
+        config.seed = seeds[i];
+        const auto run = core::runPipelineChecked(config);
+        ASSERT_TRUE(run.ok()) << run.error().message;
+        solo[i] = signatureOf(run.value());
+        EXPECT_FALSE(solo[i].spanCounts.empty());
+    }
+    // The two jobs are genuinely distinguishable.
+    EXPECT_FALSE(solo[0] == solo[1]);
+
+    Signature concurrent[2];
+    std::string errors[2];
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 2; ++i)
+        threads.emplace_back([&, i] {
+            core::PipelineConfig mine = config;
+            mine.seed = seeds[i];
+            const auto run = core::runPipelineChecked(mine);
+            if (!run.ok()) {
+                errors[i] = run.error().message;
+                return;
+            }
+            concurrent[i] = signatureOf(run.value());
+        });
+    for (auto &t : threads)
+        t.join();
+
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(errors[i].empty()) << errors[i];
+        EXPECT_TRUE(concurrent[i] == solo[i]) << "job " << i;
+        // Pinpoint any divergence for the log.
+        for (const auto &[name, v] : solo[i].spanCounts)
+            EXPECT_EQ(concurrent[i].spanCounts[name], v)
+                << "span " << name << " of job " << i;
+        for (const auto &[name, v] : solo[i].counters)
+            EXPECT_EQ(concurrent[i].counters[name], v)
+                << "counter " << name << " of job " << i;
+    }
+    EXPECT_FALSE(telemetry::enabled());
 }
 
 } // namespace
