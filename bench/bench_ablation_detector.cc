@@ -12,11 +12,13 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "core/pipeline.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

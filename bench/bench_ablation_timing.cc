@@ -14,12 +14,14 @@
 #include "circuit/mismatch.hh"
 #include "circuit/sense_amp.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "models/chip_data.hh"
 #include "models/public_models.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using circuit::SaParams;
     using circuit::SaTopology;

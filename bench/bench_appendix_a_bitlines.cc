@@ -10,11 +10,13 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "eval/bitline_ext.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

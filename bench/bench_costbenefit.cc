@@ -10,11 +10,13 @@
 
 #include "arch/latency_model.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "dram/timings.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "eval/overheads.hh"
 #include "fab/sa_region.hh"
 #include "layout/gdsii.hh"
@@ -18,6 +19,7 @@
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
     using models::Role;

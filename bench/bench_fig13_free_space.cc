@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "fab/mat.hh"
 #include "fab/sa_region.hh"
 #include "layout/design_rules.hh"
@@ -16,6 +17,7 @@
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

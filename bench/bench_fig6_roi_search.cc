@@ -11,11 +11,13 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "scope/roi_search.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "core/pipeline.hh"
 #include "fab/mat.hh"
 #include "fab/voxelizer.hh"
@@ -22,6 +23,7 @@
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

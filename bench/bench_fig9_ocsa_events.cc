@@ -10,10 +10,12 @@
 
 #include "circuit/sense_amp.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using circuit::SaParams;
     using circuit::SaRun;

@@ -152,6 +152,7 @@ check(bool ok, const std::string &what)
 int
 main(int argc, char **argv)
 {
+    hifi::telemetry::reportPeakRssAtExit();
     bool quick = false;
     std::string telemetry_prefix;
     for (int i = 1; i < argc; ++i) {

@@ -320,6 +320,7 @@ telemetrySmoke(const std::string &prefix)
 int
 main(int argc, char **argv)
 {
+    hifi::telemetry::reportPeakRssAtExit();
     std::string telemetry_prefix;
     std::vector<char *> passthrough;
     passthrough.push_back(argv[0]);

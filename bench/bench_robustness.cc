@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "core/pipeline.hh"
 
 namespace
@@ -61,6 +62,7 @@ struct SweepPoint
 int
 main(int argc, char **argv)
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

@@ -8,11 +8,13 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "re/measure.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
     using models::Role;

@@ -21,10 +21,12 @@
 #include "circuit/mismatch.hh"
 #include "circuit/sense_amp.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using circuit::SaParams;
     using circuit::SaTopology;

@@ -18,11 +18,13 @@
 
 #include "circuit/dual_sa.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "eval/recommendations.hh"
 
 int
 main()
 {
+    hifi::telemetry::reportPeakRssAtExit();
     using namespace hifi;
     using common::Table;
 

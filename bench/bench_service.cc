@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "core/stages.hh"
 #include "service/campaign.hh"
 #include "service/checkpoint.hh"
@@ -198,6 +199,7 @@ benchCodec(const PipelineConfig &config)
 int
 main(int argc, char **argv)
 {
+    hifi::telemetry::reportPeakRssAtExit();
     bool quick = false;
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--quick") == 0)

@@ -5,9 +5,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "common/log.hh"
 
@@ -1073,6 +1078,89 @@ validateChromeTrace(const std::string &json,
             stats->names.push_back(n);
     }
     return true;
+}
+
+// ---- Process memory ------------------------------------------------
+
+namespace
+{
+
+/// Parse a "Vm...:  <n> kB" line from /proc/self/status; 0 when the
+/// key is absent (non-Linux, or a kernel without the field).
+size_t
+procStatusKb(const char *key)
+{
+#if defined(__linux__)
+    std::ifstream in("/proc/self/status");
+    if (!in)
+        return 0;
+    std::string line;
+    const size_t key_len = std::strlen(key);
+    while (std::getline(in, line)) {
+        if (line.compare(0, key_len, key) != 0)
+            continue;
+        return static_cast<size_t>(
+            std::strtoull(line.c_str() + key_len, nullptr, 10));
+    }
+#else
+    (void)key;
+#endif
+    return 0;
+}
+
+} // namespace
+
+size_t
+peakRssBytes()
+{
+    return procStatusKb("VmHWM:") * 1024;
+}
+
+size_t
+currentRssBytes()
+{
+    return procStatusKb("VmRSS:") * 1024;
+}
+
+size_t
+heapAllocatedBytes()
+{
+#if defined(__GLIBC__)
+    return mallinfo2().uordblks;
+#else
+    return 0;
+#endif
+}
+
+void
+reportPeakRssAtExit()
+{
+    static bool registered = false;
+    if (registered)
+        return;
+    registered = true;
+    std::atexit([] {
+        const size_t peak = peakRssBytes();
+        if (peak == 0)
+            return; // no procfs on this platform
+        std::fprintf(stderr, "peak RSS: %.1f MiB\n",
+                     static_cast<double>(peak) /
+                         (1024.0 * 1024.0));
+    });
+}
+
+void
+recordMemoryGauges()
+{
+    registry()
+        .gauge("mem.peak_rss_bytes")
+        .set(static_cast<double>(peakRssBytes()));
+    registry()
+        .gauge("mem.rss_bytes")
+        .set(static_cast<double>(currentRssBytes()));
+    registry()
+        .gauge("mem.heap_allocated_bytes")
+        .set(static_cast<double>(heapAllocatedBytes()));
 }
 
 } // namespace telemetry

@@ -287,6 +287,40 @@ registry()
     return Registry::global();
 }
 
+// ---- Process memory ------------------------------------------------
+
+/**
+ * Peak resident set size of this process in bytes (the kernel's
+ * high-water mark, VmHWM in /proc/self/status).  0 on platforms
+ * without procfs.  This is the number the bench harnesses record so
+ * memory regressions are tracked alongside time.
+ */
+size_t peakRssBytes();
+
+/// Current resident set size in bytes (VmRSS); 0 without procfs.
+size_t currentRssBytes();
+
+/**
+ * Register an atexit hook that prints "peak RSS: N MiB" to stderr
+ * when the process ends (covering every return path, including early
+ * failure exits).  Idempotent; every bench harness calls this first
+ * thing in main so memory is recorded alongside time.  No output on
+ * platforms without procfs.
+ */
+void reportPeakRssAtExit();
+
+/**
+ * Bytes currently handed out by the allocator (glibc mallinfo2
+ * uordblks); 0 on other C libraries.  Unlike RSS this shrinks when
+ * memory is freed, so peakRssBytes() - heapAllocatedBytes() exposes
+ * high-water transients that RSS alone hides.
+ */
+size_t heapAllocatedBytes();
+
+/// Refresh the "mem.peak_rss_bytes", "mem.rss_bytes" and
+/// "mem.heap_allocated_bytes" gauges from the sources above.
+void recordMemoryGauges();
+
 // ---- Sessions and export -------------------------------------------
 
 /** What to collect and where to put it; off by default. */

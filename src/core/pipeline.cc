@@ -61,6 +61,17 @@ validateConfig(const PipelineConfig &config)
         return err;
     if (const auto err = scope::validate(config.recovery))
         return err;
+    if (config.memoryBudget != 0 &&
+        config.memoryBudget < kMinMemoryBudgetBytes)
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: memoryBudget below the " +
+                         std::to_string(kMinMemoryBudgetBytes >> 20) +
+                         " MiB floor (one tile layer plus the "
+                         "streaming window)"};
+    if (!config.spillDir.empty() && config.memoryBudget == 0)
+        return Error{ErrorCode::InvalidArgument,
+                     "PipelineConfig: spillDir set but memoryBudget "
+                     "is 0 (in-RAM path spills nothing)"};
     return std::nullopt;
 }
 

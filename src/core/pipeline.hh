@@ -32,6 +32,11 @@ namespace hifi
 namespace core
 {
 
+/// Smallest accepted PipelineConfig::memoryBudget: one 64^3-float
+/// tile layer of a paper-scale stack plus the streaming slice window
+/// comfortably fit in 16 MiB.
+constexpr size_t kMinMemoryBudgetBytes = 16ull << 20;
+
 /** Pipeline configuration. */
 struct PipelineConfig
 {
@@ -103,6 +108,27 @@ struct PipelineConfig
     /// Retry/interpolation policy and QC thresholds for the robust
     /// acquisition (only used when faults.enabled).
     scope::RecoveryParams recovery;
+
+    /**
+     * Out-of-core memory budget in bytes; 0 (the default) keeps the
+     * fully in-RAM pipeline.  When set, acquisition streams straight
+     * into the denoise → register → assemble chain slice by slice
+     * and the assembled volume lives in a spill-to-disk tile store,
+     * so peak working memory is bounded by roughly this figure plus
+     * the fixed per-stage state instead of by the stack size.  The
+     * report is bitwise identical to the in-RAM path at any budget,
+     * tile size and thread count (tests/test_volume.cc).  Budgets
+     * smaller than one tile layer are rejected by validateConfig.
+     */
+    size_t memoryBudget = 0;
+
+    /**
+     * Directory for spilled volume tiles when memoryBudget is set;
+     * empty picks a unique directory under the system temp dir that
+     * is removed when the run completes.  Ignored when
+     * memoryBudget == 0.
+     */
+    std::string spillDir;
 
     /**
      * Observability (common/telemetry.hh); off by default.  When

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/log.hh"
 #include "common/parallel.hh"
@@ -84,6 +89,53 @@ resolveDetector(const PipelineConfig &config,
     if (config.detectorOverride == 1)
         return models::Detector::Bse;
     return chip.detector;
+}
+
+/**
+ * Lazily provide the tile store of a memory-budgeted run.  The
+ * campaign service installs its own store up front (rooted under the
+ * checkpoint directory); a standalone run gets a per-process temp
+ * directory that is removed when the last reference to the store —
+ * state, checkpoints, tiled artifacts — is gone.  Where the spill
+ * lives never affects a report bit.
+ */
+std::optional<common::Error>
+ensureTileStore(const PipelineConfig &config, StagedState &state)
+{
+    if (state.tileStore)
+        return std::nullopt;
+    namespace fs = std::filesystem;
+
+    image::TileStoreConfig tc;
+    tc.budgetBytes = config.memoryBudget;
+    const bool owned = config.spillDir.empty();
+    if (!owned) {
+        tc.dir = config.spillDir;
+    } else {
+        std::error_code ec;
+        fs::path base = fs::temp_directory_path(ec);
+        if (ec)
+            base = ".";
+        unsigned long long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+        pid = static_cast<unsigned long long>(::getpid());
+#endif
+        tc.dir = (base /
+                  ("hifi-spill-" + std::to_string(pid) + "-" +
+                   std::to_string(config.seed)))
+                     .string();
+    }
+    const std::string dir = tc.dir;
+    state.tileStore = std::shared_ptr<image::TileStore>(
+        new image::TileStore(std::move(tc)),
+        [owned, dir](image::TileStore *s) {
+            delete s;
+            if (owned) {
+                std::error_code ec;
+                std::filesystem::remove_all(dir, ec);
+            }
+        });
+    return std::nullopt;
 }
 
 // ---- Stage bodies --------------------------------------------------
@@ -259,17 +311,39 @@ stagePostprocess(const PipelineConfig &config, StagedState &state)
     post.algo = config.denoise;
     post.mi.bins = 16;
     post.mi.maxShift = 6;
-    scope::PostprocessResult processed =
-        scope::postprocess(stack, post);
-    report.alignmentResidualPx = processed.alignmentResidualPx;
-    report.alignmentBudgetMet = processed.meetsAlignmentBudget(
-        stack.slices.front().height());
+    if (config.memoryBudget > 0) {
+        // Out-of-core path: stream denoise -> register -> assemble
+        // over bounded slice windows into a tiled, spill-to-disk
+        // volume.  Same per-slice arithmetic, same report bits; only
+        // the peak working set changes (tests/test_volume.cc).
+        if (const auto err = ensureTileStore(config, state))
+            return err;
+        auto streamed = scope::postprocessStreamed(
+            stack, *state.tileStore, post,
+            image::TiledVolume3D::kDefaultTileEdge,
+            config.memoryBudget / 2);
+        if (!streamed.ok())
+            return streamed.error();
+        scope::StreamedPostprocessResult result =
+            streamed.takeValue();
+        report.alignmentResidualPx = result.alignmentResidualPx;
+        report.alignmentBudgetMet = result.meetsAlignmentBudget(
+            stack.slices.front().height());
+        state.processedTiled = std::make_shared<image::TiledVolume3D>(
+            std::move(result.volume));
+    } else {
+        scope::PostprocessResult processed =
+            scope::postprocess(stack, post);
+        report.alignmentResidualPx = processed.alignmentResidualPx;
+        report.alignmentBudgetMet = processed.meetsAlignmentBudget(
+            stack.slices.front().height());
+        state.processed = std::make_shared<image::Volume3D>(
+            std::move(processed.volume));
+    }
     if (!report.alignmentBudgetMet)
         common::warn("pipeline " + chip.id +
                      ": alignment residual exceeds the 0.77% budget");
 
-    state.processed =
-        std::make_shared<image::Volume3D>(std::move(processed.volume));
     state.stack.reset(); // no longer needed downstream
     state.next = Stage::Analyze;
     return std::nullopt;
@@ -285,10 +359,29 @@ stageAnalyze(const PipelineConfig &config, StagedState &state)
     scales.xNm = state.sliceThicknessNm;
     scales.yNm = state.voxelNm;
     scales.zNm = state.voxelNm;
-    report.analysis = re::analyzeRegion(
-        *state.processed, scales, resolveDetector(config, chip));
 
-    state.processed.reset();
+    if (!state.processed && !state.processedTiled)
+        return common::Error{
+            common::ErrorCode::FailedPrecondition,
+            "stageAnalyze: no processed volume (resume from a "
+            "Postprocess checkpoint first)"};
+
+    // The analysis kernels are in-core; on the memory-budgeted path
+    // the tiled volume materializes just in time — after the stack
+    // has been dropped — so the two never coexist.
+    if (state.processedTiled) {
+        auto dense = state.processedTiled->toDense();
+        if (!dense.ok())
+            return dense.error();
+        state.processedTiled.reset();
+        const image::Volume3D volume = dense.takeValue();
+        report.analysis = re::analyzeRegion(
+            volume, scales, resolveDetector(config, chip));
+    } else {
+        report.analysis = re::analyzeRegion(
+            *state.processed, scales, resolveDetector(config, chip));
+        state.processed.reset();
+    }
     state.next = Stage::Finalize;
     return std::nullopt;
 }

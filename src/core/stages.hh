@@ -83,6 +83,13 @@ struct StagedState
     std::shared_ptr<image::SliceStack> stack;   ///< Acquire -> Postpr.
     std::shared_ptr<image::Volume3D> processed; ///< Postpr. -> Analyze
 
+    /// Postprocess -> Analyze on the memory-budgeted path
+    /// (config.memoryBudget > 0): the assembled volume stays sealed
+    /// in `tileStore` and Analyze materializes it just in time, so
+    /// the stack and the dense volume never coexist.  Exactly one of
+    /// `processed` / `processedTiled` is set after Postprocess.
+    std::shared_ptr<image::TiledVolume3D> processedTiled;
+
     // ---- Service hooks (not serialized, not result-affecting) -----
 
     /// Shared clean-frame cache for the Acquire stage (null: each
@@ -93,6 +100,16 @@ struct StagedState
     /// Identity of `materials` for shared-cache keys; the service
     /// uses the fab-parameter digest of the job config.
     uint64_t volumeKey = 0;
+
+    /**
+     * Tile store backing `processedTiled` (and tile-referencing
+     * checkpoints).  The campaign service provides one rooted under
+     * its checkpoint directory so tiles survive restarts; standalone
+     * memory-budgeted runs get an automatic temp-dir store (removed
+     * with the state) from the Postprocess stage.  Null on the
+     * in-RAM path.  Not result-affecting.
+     */
+    std::shared_ptr<image::TileStore> tileStore;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "image/volume3d.hh"
 
 #include <stdexcept>
+#include <string>
 
 namespace hifi
 {
@@ -12,6 +13,19 @@ Volume3D::Volume3D(size_t nx, size_t ny, size_t nz, float fill)
 {
     if (nx == 0 || ny == 0 || nz == 0)
         throw std::invalid_argument("Volume3D: zero dimension");
+}
+
+common::Result<Volume3D>
+Volume3D::createChecked(size_t nx, size_t ny, size_t nz, float fill)
+{
+    using R = common::Result<Volume3D>;
+    if (nx == 0 || ny == 0 || nz == 0)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "Volume3D: zero dimension (" +
+                              std::to_string(nx) + " x " +
+                              std::to_string(ny) + " x " +
+                              std::to_string(nz) + ")");
+    return R(Volume3D(nx, ny, nz, fill));
 }
 
 Image2D
@@ -38,6 +52,30 @@ Volume3D::planarView(size_t z) const
     return img;
 }
 
+common::Result<Image2D>
+Volume3D::crossSectionChecked(size_t x) const
+{
+    using R = common::Result<Image2D>;
+    if (x >= nx_)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "Volume3D::crossSection: x=" +
+                              std::to_string(x) + " outside nx=" +
+                              std::to_string(nx_));
+    return R(crossSection(x));
+}
+
+common::Result<Image2D>
+Volume3D::planarViewChecked(size_t z) const
+{
+    using R = common::Result<Image2D>;
+    if (z >= nz_)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "Volume3D::planarView: z=" +
+                              std::to_string(z) + " outside nz=" +
+                              std::to_string(nz_));
+    return R(planarView(z));
+}
+
 void
 Volume3D::setCrossSection(size_t x, const Image2D &img)
 {
@@ -62,6 +100,19 @@ Volume3D::planarSlab(size_t z0, size_t z1) const
     for (float &v : img.data())
         v *= k;
     return img;
+}
+
+common::Result<Image2D>
+Volume3D::planarSlabChecked(size_t z0, size_t z1) const
+{
+    using R = common::Result<Image2D>;
+    if (z1 <= z0 || z1 > nz_)
+        return R::failure(common::ErrorCode::InvalidArgument,
+                          "Volume3D::planarSlab: bad range [" +
+                              std::to_string(z0) + ", " +
+                              std::to_string(z1) + ") over nz=" +
+                              std::to_string(nz_));
+    return R(planarSlab(z0, z1));
 }
 
 Volume3D

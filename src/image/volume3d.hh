@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/result.hh"
 #include "image/image2d.hh"
 
 namespace hifi
@@ -27,7 +28,15 @@ class Volume3D
 {
   public:
     Volume3D() = default;
+
+    /// Throws std::invalid_argument on a zero dimension; prefer
+    /// createChecked for a typed error.
     Volume3D(size_t nx, size_t ny, size_t nz, float fill = 0.0f);
+
+    /// Typed-error construction: InvalidArgument on a zero dimension
+    /// instead of a throw (the fuzz-facing entry point).
+    static common::Result<Volume3D>
+    createChecked(size_t nx, size_t ny, size_t nz, float fill = 0.0f);
 
     size_t nx() const { return nx_; }
     size_t ny() const { return ny_; }
@@ -50,17 +59,35 @@ class Volume3D
     /// stride across rows (e.g. the SEM shading gather loop).
     const float *data() const { return data_.data(); }
 
-    /// Cross-section at a given X: image over (Y, Z).
+    /// Mutable raw storage (same layout); used by the checkpoint
+    /// codec to reassemble a volume from stored tiles.
+    float *mutableData() { return data_.data(); }
+
+    /// Cross-section at a given X: image over (Y, Z).  Throws
+    /// std::out_of_range when x >= nx().
     Image2D crossSection(size_t x) const;
 
+    /// Typed-error variant: InvalidArgument out of range.
+    common::Result<Image2D> crossSectionChecked(size_t x) const;
+
     /// Planar (top-down) view at a given Z: image over (X, Y).
+    /// Throws std::out_of_range when z >= nz().
     Image2D planarView(size_t z) const;
+
+    /// Typed-error variant: InvalidArgument out of range.
+    common::Result<Image2D> planarViewChecked(size_t z) const;
 
     /// Insert a cross-section image (Y, Z) at position x.
     void setCrossSection(size_t x, const Image2D &img);
 
     /// Average planar view over a z range [z0, z1): a "layer slab".
+    /// Throws std::invalid_argument on an empty or out-of-range
+    /// window.
     Image2D planarSlab(size_t z0, size_t z1) const;
+
+    /// Typed-error variant: InvalidArgument on a bad range.
+    common::Result<Image2D> planarSlabChecked(size_t z0,
+                                              size_t z1) const;
 
   private:
     size_t nx_ = 0;

@@ -243,11 +243,44 @@ acquire(const image::Volume3D &materials, const FibSemParams &params,
     return stack;
 }
 
-RobustAcquisition
-acquireRobust(const image::Volume3D &materials,
-              const FibSemParams &params, const FaultParams &faults,
-              const RecoveryParams &recovery, uint64_t seed,
-              CleanFrameCache *sharedCleanFrames, uint64_t volumeKey)
+// ---- Streaming windows ---------------------------------------------
+
+SliceWindowing::SliceWindowing(size_t window, WindowConsumer sink)
+    : window_(window ? window : kStreamWindowSlices),
+      sink_(std::move(sink))
+{
+}
+
+void
+SliceWindowing::push(StreamedSlice &&slice)
+{
+    if (current_.slices.empty())
+        current_.begin = slice.index;
+    current_.slices.push_back(std::move(slice));
+    if (current_.slices.size() >= window_)
+        flush();
+}
+
+void
+SliceWindowing::flush()
+{
+    if (current_.slices.empty())
+        return;
+    SliceWindow w = std::move(current_);
+    current_ = SliceWindow{};
+    sink_(std::move(w));
+}
+
+// ---- Robust acquisition (streaming core) ---------------------------
+
+StreamAcquisitionStats
+acquireRobustStreamed(const image::Volume3D &materials,
+                      const FibSemParams &params,
+                      const FaultParams &faults,
+                      const RecoveryParams &recovery, uint64_t seed,
+                      const SliceConsumer &sink,
+                      CleanFrameCache *sharedCleanFrames,
+                      uint64_t volumeKey)
 {
     if (const auto err = validate(params))
         throw std::invalid_argument("acquireRobust: " + err->message);
@@ -257,9 +290,7 @@ acquireRobust(const image::Volume3D &materials,
         throw std::invalid_argument("acquireRobust: " + err->message);
 
     const telemetry::Span span("scope.acquire");
-    RobustAcquisition out;
-    image::SliceStack &stack = out.stack;
-    stack.sliceThicknessNm = 0.0; // caller-level metadata
+    StreamAcquisitionStats out;
 
     std::vector<size_t> positions;
     for (size_t x = 0; x + params.sliceVoxels <= materials.nx();
@@ -267,6 +298,7 @@ acquireRobust(const image::Volume3D &materials,
         positions.push_back(x);
     if (positions.empty())
         return out;
+    out.slices = positions.size();
 
     // The drift walk is drawn from its own substream up front, so it
     // is a pure function of the seed no matter how many re-imaging
@@ -289,7 +321,6 @@ acquireRobust(const image::Volume3D &materials,
         params.sem.electronsPerUs * params.sem.dwellUs;
     const size_t max_attempts = recovery.maxRetries + 1;
     image::QcMonitor monitor(recovery.qc);
-    std::vector<bool> failed(positions.size(), false);
 
     // QC checks that compare against neighbours/history rather than
     // measuring the frame itself.  A *content* change in the sample
@@ -318,6 +349,78 @@ acquireRobust(const image::Volume3D &materials,
     if (clean_cache == nullptr && recovery.reuseCleanFrames)
         clean_cache =
             &local_cache.emplace(recovery.cleanCacheCapacity);
+
+    // Streaming recovery state.  A budget-exhausted slice cannot be
+    // finalized until its nearest accepted *right* neighbour exists,
+    // so consecutive failures are held back and resolved as a run —
+    // the same nearest-accepted-neighbour blend the in-RAM pass
+    // computed, produced in strictly increasing index order.  The
+    // held-back set is the failure run plus one retained accepted
+    // frame, not the stack.
+    std::vector<StreamedSlice> pending;
+    image::Image2D last_accepted_frame;
+    std::pair<long, long> last_accepted_drift{0, 0};
+    bool have_accepted = false;
+    double weight = 0.0;
+
+    const auto emitSlice = [&](StreamedSlice &&s) {
+        if (!s.provenance.unrecoverable)
+            weight += s.provenance.interpolated ? 0.5 : 1.0;
+        sink(std::move(s));
+    };
+
+    // Finalize the pending failure run against the just-accepted
+    // right neighbour (null at end of stream).  Matches the dense
+    // interpolation pass: blend when both neighbours exist, copy the
+    // single neighbour otherwise, unrecoverable when neither does.
+    const auto resolvePending = [&](const image::Image2D *right_frame,
+                                    const std::pair<long, long>
+                                        *right_drift) {
+        if (pending.empty())
+            return;
+        const telemetry::Span interp_span("scope.interpolate");
+        for (StreamedSlice &p : pending) {
+            if (have_accepted && right_frame != nullptr) {
+                const image::Image2D &a = last_accepted_frame;
+                const image::Image2D &b = *right_frame;
+                image::Image2D blend(a.width(), a.height());
+                for (size_t i = 0; i < blend.size(); ++i)
+                    blend.data()[i] =
+                        0.5f * (a.data()[i] + b.data()[i]);
+                p.frame = std::move(blend);
+                p.drift = {(last_accepted_drift.first +
+                            right_drift->first) /
+                               2,
+                           (last_accepted_drift.second +
+                            right_drift->second) /
+                               2};
+            } else if (have_accepted) {
+                p.frame = last_accepted_frame;
+                p.drift = last_accepted_drift;
+            } else if (right_frame != nullptr) {
+                p.frame = *right_frame;
+                p.drift = *right_drift;
+            } else {
+                p.provenance.unrecoverable = true;
+                p.decision.unrecoverable = true;
+                ++out.slicesUnrecoverable;
+                if (telemetry::enabled())
+                    countDecision("unrecoverable",
+                                  p.provenance.injectedFault);
+                emitSlice(std::move(p));
+                continue;
+            }
+            p.provenance.interpolated = true;
+            p.decision.interpolated = true;
+            ++out.slicesInterpolated;
+            out.interpolatedSlices.push_back(p.index);
+            if (telemetry::enabled())
+                countDecision("interpolate",
+                              p.provenance.injectedFault);
+            emitSlice(std::move(p));
+        }
+        pending.clear();
+    };
 
     for (size_t s = 0; s < positions.size(); ++s) {
         const telemetry::Span slice_span("scope.slice");
@@ -446,7 +549,6 @@ acquireRobust(const image::Volume3D &materials,
             monitor.accept(frame, qc);
         } else {
             prov.accepted = false;
-            failed[s] = true;
             monitor.noteRejected();
         }
         if (prov.attempts > 1)
@@ -466,80 +568,73 @@ acquireRobust(const image::Volume3D &materials,
         }
         decision.injectedFault = prov.injectedFault;
         decision.accepted = ok;
-        out.audit.push_back(std::move(decision));
-        stack.slices.push_back(std::move(frame));
-        stack.trueDrift.push_back(applied);
-        stack.provenance.push_back(prov);
-        out.qc.push_back(qc);
-    }
 
-    // Budget-exhausted slices: blend the nearest accepted neighbours
-    // (the flagged frame is discarded), or mark unrecoverable when no
-    // neighbour survived.
-    const telemetry::Span interp_span("scope.interpolate");
-    for (size_t s = 0; s < positions.size(); ++s) {
-        if (!failed[s])
-            continue;
-        image::SliceProvenance &prov = stack.provenance[s];
-        long left = -1, right = -1;
-        for (long i = static_cast<long>(s) - 1; i >= 0; --i) {
-            if (!failed[static_cast<size_t>(i)]) {
-                left = i;
-                break;
-            }
-        }
-        for (size_t i = s + 1; i < positions.size(); ++i) {
-            if (!failed[i]) {
-                right = static_cast<long>(i);
-                break;
-            }
-        }
-        if (!recovery.interpolate || (left < 0 && right < 0)) {
-            prov.unrecoverable = true;
-            out.audit[s].unrecoverable = true;
+        StreamedSlice streamed;
+        streamed.index = s;
+        streamed.frame = std::move(frame);
+        streamed.drift = applied;
+        streamed.provenance = prov;
+        streamed.qc = qc;
+        streamed.decision = std::move(decision);
+
+        if (ok) {
+            resolvePending(&streamed.frame, &streamed.drift);
+            last_accepted_frame = streamed.frame;
+            last_accepted_drift = streamed.drift;
+            have_accepted = true;
+            emitSlice(std::move(streamed));
+        } else if (!recovery.interpolate) {
+            // No interpolation policy: the flagged frame is kept and
+            // the slice finalizes (as unrecoverable) immediately.
+            streamed.provenance.unrecoverable = true;
+            streamed.decision.unrecoverable = true;
             ++out.slicesUnrecoverable;
             if (telemetry::enabled())
-                countDecision("unrecoverable", prov.injectedFault);
-            continue;
-        }
-        if (left >= 0 && right >= 0) {
-            const image::Image2D &a =
-                stack.slices[static_cast<size_t>(left)];
-            const image::Image2D &b =
-                stack.slices[static_cast<size_t>(right)];
-            image::Image2D blend(a.width(), a.height());
-            for (size_t i = 0; i < blend.size(); ++i)
-                blend.data()[i] =
-                    0.5f * (a.data()[i] + b.data()[i]);
-            stack.slices[s] = std::move(blend);
-            const auto &dl =
-                stack.trueDrift[static_cast<size_t>(left)];
-            const auto &dr =
-                stack.trueDrift[static_cast<size_t>(right)];
-            stack.trueDrift[s] = {(dl.first + dr.first) / 2,
-                                  (dl.second + dr.second) / 2};
+                countDecision("unrecoverable",
+                              streamed.provenance.injectedFault);
+            emitSlice(std::move(streamed));
         } else {
-            const size_t n = static_cast<size_t>(
-                left >= 0 ? left : right);
-            stack.slices[s] = stack.slices[n];
-            stack.trueDrift[s] = stack.trueDrift[n];
+            pending.push_back(std::move(streamed));
         }
-        prov.interpolated = true;
-        out.audit[s].interpolated = true;
-        ++out.slicesInterpolated;
-        out.interpolatedSlices.push_back(s);
-        if (telemetry::enabled())
-            countDecision("interpolate", prov.injectedFault);
     }
 
-    double weight = 0.0;
-    for (const auto &prov : stack.provenance) {
-        if (prov.unrecoverable)
-            continue;
-        weight += prov.interpolated ? 0.5 : 1.0;
-    }
+    // Failures with no accepted slice to their right resolve against
+    // the left neighbour alone (or become unrecoverable).
+    resolvePending(nullptr, nullptr);
+
     out.qcConfidence =
         weight / static_cast<double>(positions.size());
+    return out;
+}
+
+RobustAcquisition
+acquireRobust(const image::Volume3D &materials,
+              const FibSemParams &params, const FaultParams &faults,
+              const RecoveryParams &recovery, uint64_t seed,
+              CleanFrameCache *sharedCleanFrames, uint64_t volumeKey)
+{
+    RobustAcquisition out;
+    out.stack.sliceThicknessNm = 0.0; // caller-level metadata
+
+    StreamAcquisitionStats stats = acquireRobustStreamed(
+        materials, params, faults, recovery, seed,
+        [&out](StreamedSlice &&s) {
+            out.stack.slices.push_back(std::move(s.frame));
+            out.stack.trueDrift.push_back(s.drift);
+            out.stack.provenance.push_back(s.provenance);
+            out.qc.push_back(s.qc);
+            out.audit.push_back(std::move(s.decision));
+        },
+        sharedCleanFrames, volumeKey);
+
+    out.slicesRetried = stats.slicesRetried;
+    out.retries = stats.retries;
+    out.slicesInterpolated = stats.slicesInterpolated;
+    out.slicesUnrecoverable = stats.slicesUnrecoverable;
+    out.faultsInjected = stats.faultsInjected;
+    out.faultsDetected = stats.faultsDetected;
+    out.qcConfidence = stats.qcConfidence;
+    out.interpolatedSlices = std::move(stats.interpolatedSlices);
     return out;
 }
 

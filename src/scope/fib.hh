@@ -202,6 +202,107 @@ struct RobustAcquisition
 };
 
 /**
+ * One finalized slice emitted by the streaming acquisition: the frame
+ * content is final (recovery — re-imaging, neighbour interpolation —
+ * already applied), so a consumer can denoise/register/assemble it
+ * immediately and never hold the whole stack.
+ */
+struct StreamedSlice
+{
+    size_t index = 0;
+    image::Image2D frame;
+    std::pair<long, long> drift{0, 0}; ///< ground-truth drift
+    image::SliceProvenance provenance;
+    image::QcMetrics qc;  ///< metrics of the finally kept attempt
+    SliceDecision decision;
+};
+
+/// Consumer of finalized slices; called in strictly increasing index
+/// order.
+using SliceConsumer = std::function<void(StreamedSlice &&)>;
+
+/**
+ * Contiguous run of finalized slices handed downstream as one work
+ * item.  Streaming consumers that fan per-slice work into the
+ * batched transient solver should take whole windows so tile
+ * streaming never shrinks BatchSimulator lane occupancy.
+ */
+struct SliceWindow
+{
+    size_t begin = 0;
+    std::vector<StreamedSlice> slices;
+};
+
+using WindowConsumer = std::function<void(SliceWindow &&)>;
+
+/// Default streaming window width, matched to the transient solver's
+/// default lane batch (circuit::TranParams::batchLanes = 8) so a
+/// window maps onto full SIMD lane groups.
+constexpr size_t kStreamWindowSlices = 8;
+
+/**
+ * Adapter that groups a per-slice stream into contiguous
+ * SliceWindows of `window` slices.  flush() (idempotent) emits the
+ * final short window; the destructor does NOT flush, so an
+ * error-path unwind never feeds a consumer half a window.
+ */
+class SliceWindowing
+{
+  public:
+    SliceWindowing(size_t window, WindowConsumer sink);
+
+    void push(StreamedSlice &&slice);
+    void flush();
+
+    /// The per-slice consumer face of this adapter.
+    SliceConsumer consumer()
+    {
+        return [this](StreamedSlice &&s) { push(std::move(s)); };
+    }
+
+  private:
+    size_t window_;
+    WindowConsumer sink_;
+    SliceWindow current_;
+};
+
+/** Aggregate counters of a streamed acquisition (the fields of
+ * RobustAcquisition that are not per-slice). */
+struct StreamAcquisitionStats
+{
+    size_t slices = 0;
+    size_t slicesRetried = 0;
+    size_t retries = 0;
+    size_t slicesInterpolated = 0;
+    size_t slicesUnrecoverable = 0;
+    size_t faultsInjected = 0;
+    size_t faultsDetected = 0;
+    double qcConfidence = 1.0;
+    std::vector<size_t> interpolatedSlices;
+};
+
+/**
+ * Streaming core of the robust acquisition: identical imaging, QC,
+ * retry and interpolation decisions to acquireRobust (which is now a
+ * thin collector over this function), but slices are handed to
+ * `sink` as soon as their content is final instead of accumulating
+ * in a stack.  The held-back working set is bounded by the longest
+ * run of consecutive QC-failed slices (each must wait for its right
+ * accepted neighbour before its interpolation can be computed) plus
+ * the last accepted frame — O(1) in the common case, never the whole
+ * volume.  Bitwise-identical outputs to acquireRobust by
+ * construction (asserted in tests/test_volume.cc).
+ */
+StreamAcquisitionStats
+acquireRobustStreamed(const image::Volume3D &materials,
+                      const FibSemParams &params,
+                      const FaultParams &faults,
+                      const RecoveryParams &recovery, uint64_t seed,
+                      const SliceConsumer &sink,
+                      CleanFrameCache *sharedCleanFrames = nullptr,
+                      uint64_t volumeKey = 0);
+
+/**
  * Fault-aware acquisition with QC-driven re-imaging (the production
  * path; `acquire` remains the pristine fault-free reference).  Every
  * slice is imaged, checked by the QC detector, and re-imaged up to

@@ -8,12 +8,16 @@
 #ifndef HIFI_SCOPE_POSTPROCESS_HH
 #define HIFI_SCOPE_POSTPROCESS_HH
 
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/result.hh"
 #include "image/denoise.hh"
 #include "image/registration.hh"
+#include "image/tiled_volume.hh"
 #include "image/volume3d.hh"
+#include "scope/fib.hh"
 
 namespace hifi
 {
@@ -53,6 +57,107 @@ struct PostprocessResult
 /// Run the full chain on an acquired stack.
 PostprocessResult postprocess(const image::SliceStack &stack,
                               const PostprocessParams &params = {});
+
+/** Streaming post-processing output: the volume stays tiled. */
+struct StreamedPostprocessResult
+{
+    /// Assembled volume, sealed into its tile store (no owned voxel
+    /// memory; call toDense() to opt back into an in-core volume).
+    image::TiledVolume3D volume;
+
+    /// Recovered per-slice shifts relative to slice 0.
+    std::vector<std::pair<long, long>> shifts;
+
+    /// Mean pixel residual vs the streamed ground-truth drift.
+    double alignmentResidualPx = 0.0;
+
+    /// Paper requirement: residual below 0.77% of the slice height.
+    bool meetsAlignmentBudget(size_t slice_height_px) const
+    {
+        return alignmentResidualPx <=
+            0.0077 * static_cast<double>(slice_height_px);
+    }
+};
+
+/**
+ * Push-based post-processing: consumes slices in acquisition order
+ * and runs the identical denoise → chained-MI-register → assemble
+ * chain over a bounded window, writing each corrected slice straight
+ * into a TiledVolume3D instead of accumulating the stack.
+ *
+ * Bit-identity: the per-slice denoise calls, the pairwise
+ * registrations, the sequential shift accumulation and the per-slice
+ * assembly writes are exactly those of `postprocess` — only the
+ * buffering changes — so the result is bitwise identical to the
+ * in-RAM chain at any window size, tile size, budget and thread
+ * count (asserted by tests/test_volume.cc).  The working set is one
+ * window of raw + denoised frames, the previous window's last
+ * denoised slice (the registration anchor) and the volume's dirty
+ * tile budget.
+ */
+class StreamingPostprocessor
+{
+  public:
+    /**
+     * @param expectedSlices  total slices that will be pushed (the
+     *                        volume's X extent)
+     * @param store           tile store backing the assembled volume
+     * @param windowSlices    slices buffered per drain; 0 = the
+     *                        batch-solver-matched kStreamWindowSlices
+     */
+    StreamingPostprocessor(
+        size_t expectedSlices, image::TileStore &store,
+        const PostprocessParams &params = {},
+        size_t tileEdge = image::TiledVolume3D::kDefaultTileEdge,
+        size_t dirtyBudgetBytes = 0,
+        size_t windowSlices = kStreamWindowSlices);
+
+    /// Feed the next slice (strictly in order 0, 1, 2, ...).  A
+    /// disengaged trueDrift marks ground truth unavailable, which
+    /// suppresses the residual exactly like a short trueDrift vector
+    /// does in the dense chain.
+    std::optional<common::Error>
+    push(image::Image2D &&frame,
+         std::optional<std::pair<long, long>> trueDrift);
+
+    /// Drain buffered slices, seal the volume and finalize.  Typed
+    /// FailedPrecondition when fewer slices arrived than promised.
+    common::Result<StreamedPostprocessResult> finish();
+
+  private:
+    std::optional<common::Error> drainWindow();
+
+    image::TileStore &store_;
+    PostprocessParams params_;
+    size_t expected_ = 0;
+    size_t tileEdge_ = 0;
+    size_t dirtyBudget_ = 0;
+    size_t window_ = kStreamWindowSlices;
+
+    size_t pushed_ = 0;    ///< slices received
+    size_t assembled_ = 0; ///< slices written into the volume
+    std::vector<image::Image2D> raw_; ///< current window buffer
+    image::Image2D prevDenoised_;     ///< registration anchor
+    bool havePrev_ = false;
+    long accX_ = 0, accY_ = 0; ///< chained shift accumulator
+
+    image::TiledVolume3D volume_;
+    std::vector<std::pair<long, long>> shifts_;
+    std::vector<std::pair<long, long>> trueDrift_;
+    bool finished_ = false;
+};
+
+/**
+ * Stack-in, tiled-volume-out convenience wrapper over
+ * StreamingPostprocessor (used by tests and the memory-budgeted
+ * pipeline when the stack already exists).
+ */
+common::Result<StreamedPostprocessResult> postprocessStreamed(
+    const image::SliceStack &stack, image::TileStore &store,
+    const PostprocessParams &params = {},
+    size_t tileEdge = image::TiledVolume3D::kDefaultTileEdge,
+    size_t dirtyBudgetBytes = 0,
+    size_t windowSlices = kStreamWindowSlices);
 
 } // namespace scope
 } // namespace hifi

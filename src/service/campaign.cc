@@ -164,6 +164,11 @@ struct CampaignService::Impl
 
     std::optional<scope::CleanFrameCache> cleanFrames;
 
+    /// Tile store backing v2 (tile-referencing) checkpoints and the
+    /// spill tier of memory-budgeted jobs; null when checkpointing
+    /// is disabled.
+    std::shared_ptr<image::TileStore> tileStore;
+
     /// Content-addressed post-Fab cache: fabDigest -> StagedState
     /// snapshot (cursor at Acquire, materials aliased).  LRU.
     std::list<std::pair<uint64_t,
@@ -181,6 +186,11 @@ struct CampaignService::Impl
             std::error_code ec;
             std::filesystem::create_directories(cfg.checkpointDir,
                                                 ec);
+            image::TileStoreConfig tc;
+            tc.dir = cfg.checkpointDir + "/tiles";
+            tc.budgetBytes = cfg.tileCacheBytes;
+            tileStore =
+                std::make_shared<image::TileStore>(std::move(tc));
         }
         workers.reserve(cfg.workers);
         for (size_t i = 0; i < cfg.workers; ++i)
@@ -313,11 +323,15 @@ struct CampaignService::Impl
                 j.report = std::make_shared<core::PipelineReport>(
                     std::move(out.report));
                 j.cursor = core::Stage::Done;
-                finishLocked(j, JobState::Completed);
+                // Remove the checkpoint before the terminal
+                // transition: anyone woken by wait() must not find a
+                // stale checkpoint for a completed job.
                 if (!ckpt.empty()) {
                     lock.unlock();
                     removeCheckpoint(ckpt);
+                    lock.lock();
                 }
+                finishLocked(j, JobState::Completed);
                 return;
             }
             if (out.kind == Attempt::Stop) {
@@ -382,7 +396,7 @@ struct CampaignService::Impl
 
         // 1. Resume from the newest checkpoint when one exists.
         if (!ckpt.empty()) {
-            auto loaded = loadCheckpoint(ckpt, j.config);
+            auto loaded = loadCheckpoint(ckpt, j.config, tileStore);
             if (loaded.ok()) {
                 state = loaded.takeValue();
                 haveState = true;
@@ -426,6 +440,8 @@ struct CampaignService::Impl
             state.cleanFrames = &*cleanFrames;
             state.volumeKey = j.fabKey;
         }
+        if (tileStore)
+            state.tileStore = tileStore; // spill beside checkpoints
 
         // 3. Stage loop: run, record, cache, checkpoint, (chaos).
         while (state.next != core::Stage::Done) {
@@ -464,8 +480,8 @@ struct CampaignService::Impl
                 storeFabSnapshot(j.fabKey, state);
 
             if (!ckpt.empty() && state.next != core::Stage::Done) {
-                if (const auto serr =
-                        saveCheckpoint(ckpt, j.config, state)) {
+                if (const auto serr = saveCheckpoint(
+                        ckpt, j.config, state, tileStore)) {
                     common::warn("service: job '" + j.name +
                                  "': checkpoint failed (" +
                                  serr->message + ")");
@@ -554,6 +570,7 @@ struct CampaignService::Impl
         auto snap = std::make_shared<core::StagedState>(state);
         snap->cleanFrames = nullptr; // rebound per job on reuse
         snap->volumeKey = 0;
+        snap->tileStore.reset();
         std::lock_guard<std::mutex> lock(mu);
         if (volIndex.count(key))
             return;

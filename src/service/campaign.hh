@@ -116,8 +116,16 @@ struct ServiceConfig
 
     /// Directory for per-job checkpoints; empty disables
     /// checkpointing (retries then restart from scratch — still
-    /// deterministic, just slower).
+    /// deterministic, just slower).  A content-addressed tile store
+    /// lives in "<checkpointDir>/tiles": checkpoints reference
+    /// artifact voxels by tile digest instead of embedding them, and
+    /// memory-budgeted jobs spill their volumes into the same store.
     std::string checkpointDir;
+
+    /// Resident budget (bytes) of the checkpoint tile store's LRU —
+    /// the memory the service may spend caching recently used tiles;
+    /// the disk tier under checkpointDir is unbounded.
+    size_t tileCacheBytes = 256ull << 20;
 
     /// Capacity of the content-addressed post-Fab volume cache
     /// (entries; 0 disables).  Keyed by fabDigest, exact by

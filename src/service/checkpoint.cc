@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "image/tiled_volume.hh"
+
 namespace hifi
 {
 namespace service
@@ -14,7 +16,8 @@ namespace
 {
 
 constexpr uint64_t kMagic = 0x48494649434b5031ull; // "HIFICKP1"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 1;      ///< artifact voxels inline
+constexpr uint32_t kVersionTiled = 2; ///< artifacts as tile digests
 
 // ---- Byte-stream primitives ---------------------------------------
 // Native-endian binary encoding: a checkpoint resumes on the machine
@@ -561,12 +564,10 @@ readVolume(Reader &rd)
     return v;
 }
 
+/// Per-slice metadata shared by the inline and tiled stack formats.
 void
-writeStack(Writer &w, const image::SliceStack &s)
+writeStackMeta(Writer &w, const image::SliceStack &s)
 {
-    w.u64(s.slices.size());
-    for (const auto &img : s.slices)
-        writeImage(w, img);
     w.u64(s.trueDrift.size());
     for (const auto &[dy, dz] : s.trueDrift) {
         w.i64(dy);
@@ -587,18 +588,23 @@ writeStack(Writer &w, const image::SliceStack &s)
     w.d(s.pixelResolutionNm);
 }
 
-std::shared_ptr<image::SliceStack>
-readStack(Reader &rd)
+void
+writeStack(Writer &w, const image::SliceStack &s)
 {
-    auto s = std::make_shared<image::SliceStack>();
-    const uint64_t slices = rd.u64();
-    for (uint64_t i = 0; rd.ok && i < slices; ++i)
-        s->slices.push_back(readImage(rd));
+    w.u64(s.slices.size());
+    for (const auto &img : s.slices)
+        writeImage(w, img);
+    writeStackMeta(w, s);
+}
+
+void
+readStackMeta(Reader &rd, image::SliceStack &s)
+{
     const uint64_t drifts = rd.u64();
     for (uint64_t i = 0; rd.ok && i < drifts; ++i) {
         const long dy = static_cast<long>(rd.i64());
         const long dz = static_cast<long>(rd.i64());
-        s->trueDrift.emplace_back(dy, dz);
+        s.trueDrift.emplace_back(dy, dz);
     }
     const uint64_t prov = rd.u64();
     for (uint64_t i = 0; rd.ok && i < prov; ++i) {
@@ -611,10 +617,20 @@ readStack(Reader &rd)
         p.accepted = rd.u8();
         p.interpolated = rd.u8();
         p.unrecoverable = rd.u8();
-        s->provenance.push_back(p);
+        s.provenance.push_back(p);
     }
-    s->sliceThicknessNm = rd.d();
-    s->pixelResolutionNm = rd.d();
+    s.sliceThicknessNm = rd.d();
+    s.pixelResolutionNm = rd.d();
+}
+
+std::shared_ptr<image::SliceStack>
+readStack(Reader &rd)
+{
+    auto s = std::make_shared<image::SliceStack>();
+    const uint64_t slices = rd.u64();
+    for (uint64_t i = 0; rd.ok && i < slices; ++i)
+        s->slices.push_back(readImage(rd));
+    readStackMeta(rd, *s);
     return rd.ok ? s : nullptr;
 }
 
@@ -625,7 +641,148 @@ enum ArtifactTag : uint8_t
     kArtifactMaterials = 1,
     kArtifactStack = 2,
     kArtifactProcessed = 3,
+
+    /// v2 only: the postprocessed volume stays tiled across the
+    /// resume (stageAnalyze re-pins it from the store on demand).
+    kArtifactProcessedTiled = 4,
 };
+
+// ---- Tiled (v2) artifacts ------------------------------------------
+// Voxels live in the content-addressed tile store; the checkpoint
+// image holds dimensions + tile digests.  A corrupted or missing tile
+// surfaces as DataLoss when fetched — the same taxonomy as a torn
+// checkpoint file, and never a silent resume.
+
+/// The store owns tile durability; a digest it cannot serve while a
+/// checkpoint references it is lost data, not a lookup miss.
+common::Error
+asTileLoss(common::Error err)
+{
+    if (err.code == common::ErrorCode::NotFound)
+        err.code = common::ErrorCode::DataLoss;
+    err.message = "checkpoint: " + err.message;
+    return err;
+}
+
+void
+writeTileGrid(Writer &w, size_t nx, size_t ny, size_t nz, size_t edge,
+              const std::vector<uint64_t> &digests)
+{
+    w.u64(nx);
+    w.u64(ny);
+    w.u64(nz);
+    w.u64(edge);
+    w.u64(digests.size());
+    for (const uint64_t d : digests)
+        w.u64(d);
+}
+
+std::optional<common::Error>
+writeVolumeTiled(Writer &w, const image::Volume3D &v,
+                 image::TileStore &tiles)
+{
+    auto tiled = image::TiledVolume3D::fromDense(v, tiles);
+    if (!tiled.ok())
+        return tiled.error();
+    image::TiledVolume3D tv = tiled.takeValue();
+    auto digests = tv.digests();
+    if (!digests.ok())
+        return digests.error();
+    writeTileGrid(w, v.nx(), v.ny(), v.nz(), tv.tileEdge(),
+                  digests.value());
+    return std::nullopt;
+}
+
+common::Result<image::TiledVolume3D>
+readTiledVolume(Reader &rd, image::TileStore &tiles)
+{
+    using R = common::Result<image::TiledVolume3D>;
+    const uint64_t nx = rd.u64();
+    const uint64_t ny = rd.u64();
+    const uint64_t nz = rd.u64();
+    const uint64_t edge = rd.u64();
+    const uint64_t count = rd.u64();
+    if (!rd.ok || count > rd.in.size())
+        return R::failure(common::ErrorCode::DataLoss,
+                          "checkpoint: truncated tile grid");
+    std::vector<uint64_t> digests;
+    digests.reserve(count);
+    for (uint64_t i = 0; rd.ok && i < count; ++i)
+        digests.push_back(rd.u64());
+    if (!rd.ok)
+        return R::failure(common::ErrorCode::DataLoss,
+                          "checkpoint: truncated tile grid");
+    auto tv = image::TiledVolume3D::fromDigests(
+        nx, ny, nz, edge, std::move(digests), tiles);
+    if (!tv.ok())
+        return R(asTileLoss(tv.error()));
+    return tv;
+}
+
+common::Result<std::shared_ptr<image::Volume3D>>
+readVolumeTiled(Reader &rd, image::TileStore &tiles)
+{
+    using R = common::Result<std::shared_ptr<image::Volume3D>>;
+    auto tv = readTiledVolume(rd, tiles);
+    if (!tv.ok())
+        return R(tv.error());
+    auto dense = tv.value().toDense();
+    if (!dense.ok())
+        return R(asTileLoss(dense.error()));
+    return R(std::make_shared<image::Volume3D>(dense.takeValue()));
+}
+
+std::optional<common::Error>
+writeStackTiled(Writer &w, const image::SliceStack &s,
+                image::TileStore &tiles)
+{
+    w.u64(s.slices.size());
+    for (const auto &img : s.slices) {
+        w.u64(img.width());
+        w.u64(img.height());
+        auto digest = tiles.put(img.data());
+        if (!digest.ok())
+            return digest.error();
+        w.u64(digest.value());
+    }
+    writeStackMeta(w, s);
+    return std::nullopt;
+}
+
+common::Result<std::shared_ptr<image::SliceStack>>
+readStackTiled(Reader &rd, image::TileStore &tiles)
+{
+    using R = common::Result<std::shared_ptr<image::SliceStack>>;
+    auto s = std::make_shared<image::SliceStack>();
+    const uint64_t slices = rd.u64();
+    if (!rd.ok || slices > rd.in.size())
+        return R::failure(common::ErrorCode::DataLoss,
+                          "checkpoint: truncated stack");
+    for (uint64_t i = 0; rd.ok && i < slices; ++i) {
+        const uint64_t width = rd.u64();
+        const uint64_t height = rd.u64();
+        const uint64_t digest = rd.u64();
+        if (!rd.ok)
+            break;
+        auto tile = tiles.fetch(digest);
+        if (!tile.ok())
+            return R(asTileLoss(tile.error()));
+        if (tile.value().size() != width * height)
+            return R::failure(
+                common::ErrorCode::DataLoss,
+                "checkpoint: slice tile size mismatch (expected " +
+                    std::to_string(width * height) + " floats, got " +
+                    std::to_string(tile.value().size()) + ")");
+        image::Image2D img(width, height);
+        img.data() = *tile.value();
+        s->slices.push_back(std::move(img));
+    }
+    readStackMeta(rd, *s);
+    if (!rd.ok)
+        return R::failure(common::ErrorCode::DataLoss,
+                          "checkpoint: truncated stack");
+    return R(std::move(s));
+}
 
 } // namespace
 
@@ -668,8 +825,23 @@ encodeCheckpoint(const core::PipelineConfig &config,
         writeStack(w, *state.stack);
         break;
       case core::Stage::Analyze:
-        w.u8(kArtifactProcessed);
-        writeVolume(w, *state.processed);
+        if (state.processed) {
+            w.u8(kArtifactProcessed);
+            writeVolume(w, *state.processed);
+        } else if (state.processedTiled) {
+            // A tiled artifact in a v1 image has to be materialized;
+            // callers on the memory-budgeted path should pass a tile
+            // store and get the v2 encoding instead.
+            auto dense = state.processedTiled->toDense();
+            if (dense.ok()) {
+                w.u8(kArtifactProcessed);
+                writeVolume(w, dense.value());
+            } else {
+                w.u8(kArtifactNone);
+            }
+        } else {
+            w.u8(kArtifactNone);
+        }
         break;
       default:
         w.u8(kArtifactNone);
@@ -680,9 +852,81 @@ encodeCheckpoint(const core::PipelineConfig &config,
     return std::move(w.out);
 }
 
+common::Result<std::string>
+encodeCheckpoint(const core::PipelineConfig &config,
+                 const core::StagedState &state,
+                 const std::shared_ptr<image::TileStore> &tiles)
+{
+    using R = common::Result<std::string>;
+    if (!tiles)
+        return R(encodeCheckpoint(config, state));
+
+    Writer w;
+    w.u64(kMagic);
+    w.u32(kVersionTiled);
+    w.u64(configDigest(config));
+    w.u32(static_cast<uint32_t>(state.next));
+    w.d(state.voxelNm);
+    w.d(state.sliceThicknessNm);
+    writeReport(w, state.report);
+
+    switch (state.next) {
+      case core::Stage::Acquire:
+        w.u8(kArtifactMaterials);
+        if (auto err = writeVolumeTiled(w, *state.materials, *tiles))
+            return R(*err);
+        break;
+      case core::Stage::Postprocess:
+        w.u8(kArtifactStack);
+        if (auto err = writeStackTiled(w, *state.stack, *tiles))
+            return R(*err);
+        break;
+      case core::Stage::Analyze:
+        w.u8(kArtifactProcessedTiled);
+        if (state.processedTiled) {
+            // Usually already sealed into this very store (the
+            // service installs its store as state.tileStore before
+            // the stages run); only digests a *different* store
+            // produced need rehydrating through a dense round trip.
+            auto digests = state.processedTiled->digests();
+            if (!digests.ok())
+                return R(digests.error());
+            bool all_here = true;
+            for (const uint64_t d : digests.value())
+                all_here = all_here && tiles->contains(d);
+            if (all_here) {
+                writeTileGrid(w, state.processedTiled->nx(),
+                              state.processedTiled->ny(),
+                              state.processedTiled->nz(),
+                              state.processedTiled->tileEdge(),
+                              digests.value());
+            } else {
+                auto dense = state.processedTiled->toDense();
+                if (!dense.ok())
+                    return R(dense.error());
+                if (auto err =
+                        writeVolumeTiled(w, dense.value(), *tiles))
+                    return R(*err);
+            }
+        } else {
+            if (auto err =
+                    writeVolumeTiled(w, *state.processed, *tiles))
+                return R(*err);
+        }
+        break;
+      default:
+        w.u8(kArtifactNone);
+        break;
+    }
+
+    w.u64(fnv(w.out.data(), w.out.size()));
+    return R(std::move(w.out));
+}
+
 common::Result<core::StagedState>
 decodeCheckpoint(const std::string &bytes,
-                 const core::PipelineConfig &config)
+                 const core::PipelineConfig &config,
+                 const std::shared_ptr<image::TileStore> &tiles)
 {
     using R = common::Result<core::StagedState>;
     if (bytes.size() < sizeof(uint64_t) * 3)
@@ -700,9 +944,14 @@ decodeCheckpoint(const std::string &bytes,
     if (rd.u64() != kMagic)
         return R::failure(common::ErrorCode::DataLoss,
                           "checkpoint: bad magic");
-    if (rd.u32() != kVersion)
+    const uint32_t version = rd.u32();
+    if (version != kVersion && version != kVersionTiled)
         return R::failure(common::ErrorCode::FailedPrecondition,
                           "checkpoint: unsupported version");
+    if (version == kVersionTiled && !tiles)
+        return R::failure(common::ErrorCode::FailedPrecondition,
+                          "checkpoint: tile-referencing image needs "
+                          "a tile store to decode");
     if (rd.u64() != configDigest(config))
         return R::failure(common::ErrorCode::FailedPrecondition,
                           "checkpoint: written under a different "
@@ -718,18 +967,49 @@ decodeCheckpoint(const std::string &bytes,
     state.report = readReport(rd);
 
     const uint8_t tag = rd.u8();
+    const bool tiled = version == kVersionTiled;
     switch (tag) {
       case kArtifactNone:
         break;
       case kArtifactMaterials:
-        state.materials = readVolume(rd);
+        if (tiled) {
+            auto v = readVolumeTiled(rd, *tiles);
+            if (!v.ok())
+                return R(v.error());
+            state.materials = v.takeValue();
+        } else {
+            state.materials = readVolume(rd);
+        }
         break;
       case kArtifactStack:
-        state.stack = readStack(rd);
+        if (tiled) {
+            auto s = readStackTiled(rd, *tiles);
+            if (!s.ok())
+                return R(s.error());
+            state.stack = s.takeValue();
+        } else {
+            state.stack = readStack(rd);
+        }
         break;
       case kArtifactProcessed:
         state.processed = readVolume(rd);
         break;
+      case kArtifactProcessedTiled: {
+        if (!tiled)
+            return R::failure(common::ErrorCode::DataLoss,
+                              "checkpoint: tiled artifact tag in a "
+                              "v1 image");
+        // Resume re-pins: the volume references the store's tiles
+        // and fetches them when the Analyze stage reads, instead of
+        // re-reading every voxel here.
+        auto tv = readTiledVolume(rd, *tiles);
+        if (!tv.ok())
+            return R(tv.error());
+        state.processedTiled =
+            std::make_shared<image::TiledVolume3D>(tv.takeValue());
+        state.tileStore = tiles;
+        break;
+      }
       default:
         return R::failure(common::ErrorCode::DataLoss,
                           "checkpoint: unknown artifact tag");
@@ -743,9 +1023,13 @@ decodeCheckpoint(const std::string &bytes,
 std::optional<common::Error>
 saveCheckpoint(const std::string &path,
                const core::PipelineConfig &config,
-               const core::StagedState &state)
+               const core::StagedState &state,
+               const std::shared_ptr<image::TileStore> &tiles)
 {
-    const std::string bytes = encodeCheckpoint(config, state);
+    auto encoded = encodeCheckpoint(config, state, tiles);
+    if (!encoded.ok())
+        return encoded.error();
+    const std::string bytes = encoded.takeValue();
     const std::string tmp = path + ".tmp";
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -768,7 +1052,8 @@ saveCheckpoint(const std::string &path,
 
 common::Result<core::StagedState>
 loadCheckpoint(const std::string &path,
-               const core::PipelineConfig &config)
+               const core::PipelineConfig &config,
+               const std::shared_ptr<image::TileStore> &tiles)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -777,7 +1062,7 @@ loadCheckpoint(const std::string &path,
             "checkpoint: no file at " + path);
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-    return decodeCheckpoint(bytes, config);
+    return decodeCheckpoint(bytes, config, tiles);
 }
 
 void

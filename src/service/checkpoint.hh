@@ -21,9 +21,11 @@
 #ifndef HIFI_SERVICE_CHECKPOINT_HH
 #define HIFI_SERVICE_CHECKPOINT_HH
 
+#include <memory>
 #include <string>
 
 #include "core/stages.hh"
+#include "image/tile_store.hh"
 
 namespace hifi
 {
@@ -49,31 +51,51 @@ uint64_t fabDigest(const core::PipelineConfig &config);
 /**
  * Serialize `state` for `config` into a byte string (the in-memory
  * checkpoint image).  Serializes only the artifact the cursor still
- * needs, so the image shrinks as the run progresses.
+ * needs, so the image shrinks as the run progresses.  This is the
+ * self-contained v1 image: artifact voxels are embedded inline.
  */
 std::string encodeCheckpoint(const core::PipelineConfig &config,
                              const core::StagedState &state);
 
 /**
+ * Tile-referencing (v2) encoding: artifact voxels are sealed into
+ * `tiles` (content-addressed, deduplicated across saves) and the
+ * checkpoint image stores only their digests, so repeated saves of
+ * an unchanged artifact write almost nothing and the image stays
+ * small at every stage.  Typed errors on store I/O failures.
+ */
+common::Result<std::string>
+encodeCheckpoint(const core::PipelineConfig &config,
+                 const core::StagedState &state,
+                 const std::shared_ptr<image::TileStore> &tiles);
+
+/**
  * Decode a checkpoint image back into a StagedState, verifying the
  * payload digest and the config identity.  Typed failures:
- * DataLoss for truncation/corruption, FailedPrecondition for a
- * config mismatch or unsupported version.
+ * DataLoss for truncation/corruption — including a referenced tile
+ * that is missing, truncated or fails its digest check —
+ * FailedPrecondition for a config mismatch, an unsupported version,
+ * or a tile-referencing (v2) image decoded without a tile store.
+ * A decoded tiled artifact re-pins lazily: tiles are verified and
+ * fetched when the resumed stage reads them, not eagerly here.
  */
 common::Result<core::StagedState>
 decodeCheckpoint(const std::string &bytes,
-                 const core::PipelineConfig &config);
+                 const core::PipelineConfig &config,
+                 const std::shared_ptr<image::TileStore> &tiles = {});
 
 /**
  * Atomically write the checkpoint for (config, state) to `path`:
  * the image is written to "<path>.tmp" and renamed over `path`, so a
  * crash mid-write leaves either the previous checkpoint or none —
- * never a torn file.  Typed Internal error on I/O failure.
+ * never a torn file.  With `tiles` the v2 tile-referencing encoding
+ * is used.  Typed Internal error on I/O failure.
  */
 std::optional<common::Error>
 saveCheckpoint(const std::string &path,
                const core::PipelineConfig &config,
-               const core::StagedState &state);
+               const core::StagedState &state,
+               const std::shared_ptr<image::TileStore> &tiles = {});
 
 /**
  * Load and decode the checkpoint at `path`.  NotFound when the file
@@ -82,7 +104,8 @@ saveCheckpoint(const std::string &path,
  */
 common::Result<core::StagedState>
 loadCheckpoint(const std::string &path,
-               const core::PipelineConfig &config);
+               const core::PipelineConfig &config,
+               const std::shared_ptr<image::TileStore> &tiles = {});
 
 /// Remove a checkpoint file if present (best-effort; used after a
 /// job completes so a rerun starts fresh).

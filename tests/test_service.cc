@@ -260,6 +260,213 @@ TEST(Checkpoint, TypedFailureTaxonomy)
     EXPECT_EQ(gone.error().code, ErrorCode::NotFound);
 }
 
+TEST(Checkpoint, TiledImagesResumeAtEveryStageBoundary)
+{
+    PipelineConfig config = testConfig(42);
+    config.threads = 1;
+    const std::string dir = scratchDir("tiled_codec");
+
+    auto makeStore = [&] {
+        hifi::image::TileStoreConfig tc;
+        tc.dir = dir + "/tiles";
+        return std::make_shared<hifi::image::TileStore>(
+            std::move(tc));
+    };
+
+    // Save a tile-referencing checkpoint at every boundary.
+    auto tiles = makeStore();
+    auto init = hifi::core::initStagedRun(config);
+    ASSERT_TRUE(init.ok());
+    StagedState state = init.takeValue();
+    std::vector<std::string> paths;
+    while (state.next != Stage::Done) {
+        ASSERT_FALSE(hifi::core::runStage(config, state));
+        if (state.next != Stage::Done) {
+            const std::string path = dir + "/boundary_" +
+                std::to_string(paths.size()) + ".ckpt";
+            ASSERT_FALSE(hifi::service::saveCheckpoint(
+                path, config, state, tiles));
+            paths.push_back(path);
+        }
+    }
+    const uint64_t reference = hifi::core::reportDigest(state.report);
+    ASSERT_EQ(paths.size(), hifi::core::kNumStages - 1);
+
+    // A tile-referencing image stays small at the bulky boundaries:
+    // the voxels live in the store, the image holds digests.
+    const auto v1Bytes =
+        hifi::service::encodeCheckpoint(config, state).size();
+    for (const std::string &path : paths)
+        EXPECT_LT(std::filesystem::file_size(path), 1u << 20)
+            << path;
+    (void)v1Bytes;
+
+    // Resume from every boundary with a FRESH store instance over the
+    // same directory (a restarted process re-pins from disk), cycling
+    // thread counts; the final report must be bitwise-identical.
+    const size_t threadCycle[] = {1, 2, 8};
+    for (size_t i = 0; i < paths.size(); ++i) {
+        PipelineConfig resumed = config;
+        resumed.threads = threadCycle[i % 3];
+        auto fresh = makeStore();
+        auto loaded =
+            hifi::service::loadCheckpoint(paths[i], resumed, fresh);
+        ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+        StagedState replay = loaded.takeValue();
+        EXPECT_EQ(static_cast<size_t>(replay.next), i + 1);
+        EXPECT_EQ(runStagedToEnd(resumed, replay), reference)
+            << "boundary " << i << ", threads "
+            << threadCycle[i % 3];
+    }
+
+    // Re-saving an unchanged artifact dedups against the store: no
+    // new tile bytes are spilled.
+    const uint64_t spilledBefore = tiles->stats().spilledBytes;
+    auto reinit = hifi::core::initStagedRun(config);
+    ASSERT_TRUE(reinit.ok());
+    StagedState again = reinit.takeValue();
+    ASSERT_FALSE(hifi::core::runStage(config, again)); // Fab
+    ASSERT_FALSE(hifi::service::saveCheckpoint(
+        dir + "/resave.ckpt", config, again, tiles));
+    EXPECT_EQ(tiles->stats().spilledBytes, spilledBefore);
+}
+
+TEST(Checkpoint, TiledImageNeedsAStoreToDecode)
+{
+    PipelineConfig config = testConfig(7);
+    config.threads = 1;
+    const std::string dir = scratchDir("tiled_nostore");
+    hifi::image::TileStoreConfig tc;
+    tc.dir = dir + "/tiles";
+    auto tiles =
+        std::make_shared<hifi::image::TileStore>(std::move(tc));
+
+    auto init = hifi::core::initStagedRun(config);
+    ASSERT_TRUE(init.ok());
+    StagedState state = init.takeValue();
+    ASSERT_FALSE(hifi::core::runStage(config, state)); // Fab
+    auto image =
+        hifi::service::encodeCheckpoint(config, state, tiles);
+    ASSERT_TRUE(image.ok()) << image.error().message;
+
+    // With the store the image decodes; without one the reader must
+    // refuse up front (FailedPrecondition), not crash or guess.
+    EXPECT_TRUE(hifi::service::decodeCheckpoint(image.value(), config,
+                                                tiles)
+                    .ok());
+    auto blind =
+        hifi::service::decodeCheckpoint(image.value(), config);
+    ASSERT_FALSE(blind.ok());
+    EXPECT_EQ(blind.error().code, ErrorCode::FailedPrecondition);
+}
+
+TEST(Checkpoint, MissingOrCorruptTilesSurfaceAsDataLoss)
+{
+    PipelineConfig config = testConfig(11);
+    config.threads = 1;
+    const std::string dir = scratchDir("tiled_corrupt");
+    const std::string tileDir = dir + "/tiles";
+
+    auto makeStore = [&] {
+        hifi::image::TileStoreConfig tc;
+        tc.dir = tileDir;
+        return std::make_shared<hifi::image::TileStore>(
+            std::move(tc));
+    };
+
+    // Checkpoint right after Postprocess: the image references the
+    // processed volume's tiles.
+    auto tiles = makeStore();
+    auto init = hifi::core::initStagedRun(config);
+    ASSERT_TRUE(init.ok());
+    StagedState state = init.takeValue();
+    while (state.next != Stage::Analyze)
+        ASSERT_FALSE(hifi::core::runStage(config, state));
+    const std::string path = dir + "/job.ckpt";
+    ASSERT_FALSE(
+        hifi::service::saveCheckpoint(path, config, state, tiles));
+
+    std::vector<std::filesystem::path> tileFiles;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(tileDir))
+        if (entry.path().extension() == ".tile")
+            tileFiles.push_back(entry.path());
+    ASSERT_FALSE(tileFiles.empty());
+
+    // Baseline: an intact set of tiles loads and finishes.
+    {
+        auto loaded =
+            hifi::service::loadCheckpoint(path, config, makeStore());
+        ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    }
+
+    auto corruptedRunFails = [&](const char *what) {
+        // The decode may defer tile reads, so the loss is allowed to
+        // surface either at load or when the resumed stage touches
+        // the tile — but it must be typed DataLoss, never a crash or
+        // a silently wrong resume.
+        auto loaded =
+            hifi::service::loadCheckpoint(path, config, makeStore());
+        if (!loaded.ok()) {
+            EXPECT_EQ(loaded.error().code, ErrorCode::DataLoss)
+                << what << ": " << loaded.error().message;
+            return;
+        }
+        StagedState replay = loaded.takeValue();
+        std::optional<hifi::common::Error> err;
+        while (replay.next != Stage::Done) {
+            err = hifi::core::runStage(config, replay);
+            if (err)
+                break;
+        }
+        ASSERT_TRUE(err.has_value())
+            << what << ": corrupted tile resumed silently";
+        EXPECT_EQ(err->code, ErrorCode::DataLoss)
+            << what << ": " << err->message;
+    };
+
+    const auto victim = tileFiles.front();
+    std::vector<char> original;
+    {
+        std::ifstream in(victim, std::ios::binary);
+        original.assign(std::istreambuf_iterator<char>(in), {});
+    }
+
+    // Truncated tile (torn write).
+    std::filesystem::resize_file(victim, original.size() / 2);
+    corruptedRunFails("truncated");
+
+    // Bit flip in the payload.
+    {
+        std::vector<char> flipped = original;
+        flipped[flipped.size() - 7] ^= 0x20;
+        std::ofstream out(victim,
+                          std::ios::binary | std::ios::trunc);
+        out.write(flipped.data(),
+                  static_cast<std::streamsize>(flipped.size()));
+    }
+    corruptedRunFails("bit-flipped");
+
+    // Missing tile file.
+    std::filesystem::remove(victim);
+    corruptedRunFails("missing");
+
+    // Restore the original bytes: the same checkpoint resumes again
+    // (proves the failures above came from the injected damage).
+    {
+        std::ofstream out(victim,
+                          std::ios::binary | std::ios::trunc);
+        out.write(original.data(),
+                  static_cast<std::streamsize>(original.size()));
+    }
+    auto healed =
+        hifi::service::loadCheckpoint(path, config, makeStore());
+    ASSERT_TRUE(healed.ok()) << healed.error().message;
+    StagedState replay = healed.takeValue();
+    EXPECT_EQ(runStagedToEnd(config, replay),
+              directDigest(testConfig(11)));
+}
+
 // ---------------------------------------------------------------
 // Campaign service.
 // ---------------------------------------------------------------

@@ -6,7 +6,13 @@
  *              [--seed-namespace S] [--pairs N] [--faults]
  *              [--checkpoint-dir DIR] [--chaos] [--kill-prob P]
  *              [--stall-prob P] [--stage-timeout-sec T]
- *              [--max-queue N] [--quick] [--no-verify]
+ *              [--max-queue N] [--memory-budget MIB]
+ *              [--quick] [--no-verify]
+ *
+ * --memory-budget runs every job out-of-core: acquisition and
+ * assembly stream through a bounded tile store spilled next to the
+ * checkpoints, and the verifier re-runs the job in RAM to prove the
+ * budgeted report is bit-identical.
  *
  * Submits N pipeline jobs to a CampaignService and drains it.  With
  * --chaos, deterministic crash injection aborts jobs at stage
@@ -57,6 +63,9 @@ struct Options
     size_t maxQueue = 64;
     bool verify = true;
     double waitBudgetSec = 120.0;
+
+    /// Per-job PipelineConfig::memoryBudget in MiB (0 = in-RAM).
+    size_t memoryBudgetMib = 0;
 };
 
 std::vector<std::string>
@@ -80,7 +89,8 @@ usage()
            "                  [--checkpoint-dir DIR] [--chaos] "
            "[--kill-prob P] [--stall-prob P]\n"
            "                  [--stage-timeout-sec T] [--max-queue "
-           "N] [--quick] [--no-verify]\n";
+           "N] [--memory-budget MIB]\n"
+           "                  [--quick] [--no-verify]\n";
     return 2;
 }
 
@@ -151,6 +161,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             opt.maxQueue = std::stoul(v);
+        } else if (arg == "--memory-budget") {
+            const char *v = value();
+            if (!v)
+                return usage();
+            opt.memoryBudgetMib = std::stoul(v);
         } else if (arg == "--quick") {
             opt.jobs = 4;
             opt.workers = 2;
@@ -191,6 +206,15 @@ main(int argc, char **argv)
         pc.chipId = opt.chips[i % opt.chips.size()];
         pc.pairs = opt.pairs;
         pc.faults.enabled = opt.faults;
+        if (opt.memoryBudgetMib) {
+            // Budgeted jobs stream their volumes through a tile
+            // store spilled next to the checkpoints; the verify
+            // re-run below proves the report is still bit-identical
+            // to the unbudgeted in-RAM pipeline.
+            pc.memoryBudget = opt.memoryBudgetMib << 20;
+            pc.spillDir = opt.checkpointDir + "/spill-" +
+                std::to_string(i);
+        }
         const auto id = service.submit(
             "soak-" + std::to_string(i), pc);
         if (!id.ok()) {
@@ -223,6 +247,10 @@ main(int argc, char **argv)
             if (opt.verify) {
                 PipelineConfig pc = submittedConfig;
                 pc.seed = st.effectiveSeed;
+                // Verify budgeted jobs against the unbudgeted
+                // in-RAM pipeline: the digests must still agree.
+                pc.memoryBudget = 0;
+                pc.spillDir.clear();
                 const auto direct =
                     hifi::core::runPipelineChecked(pc);
                 if (!direct.ok() ||
